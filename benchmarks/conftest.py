@@ -1,0 +1,44 @@
+"""Session-shared state for the benchmark suite.
+
+Dataset generation and index construction are expensive and identical
+across benchmark files, so they are built once per session here.  Every
+benchmark prints its paper-style table and persists it under
+``bench_results/`` (see :func:`repro.bench.reporting.write_report`).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import ExperimentSetup, build_setup, dataset_names
+
+# Bench scale can be shrunk for quick sanity runs:
+#   REPRO_BENCH_SCALE=small pytest benchmarks/ --benchmark-only
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+# The paper's performance shapes (who wins, PADS < ADS, ...) only hold in
+# the locality regime of the full bench scale; the "small" scale exists
+# for quick sanity runs and skips the strict shape assertions.
+STRICT = SCALE != "small"
+
+
+@pytest.fixture(scope="session")
+def setups() -> dict:
+    """One :class:`ExperimentSetup` per dataset family, built lazily."""
+    cache: dict = {}
+
+    def get(name: str) -> ExperimentSetup:
+        if name not in cache:
+            cache[name] = build_setup(name, scale=SCALE)
+        return cache[name]
+
+    get.names = dataset_names  # type: ignore[attr-defined]
+    return get
+
+
+def emit(report: str) -> None:
+    """Print a report (visible with -s) and note the persisted copy."""
+    print()
+    print(report, end="")

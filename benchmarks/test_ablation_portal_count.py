@@ -1,0 +1,84 @@
+"""Ablation: sensitivity to the number of portal nodes.
+
+Design choice under test: PPKWS's per-user state and the ARefine /
+AComplete loops are all ``O(poly(|P|))`` — the framework bets on portals
+being few.  This ablation carves private graphs with increasing portal
+fractions from the same public graph and measures attach (index) time
+and PP-Blinks query time as ``|P|`` grows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.bench.reporting import render_table, write_report
+from repro.core.framework import PPKWS
+from repro.datasets.queries import generate_keyword_queries
+from repro.datasets.synthetic import _carve_private_graph
+
+PORTAL_FRACTIONS = [0.05, 0.15, 0.35]
+TAU = 5.0
+REPORTS: dict = {}
+
+
+@pytest.mark.parametrize("name", ["yago"])
+def test_ablation_portal_count(name, setups, benchmark):
+    setup = setups(name)
+    public = setup.dataset.public
+    rows = []
+    attach_times = {}
+    for fraction in PORTAL_FRACTIONS:
+        rng = random.Random(4242)
+        private = _carve_private_graph(
+            public, rng, target_vertices=100, portal_fraction=fraction,
+            owner_offset=f"frac{fraction}", extra_label_pool=setup.dataset.vocabulary,
+            labels_per_vertex=3.8,
+        )
+        engine = PPKWS(public, index=setup.engine.index)
+        start = time.perf_counter()
+        attachment = engine.attach("abl", private)
+        attach_time = time.perf_counter() - start
+        attach_times[fraction] = attach_time
+
+        queries = generate_keyword_queries(
+            public, private, num_queries=4, tau=TAU, seed=808
+        )
+        total = 0.0
+        answers = 0
+        for q in queries:
+            start = time.perf_counter()
+            result = engine.blinks("abl", list(q.keywords), q.tau, k=10)
+            total += time.perf_counter() - start
+            answers += len(result.answers)
+        rows.append([
+            fraction,
+            len(attachment.portals),
+            attach_time * 1000,
+            total * 1000,
+            answers,
+        ])
+    REPORTS[name] = render_table(
+        f"Ablation: portal count (PP-Blinks, {name})",
+        ["portal fraction", "|P|", "attach (ms)", "query time (ms)", "answers"],
+        rows,
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    if STRICT:
+        # More portals => more per-user index work (monotone attach cost).
+        assert attach_times[PORTAL_FRACTIONS[-1]] >= (
+            attach_times[PORTAL_FRACTIONS[0]] * 0.8
+        )
+
+
+def test_ablation_portal_count_report(setups, benchmark):
+    assert REPORTS
+    report = "\n".join(REPORTS[n] for n in REPORTS)
+    emit(report)
+    write_report("ablation_portal_count", report)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Figure 5: approximation ratio (5a) and index size (5b) vs k.
+
+Paper's finding: as ``k`` grows from 1 to 3, both sketches grow and get
+more accurate, with PADS dominating ADS on both axes at every ``k``
+(YAGO3's PADS error drops to ~1e-5 at k=3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.bench.reporting import render_series, write_report
+from repro.sketches import build_ads, build_pads, measure_quality
+
+KS = [1, 2, 3]
+RATIOS: dict = {}
+SIZES: dict = {}
+
+
+@pytest.mark.parametrize("name", ["yago", "dbpedia", "ppdblp"])
+def test_fig5_series(name, setups, benchmark):
+    setup = setups(name)
+    public = setup.dataset.public
+    ranks = setup.engine.index.pagerank_scores
+
+    ads_ratio, pads_ratio, ads_size, pads_size = [], [], [], []
+    for k in KS:
+        ads = build_ads(public, k=k, seed=1)
+        pads = build_pads(public, k=k, ranks=ranks)
+        ads_ratio.append(measure_quality(public, ads, 300, seed=5).mean_approx_ratio)
+        pads_ratio.append(measure_quality(public, pads, 300, seed=5).mean_approx_ratio)
+        ads_size.append(float(ads.total_entries))
+        pads_size.append(float(pads.total_entries))
+    RATIOS[name] = (ads_ratio, pads_ratio)
+    SIZES[name] = (ads_size, pads_size)
+
+    # One benchmarked build at the middle k for the timing table.
+    benchmark.pedantic(
+        lambda: build_pads(public, k=2, ranks=ranks), rounds=1, iterations=1
+    )
+
+    # Paper shape: accuracy improves with k; PADS beats ADS at every k.
+    if STRICT:
+        assert pads_ratio[-1] <= pads_ratio[0] + 1e-9
+        for a, p in zip(ads_ratio, pads_ratio):
+            assert p <= a + 0.02
+
+
+def test_fig5_report(setups, benchmark):
+    assert RATIOS, "parametrized series must run first"
+    names, ratio_series, size_series = [], [], []
+    for ds, (a, p) in RATIOS.items():
+        names += [f"{ds}(ADS)", f"{ds}(PADS)"]
+        ratio_series += [a, p]
+    for ds, (a, p) in SIZES.items():
+        size_series += [a, p]
+    report = render_series(
+        "Fig 5a: approximation ratio vs k", "k", KS, ratio_series, names
+    )
+    report += "\n" + render_series(
+        "Fig 5b: index size (entries) vs k", "k", KS, size_series, names
+    )
+    emit(report)
+    write_report("fig5_sketch_quality", report)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Figure 6 m-r: PP-knk vs Baseline-knk, plus step breakdown.
+
+Paper's finding: PP-knk is ~120x faster on average (the baseline's
+Dijkstra must expand the combined graph until k matches surface, while
+PP-knk touches only the private graph, the portal table and KPADS), and
+PEval dominates the PPKWS breakdown (~87-92%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.bench.harness import (
+    run_knk_experiment,
+    select_representative,
+    speedups,
+)
+from repro.bench.reporting import (
+    render_breakdown,
+    render_query_comparison,
+    write_report,
+)
+from repro.datasets.queries import generate_knk_queries
+
+NUM_QUERIES = 10
+REPORTS: dict = {}
+
+
+@pytest.mark.parametrize("name", ["yago", "dbpedia", "ppdblp"])
+def test_fig6_knk(name, setups, benchmark):
+    setup = setups(name)
+    queries = generate_knk_queries(
+        setup.dataset.public, setup.private, num_queries=NUM_QUERIES, seed=303
+    )
+    timings = run_knk_experiment(setup.engine, setup.owner, queries, setup.combined)
+    chosen = select_representative(timings, 10)
+    REPORTS[name] = (
+        render_query_comparison(f"Fig 6m-o (k-nk, {name}): PP vs baseline", chosen)
+        + render_breakdown(f"Fig 6p-r (k-nk, {name}): breakdown", chosen)
+    )
+
+    q = queries[0]
+    benchmark.pedantic(
+        lambda: setup.engine.knk(setup.owner, q.source, q.keyword, q.k),
+        rounds=1, iterations=1,
+    )
+
+    stats = speedups(timings)
+    if STRICT:
+        assert stats["total"] > 1.0, f"PP-knk slower than baseline on {name}"
+
+
+def test_fig6_knk_report(setups, benchmark):
+    assert REPORTS
+    report = "\n".join(REPORTS[n] for n in REPORTS)
+    emit(report)
+    write_report("fig6_knk", report)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Sensitivity sweep: the distance bound ``tau`` vs the PPKWS advantage.
+
+The locality argument predicts a trend: as ``tau`` grows, the portal
+balls PPKWS touches swell toward the whole graph and the baseline's
+relative disadvantage shrinks.  This sweep measures PP-Blinks vs the
+baseline across ``tau`` together with the measured ball coverage, making
+the crossover (if any) visible — a sensitivity study the paper's fixed
+``tau = 5`` setting leaves implicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import STRICT, emit
+from repro.bench.harness import run_keyword_experiment, speedups
+from repro.bench.reporting import render_table, write_report
+from repro.datasets.queries import generate_keyword_queries
+from repro.graph import ball_coverage
+
+TAUS = [3.0, 4.0, 5.0, 6.0]
+REPORTS: dict = {}
+
+
+@pytest.mark.parametrize("name", ["yago", "ppdblp"])
+def test_sweep_tau(name, setups, benchmark):
+    setup = setups(name)
+    rows = []
+    speedup_by_tau = {}
+    for tau in TAUS:
+        queries = generate_keyword_queries(
+            setup.dataset.public, setup.private,
+            num_queries=4, tau=tau, seed=909,
+        )
+        timings = run_keyword_experiment(
+            setup.engine, setup.owner, "blinks", queries, setup.combined, k=10
+        )
+        stats = speedups(timings)
+        coverage = ball_coverage(setup.dataset.public, tau, samples=8, seed=11)
+        speedup_by_tau[tau] = stats["total"]
+        rows.append([
+            tau,
+            f"{coverage:.1%}",
+            stats["total"],
+            stats["mean"],
+            sum(t.pp_answers for t in timings),
+        ])
+    REPORTS[name] = render_table(
+        f"Sweep: tau vs PP-Blinks advantage ({name})",
+        ["tau", "ball coverage", "total speedup", "mean speedup", "answers"],
+        rows,
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    if STRICT:
+        # PPKWS must keep winning somewhere in the sweep range.
+        assert max(speedup_by_tau.values()) > 1.0
+
+
+def test_sweep_tau_report(setups, benchmark):
+    assert REPORTS
+    report = "\n".join(REPORTS[n] for n in REPORTS)
+    emit(report)
+    write_report("sweep_tau", report)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Summarize a benchmark run's paper-shape headline numbers.
+
+Reads the ``bench_results/*.txt`` reports produced by
+``pytest benchmarks/ --benchmark-only`` and prints the one-line-per-
+experiment summary used to fill EXPERIMENTS.md.  Pure text processing —
+safe to run any time after a bench run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+
+def main(directory: str = "bench_results") -> int:
+    if not os.path.isdir(directory):
+        print(f"no {directory}/ — run the benchmarks first", file=sys.stderr)
+        return 1
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        with open(path, encoding="utf-8") as fh:
+            content = fh.read()
+        print(f"== {name}")
+        for line in content.splitlines():
+            if re.search(
+                r"speedup:|overall shares|improvement|ratio ADS|approx", line
+            ):
+                print(f"   {line.strip()}")
+        # table titles give context
+        for match in re.finditer(r"^(Fig|Table|Ablation|Sweep)[^\n]*$",
+                                 content, re.MULTILINE):
+            print(f"   [{match.group(0)}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(*sys.argv[1:]))

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` for PEP-517 editable installs;
+this offline environment lacks it, so ``python setup.py develop`` (which
+this shim enables) is the supported editable-install path.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

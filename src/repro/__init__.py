@@ -1,0 +1,116 @@
+"""PPKWS: keyword search on public-private networks (ICDE 2020 reproduction).
+
+Public API tour
+---------------
+Graphs and the public-private model::
+
+    from repro import LabeledGraph, PublicPrivateNetwork
+
+The PPKWS engine (index once, attach per user, query)::
+
+    from repro import PPKWS
+    engine = PPKWS(public_graph, sketch_k=2)
+    engine.attach("bob", private_graph)
+    result = engine.blinks("bob", ["DB", "AI", "CV"], tau=5.0)
+
+Baseline algorithms that run on any graph (e.g. a materialized combined
+graph — the paper's baseline query model M2)::
+
+    from repro import blinks_search, rclique_search, knk_search
+
+Sketch indexes (Sec. V) and synthetic datasets (Sec. VII)::
+
+    from repro import build_ads, build_pads, build_kpads
+    from repro.datasets import yago_like, dbpedia_like, ppdblp_like
+"""
+
+from repro.core import (
+    Attachment,
+    KnkQueryResult,
+    PPKWS,
+    PublicIndex,
+    QueryCounters,
+    QueryOptions,
+    QueryResult,
+    StepBreakdown,
+    is_public_private_answer,
+    query_model_m1,
+    query_model_m2,
+)
+from repro.exceptions import (
+    DatasetError,
+    GraphError,
+    IndexBuildError,
+    QueryError,
+    ReproError,
+    VertexNotFoundError,
+)
+from repro.graph import (
+    LabeledGraph,
+    PublicPrivateNetwork,
+    combine,
+    portal_nodes,
+)
+from repro.semantics import (
+    KnkAnswer,
+    Match,
+    RootedAnswer,
+    blinks_search,
+    knk_search,
+    rclique_search,
+)
+from repro.sketches import (
+    DistanceSketch,
+    KeywordSketch,
+    build_ads,
+    build_kpads,
+    build_pads,
+)
+from repro.service import PPKWSService
+from repro.validation import (
+    ValidationReport,
+    validate_knk_answer,
+    validate_rooted_answer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attachment",
+    "DatasetError",
+    "DistanceSketch",
+    "GraphError",
+    "IndexBuildError",
+    "KeywordSketch",
+    "KnkAnswer",
+    "KnkQueryResult",
+    "LabeledGraph",
+    "Match",
+    "PPKWS",
+    "PPKWSService",
+    "PublicIndex",
+    "PublicPrivateNetwork",
+    "QueryCounters",
+    "QueryError",
+    "QueryOptions",
+    "QueryResult",
+    "ReproError",
+    "RootedAnswer",
+    "StepBreakdown",
+    "ValidationReport",
+    "VertexNotFoundError",
+    "blinks_search",
+    "build_ads",
+    "build_kpads",
+    "build_pads",
+    "combine",
+    "is_public_private_answer",
+    "knk_search",
+    "portal_nodes",
+    "query_model_m1",
+    "query_model_m2",
+    "rclique_search",
+    "validate_knk_answer",
+    "validate_rooted_answer",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Benchmark harness: timing loops, paper-style reports, experiment registry."""
+
+from repro.bench.experiments import (
+    DATASET_SCALES,
+    ExperimentSetup,
+    build_setup,
+    dataset_names,
+)
+from repro.bench.harness import (
+    QueryTiming,
+    run_keyword_experiment,
+    run_knk_experiment,
+    select_representative,
+    speedups,
+)
+from repro.bench.plotting import (
+    ascii_bars,
+    ascii_breakdown_bars,
+    ascii_grouped_bars,
+)
+from repro.bench.reporting import (
+    render_breakdown,
+    render_query_comparison,
+    render_series,
+    render_table,
+    write_report,
+)
+
+__all__ = [
+    "DATASET_SCALES",
+    "ExperimentSetup",
+    "QueryTiming",
+    "ascii_bars",
+    "ascii_breakdown_bars",
+    "ascii_grouped_bars",
+    "build_setup",
+    "dataset_names",
+    "render_breakdown",
+    "render_query_comparison",
+    "render_series",
+    "render_table",
+    "run_keyword_experiment",
+    "run_knk_experiment",
+    "select_representative",
+    "speedups",
+    "write_report",
+]

@@ -1,0 +1,90 @@
+"""Experiment registry: bench-scale datasets and shared engine state.
+
+The paper's datasets have millions of vertices; the bench scale here is
+chosen so that a full ``pytest benchmarks/ --benchmark-only`` run
+finishes in minutes on a laptop while staying in the locality regime the
+paper's results depend on (see DESIGN.md §4).  ``scale="small"`` is used
+by the unit/integration tests that exercise the harness itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.framework import PPKWS, QueryOptions
+from repro.datasets.synthetic import (
+    PublicPrivateDataset,
+    dbpedia_like,
+    ppdblp_like,
+    yago_like,
+)
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.public_private import combine
+
+__all__ = ["ExperimentSetup", "DATASET_SCALES", "build_setup", "dataset_names"]
+
+#: Per-scale dataset builder parameters.
+DATASET_SCALES: Dict[str, Dict[str, Callable[[], PublicPrivateDataset]]] = {
+    "small": {
+        "yago": lambda: yago_like(
+            num_vertices=800, num_labels=120, private_vertices=60, seed=31
+        ),
+        "dbpedia": lambda: dbpedia_like(
+            num_vertices=800, num_labels=120, private_vertices=60, seed=32
+        ),
+        "ppdblp": lambda: ppdblp_like(
+            num_communities=20, community_size=30, num_labels=150,
+            private_vertices=50, seed=33,
+        ),
+    },
+    "bench": {
+        "yago": lambda: yago_like(
+            num_vertices=6000, num_labels=300, private_vertices=100, seed=41
+        ),
+        "dbpedia": lambda: dbpedia_like(
+            num_vertices=6000, num_labels=300, private_vertices=120, seed=42
+        ),
+        "ppdblp": lambda: ppdblp_like(
+            num_communities=100, community_size=40, num_labels=400,
+            private_vertices=80, seed=43,
+        ),
+    },
+}
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything one experiment needs, built once and shared."""
+
+    name: str
+    dataset: PublicPrivateDataset
+    engine: PPKWS
+    owner: str
+    combined: LabeledGraph
+
+    @property
+    def private(self) -> LabeledGraph:
+        """The owner's private graph."""
+        return self.dataset.private(self.owner)
+
+
+def dataset_names() -> List[str]:
+    """The three dataset families, in the paper's order."""
+    return ["yago", "dbpedia", "ppdblp"]
+
+
+def build_setup(
+    name: str,
+    scale: str = "bench",
+    sketch_k: int = 2,
+    options: Optional[QueryOptions] = None,
+) -> ExperimentSetup:
+    """Build dataset + engine + attachment + combined graph for ``name``."""
+    builders = DATASET_SCALES[scale]
+    dataset = builders[name]()
+    engine = PPKWS(dataset.public, sketch_k=sketch_k, options=options)
+    owner = dataset.owners()[0]
+    engine.attach(owner, dataset.private(owner))
+    gc = combine(dataset.public, dataset.private(owner))
+    return ExperimentSetup(name, dataset, engine, owner, gc)

@@ -1,0 +1,167 @@
+"""Timing harness for the paper's experiments (Sec. VII).
+
+The experiment loop of the paper runs a set of random queries per
+(dataset, semantic), measures the PPKWS implementation against the
+baseline on the materialized combined graph, and reports per-query bars
+(Fig. 6) plus a per-step breakdown of the PPKWS time.  This module
+provides that loop; :mod:`repro.bench.reporting` renders the results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.framework import PPKWS, StepBreakdown, query_model_m1, query_model_m2
+from repro.datasets.queries import KeywordQuery, KnkQuery
+from repro.graph.labeled_graph import LabeledGraph
+from repro.semantics.knk import knk_search
+
+__all__ = ["QueryTiming", "run_keyword_experiment", "run_knk_experiment",
+           "select_representative", "speedups"]
+
+
+@dataclass
+class QueryTiming:
+    """One query's measurements: PPKWS vs baseline, plus the breakdown."""
+
+    label: str
+    pp_seconds: float
+    baseline_seconds: float
+    breakdown: StepBreakdown
+    pp_answers: int
+    baseline_answers: int
+    m1_seconds: Optional[float] = None
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time over PPKWS time (>1 means PPKWS wins)."""
+        if self.pp_seconds == 0:
+            return float("inf")
+        return self.baseline_seconds / self.pp_seconds
+
+
+def run_keyword_experiment(
+    engine: PPKWS,
+    owner: str,
+    semantic: str,
+    queries: Sequence[KeywordQuery],
+    combined: LabeledGraph,
+    k: int = 10,
+    include_m1: bool = False,
+) -> List[QueryTiming]:
+    """Run Blinks or r-clique queries through PPKWS (M3) and M2 baseline.
+
+    The combined graph is materialized by the caller so the ⊕ cost stays
+    out of both measured regions (conservative for PPKWS: the baseline
+    would otherwise also pay it per user).
+    """
+    attachment = engine.attachment(owner)
+    private = attachment.private
+    results: List[QueryTiming] = []
+    for i, query in enumerate(queries, start=1):
+        keywords = list(query.keywords)
+        if semantic == "blinks":
+            start = time.perf_counter()
+            pp = engine.blinks(owner, keywords, query.tau, k=k)
+            pp_seconds = time.perf_counter() - start
+        elif semantic == "rclique":
+            start = time.perf_counter()
+            pp = engine.rclique(owner, keywords, query.tau, k=k)
+            pp_seconds = time.perf_counter() - start
+        else:
+            raise ValueError(f"unknown semantic {semantic!r}")
+
+        start = time.perf_counter()
+        base = query_model_m2(
+            engine.public, private, semantic, keywords, query.tau, k,
+            combined=combined,
+        )
+        baseline_seconds = time.perf_counter() - start
+
+        m1_seconds: Optional[float] = None
+        if include_m1:
+            start = time.perf_counter()
+            query_model_m1(engine.public, private, semantic, keywords, query.tau, k)
+            m1_seconds = time.perf_counter() - start
+
+        results.append(
+            QueryTiming(
+                label=f"Q{i}",
+                pp_seconds=pp_seconds,
+                baseline_seconds=baseline_seconds,
+                breakdown=pp.breakdown,
+                pp_answers=len(pp.answers),
+                baseline_answers=len(base),
+                m1_seconds=m1_seconds,
+            )
+        )
+    return results
+
+
+def run_knk_experiment(
+    engine: PPKWS,
+    owner: str,
+    queries: Sequence[KnkQuery],
+    combined: LabeledGraph,
+) -> List[QueryTiming]:
+    """Run k-nk queries through PP-knk and the Baseline-knk on ``Gc``."""
+    results: List[QueryTiming] = []
+    for i, query in enumerate(queries, start=1):
+        start = time.perf_counter()
+        pp = engine.knk(owner, query.source, query.keyword, query.k)
+        pp_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        base = knk_search(combined, query.source, query.keyword, query.k)
+        baseline_seconds = time.perf_counter() - start
+
+        results.append(
+            QueryTiming(
+                label=f"Q{i}",
+                pp_seconds=pp_seconds,
+                baseline_seconds=baseline_seconds,
+                breakdown=pp.breakdown,
+                pp_answers=len(pp.answer.matches),
+                baseline_answers=len(base.matches),
+            )
+        )
+    return results
+
+
+def select_representative(
+    timings: Sequence[QueryTiming], n: int = 10
+) -> List[QueryTiming]:
+    """The paper's reporting rule: 3 good, 3 bad and 4 medium cases.
+
+    "Good" means the largest PPKWS speedups.  If fewer than ``n`` timings
+    exist they are all returned (in original order).
+    """
+    if len(timings) <= n:
+        return list(timings)
+    ranked = sorted(timings, key=lambda t: t.speedup, reverse=True)
+    good = ranked[:3]
+    bad = ranked[-3:]
+    middle = ranked[3:-3]
+    mid_start = max(0, (len(middle) - (n - 6)) // 2)
+    medium = middle[mid_start:mid_start + (n - 6)]
+    chosen = good + medium + bad
+    for i, t in enumerate(chosen, start=1):
+        t.label = f"Q{i}"
+    return chosen
+
+
+def speedups(timings: Sequence[QueryTiming]) -> dict:
+    """Aggregate speedup statistics over a query set."""
+    if not timings:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "total": 0.0}
+    ratios = [t.speedup for t in timings]
+    total_pp = sum(t.pp_seconds for t in timings)
+    total_base = sum(t.baseline_seconds for t in timings)
+    return {
+        "mean": sum(ratios) / len(ratios),
+        "min": min(ratios),
+        "max": max(ratios),
+        "total": (total_base / total_pp) if total_pp else float("inf"),
+    }

@@ -1,0 +1,122 @@
+"""ASCII chart rendering for benchmark reports.
+
+The paper's Fig. 5/6/7 are log-scale grouped bar charts; these helpers
+render the same data as monospaced text so a terminal-only benchmark run
+still *shows* the figures, not just their numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_bars", "ascii_grouped_bars", "ascii_breakdown_bars"]
+
+_FULL = "#"
+
+
+def _bar(length: int) -> str:
+    return _FULL * max(0, length)
+
+
+def _scale(value: float, vmin: float, vmax: float, width: int, log: bool) -> int:
+    if value <= 0 or vmax <= 0:
+        return 0
+    if log:
+        lo = math.log10(max(vmin, 1e-12))
+        hi = math.log10(vmax)
+        if hi <= lo:
+            return width
+        frac = (math.log10(value) - lo) / (hi - lo)
+    else:
+        frac = value / vmax
+    return max(1, round(frac * width))
+
+
+def ascii_bars(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    log: bool = False,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per (label, value); optionally log-scaled."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title, "-" * len(title)]
+    if not values:
+        return "\n".join(lines) + "\n"
+    vmax = max(values)
+    vmin = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+    label_w = max(len(s) for s in labels)
+    for label, value in zip(labels, values):
+        bar = _bar(_scale(value, vmin, vmax, width, log))
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:g}{unit}")
+    if log:
+        lines.append(f"(log scale, max {vmax:g}{unit})")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_grouped_bars(
+    title: str,
+    group_labels: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    width: int = 40,
+    log: bool = True,
+    unit: str = "ms",
+) -> str:
+    """Grouped bars (the paper's PP-vs-baseline per-query figures).
+
+    ``series`` is ``[(name, values), ...]`` with one value per group.
+    """
+    lines = [title, "-" * len(title)]
+    all_values = [v for _, vs in series for v in vs if v > 0]
+    if not all_values:
+        return "\n".join(lines) + "\n"
+    vmax = max(all_values)
+    vmin = min(all_values)
+    name_w = max(len(name) for name, _ in series)
+    label_w = max(len(s) for s in group_labels)
+    for gi, glabel in enumerate(group_labels):
+        for name, values in series:
+            bar = _bar(_scale(values[gi], vmin, vmax, width, log))
+            lines.append(
+                f"{glabel.ljust(label_w)} {name.ljust(name_w)} "
+                f"|{bar} {values[gi]:.2f}{unit}"
+            )
+        lines.append("")
+    if log:
+        lines.append(f"(log scale, max {vmax:.2f}{unit})")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_breakdown_bars(
+    title: str,
+    labels: Sequence[str],
+    parts: Sequence[Tuple[float, float, float]],
+    width: int = 40,
+    part_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Stacked 100%-bars for the PEval/ARefine/AComplete breakdown."""
+    names = list(part_names or ("PEval", "ARefine", "AComplete"))
+    chars = ["P", "R", "C"]
+    lines = [title, "-" * len(title)]
+    legend = ", ".join(f"{c}={n}" for c, n in zip(chars, names))
+    lines.append(f"legend: {legend}")
+    label_w = max((len(s) for s in labels), default=0)
+    for label, triple in zip(labels, parts):
+        total = sum(triple)
+        if total <= 0:
+            lines.append(f"{label.ljust(label_w)} |")
+            continue
+        segments: List[str] = []
+        used = 0
+        for i, value in enumerate(triple):
+            seg = round(width * value / total)
+            if i == len(triple) - 1:
+                seg = width - used
+            used += seg
+            segments.append(chars[i] * max(0, seg))
+        lines.append(f"{label.ljust(label_w)} |{''.join(segments)}|")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Paper-style table and series rendering for the benchmark harness.
+
+All output is plain monospaced text: the benchmark files print it and
+also persist it under ``bench_results/`` so the figures' rows/series can
+be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import QueryTiming, speedups
+from repro.bench.plotting import ascii_breakdown_bars, ascii_grouped_bars
+
+__all__ = [
+    "render_table",
+    "render_query_comparison",
+    "render_breakdown",
+    "render_series",
+    "write_report",
+]
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def render_query_comparison(
+    title: str, timings: Sequence[QueryTiming], include_m1: bool = False
+) -> str:
+    """The Fig.-6 (a-c / g-i / m-o) view: PP vs baseline per query in ms."""
+    headers = ["query", "PPKWS(ms)", "Baseline(ms)", "speedup", "ans(pp/base)"]
+    if include_m1:
+        headers.insert(3, "M1(ms)")
+    rows: List[List[object]] = []
+    for t in timings:
+        row: List[object] = [
+            t.label,
+            t.pp_seconds * 1000,
+            t.baseline_seconds * 1000,
+        ]
+        if include_m1:
+            row.append((t.m1_seconds or 0.0) * 1000)
+        row.append(f"{t.speedup:.1f}x")
+        row.append(f"{t.pp_answers}/{t.baseline_answers}")
+        rows.append(row)
+    stats = speedups(timings)
+    footer = (
+        f"speedup: mean {stats['mean']:.1f}x, min {stats['min']:.1f}x, "
+        f"max {stats['max']:.1f}x, total-time ratio {stats['total']:.1f}x\n"
+    )
+    chart = ascii_grouped_bars(
+        "per-query times (log scale)",
+        [t.label for t in timings],
+        [
+            ("PPKWS", [t.pp_seconds * 1000 for t in timings]),
+            ("Baseln", [t.baseline_seconds * 1000 for t in timings]),
+        ],
+    )
+    return render_table(title, headers, rows) + footer + chart
+
+
+def render_breakdown(title: str, timings: Sequence[QueryTiming]) -> str:
+    """The Fig.-6 (d-f / j-l / p-r) view: per-step time per query."""
+    headers = ["query", "PEval(ms)", "ARefine(ms)", "AComplete(ms)", "shares"]
+    rows: List[List[object]] = []
+    for t in timings:
+        b = t.breakdown
+        pe, ar, ac = b.fractions()
+        rows.append(
+            [
+                t.label,
+                b.peval * 1000,
+                b.arefine * 1000,
+                b.acomplete * 1000,
+                f"{pe:.0%}/{ar:.0%}/{ac:.0%}",
+            ]
+        )
+    total = sum((t.breakdown.total for t in timings), 0.0)
+    if total > 0:
+        pe = sum(t.breakdown.peval for t in timings) / total
+        ar = sum(t.breakdown.arefine for t in timings) / total
+        ac = sum(t.breakdown.acomplete for t in timings) / total
+        footer = f"overall shares: PEval {pe:.1%}, ARefine {ar:.1%}, AComplete {ac:.1%}\n"
+    else:
+        footer = ""
+    chart = ascii_breakdown_bars(
+        "per-query step shares",
+        [t.label for t in timings],
+        [
+            (t.breakdown.peval, t.breakdown.arefine, t.breakdown.acomplete)
+            for t in timings
+        ],
+    )
+    return render_table(title, headers, rows) + footer + chart
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[Sequence[float]],
+    names: Sequence[str],
+) -> str:
+    """A Fig.-5-style multi-series table: one row per x, one col per series."""
+    headers = [x_label, *names]
+    rows = [[x, *(s[i] for s in series)] for i, x in enumerate(xs)]
+    return render_table(title, headers, rows)
+
+
+def write_report(name: str, content: str, directory: Optional[str] = None) -> str:
+    """Persist a rendered report under ``bench_results/`` and return its path."""
+    out_dir = directory or os.environ.get(
+        "REPRO_BENCH_DIR", os.path.join(os.getcwd(), "bench_results")
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return path

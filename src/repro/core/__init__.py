@@ -1,0 +1,50 @@
+"""The PPKWS framework: PEval / ARefine / AComplete (paper Sec. III-IV)."""
+
+from repro.core.framework import (
+    Attachment,
+    KnkQueryResult,
+    PPKWS,
+    PublicIndex,
+    QueryCounters,
+    QueryOptions,
+    QueryResult,
+    StepBreakdown,
+    query_model_m1,
+    query_model_m2,
+)
+from repro.core.partial import (
+    KeywordIndicator,
+    PairIndicator,
+    PartialAnswer,
+    PartialKnkAnswer,
+)
+from repro.core.batch import BatchSession, PersistentCompletionCache
+from repro.core.dynamic import DynamicPrivateGraph
+from repro.core.persist import load_index, save_index
+from repro.core.pp_rclique import CompletionCache
+from repro.core.qualify import answer_sides, is_public_private_answer
+
+__all__ = [
+    "Attachment",
+    "BatchSession",
+    "PersistentCompletionCache",
+    "CompletionCache",
+    "DynamicPrivateGraph",
+    "KeywordIndicator",
+    "KnkQueryResult",
+    "PPKWS",
+    "PairIndicator",
+    "PartialAnswer",
+    "PartialKnkAnswer",
+    "PublicIndex",
+    "QueryCounters",
+    "QueryOptions",
+    "QueryResult",
+    "StepBreakdown",
+    "answer_sides",
+    "is_public_private_answer",
+    "load_index",
+    "query_model_m1",
+    "query_model_m2",
+    "save_index",
+]

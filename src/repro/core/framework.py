@@ -1,0 +1,458 @@
+"""The PPKWS engine: indexes, attachments and the three-step pipeline.
+
+Usage mirrors the paper's deployment story:
+
+1. Build a :class:`PublicIndex` over the shared public graph once
+   (PageRank -> PADS -> KPADS).  This is the only large index and it is
+   user-independent.
+2. :meth:`PPKWS.attach` a user's private graph: portal discovery, the
+   small per-user maps (portal distances on both sides, the Algo-7
+   combined refinement, PKD, vertex-portal distances) are built here in
+   ``O(|P| * (|G'| + |P|^2))`` — cheap because ``|G'| << |G|``.
+3. Query via :meth:`PPKWS.rclique`, :meth:`PPKWS.blinks` or
+   :meth:`PPKWS.knk`; each runs PEval / ARefine / AComplete and returns
+   the answers plus a per-step timing breakdown (the quantity plotted in
+   the paper's Fig. 6 d-f, j-l, p-r).
+
+The module also provides the alternative query models of Appx. D:
+M1 (public and private evaluated separately) and M2 (baseline on the
+materialized combined graph), which the benchmarks compare against
+M3 (= PPKWS).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.qualify import is_public_private_answer as _is_public_private_answer
+from repro.exceptions import GraphError, QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.pagerank import pagerank
+from repro.graph.public_private import combine, portal_nodes
+from repro.portals.distance_map import (
+    PortalDistanceMap,
+    all_pairs_portal_distances,
+    refine_portal_distances,
+)
+from repro.portals.keyword_map import build_private_maps
+from repro.portals.oracle import CombinedDistanceOracle, SketchPublicDistance
+from repro.semantics.answers import KnkAnswer, RootedAnswer
+from repro.semantics.blinks import blinks_search
+from repro.semantics.knk import knk_search
+from repro.semantics.rclique import rclique_search
+from repro.sketches.base import DistanceSketch
+from repro.sketches.kpads import KeywordSketch, build_kpads
+from repro.sketches.pads import build_pads
+
+__all__ = [
+    "PublicIndex",
+    "Attachment",
+    "StepBreakdown",
+    "QueryCounters",
+    "QueryResult",
+    "KnkQueryResult",
+    "PPKWS",
+    "QueryOptions",
+    "query_model_m1",
+    "query_model_m2",
+]
+
+
+# ----------------------------------------------------------------------
+# indexes
+# ----------------------------------------------------------------------
+@dataclass
+class PublicIndex:
+    """The user-independent indexes over the public graph (Sec. V-A/B)."""
+
+    graph: LabeledGraph
+    pads: DistanceSketch
+    kpads: KeywordSketch
+    pagerank_scores: Dict[Vertex, float]
+
+    @classmethod
+    def build(
+        cls,
+        graph: LabeledGraph,
+        k: int = 2,
+        alpha: float = 0.85,
+        kpads_per_center: int = 4,
+    ) -> "PublicIndex":
+        """PageRank, then PADS with bottom-``k`` parameter, then KPADS.
+
+        ``kpads_per_center`` controls the depth of KPADS candidate lists
+        (used by PP-knk completion; 1 = the paper's minimal merge).
+        """
+        scores = pagerank(graph, alpha=alpha)
+        pads = build_pads(graph, k=k, ranks=scores)
+        kpads = build_kpads(graph, pads, per_center=kpads_per_center)
+        return cls(graph, pads, kpads, scores)
+
+    def provider(self) -> SketchPublicDistance:
+        """The sketch-backed public distance provider."""
+        return SketchPublicDistance(self.pads, self.kpads)
+
+
+@dataclass
+class Attachment:
+    """Everything PPKWS keeps per attached private graph (Sec. V-C)."""
+
+    owner: str
+    private: LabeledGraph
+    portals: FrozenSet[Vertex]
+    #: combined-graph portal distances dc(p_i, p_j) (Algo 7 output)
+    portal_map: PortalDistanceMap
+    #: private-graph-only portal distances d'(p_i, p_j)
+    private_portal_map: PortalDistanceMap
+    #: portal pairs (both orientations) that got strictly shorter in Gc
+    refined_portal_pairs: FrozenSet[Tuple[Vertex, Vertex]]
+    oracle: CombinedDistanceOracle
+
+    @property
+    def has_refined_portals(self) -> bool:
+        """Lemma VI.1 gate: no refined portal pair => no pair can improve."""
+        return bool(self.refined_portal_pairs)
+
+    @property
+    def refined_by_source(self) -> Dict[Vertex, Tuple[Vertex, ...]]:
+        """Refined portal pairs grouped by first portal (reduced ARefine).
+
+        Grouping lets the Eq.-4/5 loops keep their ``d1 >= best`` early
+        exit while only visiting refined middles, so the reduced path is
+        never slower than the full double loop.  Computed lazily and
+        cached on the instance.
+        """
+        cached = getattr(self, "_refined_by_source", None)
+        if cached is None:
+            grouped: Dict[Vertex, List[Vertex]] = {}
+            for pi, pj in self.refined_portal_pairs:
+                grouped.setdefault(pi, []).append(pj)
+            cached = {pi: tuple(pjs) for pi, pjs in grouped.items()}
+            object.__setattr__(self, "_refined_by_source", cached)
+        return cached
+
+
+# ----------------------------------------------------------------------
+# query-time records
+# ----------------------------------------------------------------------
+@dataclass
+class StepBreakdown:
+    """Wall-clock seconds spent in each of the three PPKWS steps."""
+
+    peval: float = 0.0
+    arefine: float = 0.0
+    acomplete: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total query time."""
+        return self.peval + self.arefine + self.acomplete
+
+    def fractions(self) -> Tuple[float, float, float]:
+        """Per-step shares of the total (0 when the query was free)."""
+        t = self.total
+        if t == 0:
+            return (0.0, 0.0, 0.0)
+        return (self.peval / t, self.arefine / t, self.acomplete / t)
+
+
+@dataclass
+class QueryCounters:
+    """Work counters exposed for tests, ablations and debugging."""
+
+    partial_answers: int = 0
+    refinement_checks: int = 0
+    refinements_applied: int = 0
+    completion_lookups: int = 0
+    completion_cache_hits: int = 0
+    answers_pruned: int = 0
+    final_answers: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Answers plus instrumentation for a Blinks / r-clique query."""
+
+    answers: List[RootedAnswer]
+    breakdown: StepBreakdown
+    counters: QueryCounters
+
+
+@dataclass
+class KnkQueryResult:
+    """Answer plus instrumentation for a k-nk query."""
+
+    answer: KnkAnswer
+    breakdown: StepBreakdown
+    counters: QueryCounters
+
+
+@dataclass
+class QueryOptions:
+    """Tuning knobs of the framework.
+
+    ``reduced_refinement`` and ``dp_completion`` are the two Sec.-VI
+    optimizations (both on by default; the ablation benchmark flips
+    them).  ``peval_answers`` bounds how many partial answers PEval may
+    emit — the paper enumerates r-clique spaces until exhaustion, which
+    is safe on small private graphs but still worth capping.
+    """
+
+    reduced_refinement: bool = True
+    dp_completion: bool = True
+    peval_answers: int = 32
+
+
+class _Timer:
+    """Tiny context helper accumulating wall time into a breakdown slot."""
+
+    __slots__ = ("_start",)
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class PPKWS:
+    """Public-private keyword search over one public graph.
+
+    Example
+    -------
+    >>> from repro.graph import LabeledGraph
+    >>> pub = LabeledGraph.from_edges([(0, 1), (1, 2)], {0: {"a"}, 2: {"b"}})
+    >>> priv = LabeledGraph.from_edges([(2, 10)], {10: {"c"}})
+    >>> engine = PPKWS(pub, sketch_k=2)
+    >>> _ = engine.attach("bob", priv)
+    >>> result = engine.rclique("bob", ["b", "c"], tau=3.0)
+    >>> len(result.answers) >= 1
+    True
+    """
+
+    def __init__(
+        self,
+        public: LabeledGraph,
+        sketch_k: int = 2,
+        alpha: float = 0.85,
+        options: Optional[QueryOptions] = None,
+        index: Optional[PublicIndex] = None,
+    ) -> None:
+        self.public = public
+        self.options = options or QueryOptions()
+        self.index = index if index is not None else PublicIndex.build(
+            public, k=sketch_k, alpha=alpha
+        )
+        if self.index.graph is not public:
+            raise GraphError("provided index was built over a different graph")
+        self._provider = self.index.provider()
+        self._attachments: Dict[str, Attachment] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, owner: str, private: LabeledGraph) -> Attachment:
+        """Attach a private graph: portal discovery + per-user maps."""
+        if owner in self._attachments:
+            raise GraphError(f"owner {owner!r} already attached")
+        portals = portal_nodes(self.public, private)
+        if not portals:
+            raise GraphError(
+                f"private graph of {owner!r} has no portal nodes; "
+                "public-private answers cannot exist"
+            )
+        private_pm = all_pairs_portal_distances(private, portals)
+        public_pm = all_pairs_portal_distances(self.public, portals)
+        combined_pm, refined = refine_portal_distances(public_pm, private_pm)
+        pkd, vpm = build_private_maps(private, portals)
+        oracle = CombinedDistanceOracle(
+            private, combined_pm, vpm, pkd, self._provider
+        )
+        attachment = Attachment(
+            owner=owner,
+            private=private,
+            portals=portals,
+            portal_map=combined_pm,
+            private_portal_map=private_pm,
+            refined_portal_pairs=frozenset(refined),
+            oracle=oracle,
+        )
+        self._attachments[owner] = attachment
+        return attachment
+
+    def detach(self, owner: str) -> None:
+        """Drop an attachment (the user logged out)."""
+        if owner not in self._attachments:
+            raise GraphError(f"owner {owner!r} is not attached")
+        del self._attachments[owner]
+
+    def attachment(self, owner: str) -> Attachment:
+        """The per-user state for ``owner``."""
+        try:
+            return self._attachments[owner]
+        except KeyError:
+            raise GraphError(f"owner {owner!r} is not attached") from None
+
+    def owners(self) -> List[str]:
+        """Attached owners."""
+        return list(self._attachments)
+
+    # ------------------------------------------------------------------
+    def rclique(
+        self,
+        owner: str,
+        keywords: Sequence[Label],
+        tau: float,
+        k: int = 10,
+        require_public_private: bool = True,
+    ) -> QueryResult:
+        """PP-r-clique (Sec. IV-A): top-``k`` star answers on ``Gc``."""
+        from repro.core.pp_rclique import pp_rclique_query
+
+        return pp_rclique_query(
+            self, self.attachment(owner), list(keywords), tau, k,
+            require_public_private,
+        )
+
+    def blinks(
+        self,
+        owner: str,
+        keywords: Sequence[Label],
+        tau: float,
+        k: int = 10,
+        require_public_private: bool = True,
+    ) -> QueryResult:
+        """PP-Blinks (Sec. IV-B): top-``k`` rooted-tree answers on ``Gc``."""
+        from repro.core.pp_blinks import pp_blinks_query
+
+        return pp_blinks_query(
+            self, self.attachment(owner), list(keywords), tau, k,
+            require_public_private,
+        )
+
+    def banks(
+        self,
+        owner: str,
+        keywords: Sequence[Label],
+        tau: float,
+        k: int = 10,
+        require_public_private: bool = True,
+    ) -> QueryResult:
+        """PP-BANKS: Blinks answers with materialized answer trees.
+
+        Runs the PP-Blinks pipeline, then reconstructs each answer's tree
+        lazily over the combined view (exact paths, no materialization).
+        """
+        from repro.core.pp_banks import pp_banks_query
+
+        return pp_banks_query(
+            self, self.attachment(owner), list(keywords), tau, k,
+            require_public_private,
+        )
+
+    def knk(
+        self,
+        owner: str,
+        source: Vertex,
+        keyword: Label,
+        k: int,
+    ) -> KnkQueryResult:
+        """PP-knk (Sec. IV-C / Appx. A): top-``k`` nearest keyword on ``Gc``."""
+        from repro.core.pp_knk import pp_knk_query
+
+        return pp_knk_query(self, self.attachment(owner), source, keyword, k)
+
+    def knk_multi(
+        self,
+        owner: str,
+        source: Vertex,
+        keywords: Sequence[Label],
+        k: int,
+        mode: str = "and",
+    ) -> KnkQueryResult:
+        """Multi-keyword PP-knk: conjunctive (``"and"``) or disjunctive
+        (``"or"``) nearest-keyword search (the Sec.-II extension)."""
+        from repro.core.pp_knk_multi import pp_knk_multi_query
+
+        return pp_knk_multi_query(
+            self, self.attachment(owner), source, list(keywords), k, mode
+        )
+
+
+# ----------------------------------------------------------------------
+# alternative query models (Appx. D)
+# ----------------------------------------------------------------------
+def query_model_m1(
+    public: LabeledGraph,
+    private: LabeledGraph,
+    semantic: str,
+    keywords: Sequence[Label],
+    tau: float,
+    k: int = 10,
+) -> Tuple[List[RootedAnswer], List[RootedAnswer]]:
+    """M1: evaluate on the public and private graphs *individually*.
+
+    Returns ``(public_answers, private_answers)`` — by construction none
+    of them is a public-private answer.
+    """
+    if semantic == "blinks":
+        return (
+            blinks_search(public, keywords, tau, k),
+            blinks_search(private, keywords, tau, k),
+        )
+    if semantic == "rclique":
+        return (
+            rclique_search(public, keywords, tau, k),
+            rclique_search(private, keywords, tau, k),
+        )
+    raise QueryError(f"unknown semantic {semantic!r} for M1")
+
+
+def query_model_m2(
+    public: LabeledGraph,
+    private: LabeledGraph,
+    semantic: str,
+    keywords: Sequence[Label],
+    tau: float,
+    k: int = 10,
+    combined: Optional[LabeledGraph] = None,
+    require_public_private: bool = True,
+) -> List[RootedAnswer]:
+    """M2: the baseline — run the original algorithm on ``Gc`` directly.
+
+    This is ``Baseline-Blinks`` / ``Baseline-rclique`` from the paper's
+    experiments: the plain algorithm plus a qualification filter keeping
+    only public-private answers.  Pass a pre-materialized ``combined``
+    graph to keep the ⊕ cost out of measured regions.
+    """
+    gc = combined if combined is not None else combine(public, private)
+    if semantic == "blinks":
+        # The original algorithm discovers every answer root; the
+        # public-private qualification is a post-filter, so enumerate all
+        # roots (public-private answers need not rank in the global top-k).
+        answers = blinks_search(gc, keywords, tau, gc.num_vertices)
+    elif semantic == "rclique":
+        # r-clique enumeration cost grows with k; follow the paper's
+        # baseline and enumerate a generous prefix before qualifying.
+        # Neighbor lists stay sized for the caller's k (the original
+        # algorithm's index does not grow with the enumeration prefix).
+        answers = rclique_search(
+            gc, keywords, tau, k * 8, neighbor_list_size=k + 1
+        )
+    else:
+        raise QueryError(f"unknown semantic {semantic!r} for M2")
+    if require_public_private:
+        answers = [
+            a for a in answers if _is_public_private_answer(a, public, private)
+        ]
+    return answers[:k]
+
+

@@ -1,0 +1,114 @@
+"""Partial answers and refinement indicators (paper Sec. III).
+
+PEval runs the (modified) keyword-search algorithm on the private graph
+and emits :class:`PartialAnswer` objects: an ordinary rooted answer plus
+
+* the *refinement indicators* ``C`` — the vertex/keyword pairs whose
+  recorded distances might shrink once the private graph is attached to
+  the public one (consumed by ARefine), and
+* qualification bookkeeping — which keywords were matched by genuine
+  private vertices vs. routed through portals (consumed by the
+  public-private answer test of Def. II.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.labeled_graph import Label, Vertex
+from repro.semantics.answers import KnkAnswer, Match, RootedAnswer
+
+__all__ = [
+    "PairIndicator",
+    "KeywordIndicator",
+    "PartialAnswer",
+    "PartialKnkAnswer",
+]
+
+
+@dataclass(frozen=True)
+class PairIndicator:
+    """A ``(v, u)`` vertex pair whose distance ARefine should tighten.
+
+    ``keyword`` names the query keyword whose match produced the pair, so
+    the refined distance can be written back into the right match slot.
+    """
+
+    v: Vertex
+    u: Vertex
+    keyword: Label
+
+
+@dataclass(frozen=True)
+class KeywordIndicator:
+    """A ``(root, keyword)`` pair to tighten via portal-keyword detours.
+
+    This is the Blinks-style indicator (paper Algo 4): the match vertex
+    itself may change if a different keyword vertex becomes closer
+    through the portals.
+    """
+
+    root: Vertex
+    keyword: Label
+
+
+@dataclass
+class PartialAnswer:
+    """A rooted partial answer with its refinement / completion metadata."""
+
+    answer: RootedAnswer
+    pair_indicators: List[PairIndicator] = field(default_factory=list)
+    keyword_indicators: List[KeywordIndicator] = field(default_factory=list)
+    #: keywords matched by a real private vertex (portal-routed ones are
+    #: excluded) — the counter behind the public-private qualification.
+    private_matched: Set[Label] = field(default_factory=set)
+    #: keyword -> portal it is currently routed through (completion target)
+    portal_routed: Dict[Label, Vertex] = field(default_factory=dict)
+    #: keywords with no private match at all (Blinks "missing keywords")
+    missing: Set[Label] = field(default_factory=set)
+    #: keywords completed by a public vertex during AComplete
+    public_matched: Set[Label] = field(default_factory=set)
+
+    @property
+    def root(self) -> Vertex:
+        """The answer root (delegates to the wrapped answer)."""
+        return self.answer.root
+
+    def match(self, keyword: Label) -> Optional[Match]:
+        """The match slot for ``keyword`` (``None`` if absent)."""
+        return self.answer.matches.get(keyword)
+
+    def set_match(self, keyword: Label, vertex: Optional[Vertex], d: float) -> None:
+        """Write a match slot (creating it if needed)."""
+        self.answer.matches[keyword] = Match(vertex, d)
+
+    def is_public_private(self) -> bool:
+        """Def. II.2: keywords matched on both the private and public side."""
+        return bool(self.private_matched) and bool(self.public_matched)
+
+    def copy(self) -> "PartialAnswer":
+        """Deep copy — AComplete's backward expansion clones per new root."""
+        return PartialAnswer(
+            answer=self.answer.copy(),
+            pair_indicators=list(self.pair_indicators),
+            keyword_indicators=list(self.keyword_indicators),
+            private_matched=set(self.private_matched),
+            portal_routed=dict(self.portal_routed),
+            missing=set(self.missing),
+            public_matched=set(self.public_matched),
+        )
+
+
+@dataclass
+class PartialKnkAnswer:
+    """PEval output for k-nk: the private top-k plus portal candidates.
+
+    ``portal_entries`` lists ``(portal, d'(source, portal))`` pairs —
+    completion extends each with the portal's public-side distance to the
+    query keyword (Appx. A).
+    """
+
+    answer: KnkAnswer
+    pair_indicators: List[PairIndicator] = field(default_factory=list)
+    portal_entries: List[Tuple[Vertex, float]] = field(default_factory=list)

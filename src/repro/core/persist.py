@@ -1,0 +1,152 @@
+"""Persistence for the public index (PADS / KPADS / PageRank).
+
+The public index is the only expensive artifact in PPKWS — it is built
+once per public graph and shared by every user — so a production
+deployment wants it on disk.  The format is JSON-lines: one record per
+vertex sketch / keyword sketch, self-describing and diff-friendly.
+
+Vertex identity: JSON only has strings and numbers, so vertices are
+stored with a one-character type tag (``i:42`` / ``s:name``).  Only
+``int`` and ``str`` vertices are supported for persistence — the
+generators and datasets use exactly these.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple, Union
+
+from repro.core.framework import PublicIndex
+from repro.exceptions import IndexBuildError
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.sketches.base import DistanceSketch
+from repro.sketches.kpads import KeywordSketch
+
+__all__ = ["save_index", "load_index"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_vertex(v: Vertex) -> str:
+    if isinstance(v, bool) or not isinstance(v, (int, str)):
+        raise IndexBuildError(
+            f"only int and str vertices can be persisted, got {type(v).__name__}"
+        )
+    return f"i:{v}" if isinstance(v, int) else f"s:{v}"
+
+
+def _decode_vertex(token: str) -> Vertex:
+    tag, _, body = token.partition(":")
+    if tag == "i":
+        return int(body)
+    if tag == "s":
+        return body
+    raise IndexBuildError(f"malformed vertex token {token!r}")
+
+
+def save_index(index: PublicIndex, path: PathLike) -> None:
+    """Write a :class:`PublicIndex` to ``path`` (JSON lines)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({
+            "record": "header",
+            "version": _FORMAT_VERSION,
+            "k": index.pads.k,
+            "kpads_per_center": index.kpads.per_center,
+            "num_vertices": index.pads.num_vertices,
+        }) + "\n")
+        for v, score in index.pagerank_scores.items():
+            fh.write(json.dumps({
+                "record": "pagerank",
+                "v": _encode_vertex(v),
+                "score": score,
+            }) + "\n")
+        for v, sketch in index.pads.entries.items():
+            fh.write(json.dumps({
+                "record": "pads",
+                "v": _encode_vertex(v),
+                "centers": [[_encode_vertex(c), d] for c, d in sketch.items()],
+            }) + "\n")
+        for t, merged in index.kpads.entries.items():
+            witnesses = index.kpads.witnesses.get(t, {})
+            candidates = index.kpads.candidates.get(t, {})
+            fh.write(json.dumps({
+                "record": "kpads",
+                "t": t,
+                "centers": [
+                    [
+                        _encode_vertex(c),
+                        d,
+                        _encode_vertex(witnesses[c]),
+                        [[cd, _encode_vertex(cv)] for cd, cv in candidates.get(c, [])],
+                    ]
+                    for c, d in merged.items()
+                ],
+            }) + "\n")
+
+
+def load_index(graph: LabeledGraph, path: PathLike) -> PublicIndex:
+    """Read a :class:`PublicIndex` previously written by :func:`save_index`.
+
+    ``graph`` must be the same public graph the index was built over
+    (checked by vertex count; deeper consistency is the caller's
+    responsibility, exactly as with any on-disk index).
+    """
+    pagerank_scores: Dict[Vertex, float] = {}
+    pads_entries: Dict[Vertex, Dict[Vertex, float]] = {}
+    kpads_entries: Dict[str, Dict[Vertex, float]] = {}
+    kpads_witnesses: Dict[str, Dict[Vertex, Vertex]] = {}
+    kpads_candidates: Dict[str, Dict[Vertex, List[Tuple[float, Vertex]]]] = {}
+    header = None
+
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            rec = json.loads(line)
+            kind = rec["record"]
+            if kind == "header":
+                header = rec
+                if rec.get("version") != _FORMAT_VERSION:
+                    raise IndexBuildError(
+                        f"unsupported index format version {rec.get('version')}"
+                    )
+            elif kind == "pagerank":
+                pagerank_scores[_decode_vertex(rec["v"])] = rec["score"]
+            elif kind == "pads":
+                pads_entries[_decode_vertex(rec["v"])] = {
+                    _decode_vertex(c): d for c, d in rec["centers"]
+                }
+            elif kind == "kpads":
+                t = rec["t"]
+                merged: Dict[Vertex, float] = {}
+                wit: Dict[Vertex, Vertex] = {}
+                cand: Dict[Vertex, List[Tuple[float, Vertex]]] = {}
+                for c_tok, d, w_tok, cand_list in rec["centers"]:
+                    c = _decode_vertex(c_tok)
+                    merged[c] = d
+                    wit[c] = _decode_vertex(w_tok)
+                    cand[c] = [(cd, _decode_vertex(cv)) for cd, cv in cand_list]
+                kpads_entries[t] = merged
+                kpads_witnesses[t] = wit
+                kpads_candidates[t] = cand
+            else:
+                raise IndexBuildError(f"unknown record kind {kind!r}")
+
+    if header is None:
+        raise IndexBuildError(f"{path}: missing index header record")
+    if header["num_vertices"] != graph.num_vertices:
+        raise IndexBuildError(
+            f"index was built over {header['num_vertices']} vertices but the "
+            f"graph has {graph.num_vertices}"
+        )
+
+    pads = DistanceSketch(pads_entries, header["k"], kind="PADS")
+    kpads = KeywordSketch(
+        kpads_entries,
+        kpads_witnesses,
+        header["k"],
+        kpads_candidates,
+        header["kpads_per_center"],
+    )
+    return PublicIndex(graph, pads, kpads, pagerank_scores)

@@ -1,0 +1,67 @@
+"""PP-BANKS: tree answers on top of PPKWS.
+
+BANKS answers are Blinks answers plus the materialized tree, so the
+framework part is exactly PP-Blinks; only the *presentation* differs.
+Reconstructing trees during search would defeat PPKWS (it would traverse
+the combined graph), so PP-BANKS:
+
+1. runs the full PP-Blinks pipeline (PEval / ARefine / AComplete) to get
+   the top-k rooted answers, then
+2. materializes each answer's tree by shortest-path reconstruction over
+   the *lazy* combined view (:func:`repro.graph.views.combine_lazy`) —
+   ``O(k)`` point-to-point searches, no graph copy.
+
+A pleasant side effect: reconstruction computes exact combined-graph
+paths, so the returned match distances are exact (they can only improve
+on the sketch estimates that ranked the answers).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.framework import Attachment, PPKWS, QueryResult
+from repro.graph.labeled_graph import Label
+from repro.graph.traversal import shortest_path
+from repro.graph.views import combine_lazy
+from repro.semantics.answers import RootedAnswer
+from repro.semantics.banks import TreeAnswer
+
+__all__ = ["pp_banks_query"]
+
+
+def pp_banks_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    require_public_private: bool,
+) -> QueryResult:
+    """PP-Blinks followed by lazy tree materialization."""
+    from repro.core.pp_blinks import pp_blinks_query
+
+    result = pp_blinks_query(
+        engine, attachment, keywords, tau, k, require_public_private
+    )
+    view = combine_lazy(engine.public, attachment.private)
+    trees: List[RootedAnswer] = []
+    for answer in result.answers:
+        tree = TreeAnswer(answer.root, {})
+        for q, m in answer.matches.items():
+            tree.matches[q] = m.copy()
+            if m.vertex is None or m.vertex == answer.root:
+                continue
+            path = shortest_path(view, answer.root, m.vertex)
+            if path is None:  # pragma: no cover - answers are connected
+                continue
+            total = 0.0
+            for u, v in zip(path, path[1:]):
+                tree.edges.add(frozenset((u, v)))
+                total += view.weight(u, v)
+            # Exact path length can only improve on the sketch estimate.
+            if total < tree.matches[q].distance:
+                tree.matches[q].distance = total
+        trees.append(tree)
+    trees.sort(key=RootedAnswer.sort_key)
+    return QueryResult(trees, result.breakdown, result.counters)

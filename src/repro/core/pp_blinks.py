@@ -1,0 +1,304 @@
+"""PP-Blinks: the Blinks semantic on top of PPKWS (paper Sec. IV-B).
+
+* **PEval** runs backward expansion on the private graph: one bounded
+  multi-origin Dijkstra per keyword from its genuine private matches.
+  Every traversed vertex becomes a candidate root; keywords that never
+  reached a root are recorded as *missing*.  Portal nodes are always
+  candidate roots — they are the seeds of the public-side expansion.
+* **ARefine** (Algo 4) tightens each recorded root-to-keyword distance
+  with two-portal detours ``d'(r,p_i) + dc(p_i,p_j) + d'(p_j,q)`` where
+  the last leg comes from the portal-keyword distance map (PKD).
+* **AComplete** (Algo 5) has three parts: (a) *backward expansion* — each
+  portal-rooted partial answer floods up to ``x = max(tau - d)`` into the
+  public graph, planting (or flood-updating) answers at public roots;
+  (b) *retrieving missing keywords* — every answer tries to improve each
+  keyword with a public-side route (a KPADS lookup for public roots, the
+  best portal detour for private roots); (c) *qualification* — distance
+  bound, completeness and the Def.-II.2 public-private test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.framework import (
+    Attachment,
+    PPKWS,
+    QueryCounters,
+    QueryResult,
+    StepBreakdown,
+    _Timer,
+)
+from repro.core.partial import KeywordIndicator, PartialAnswer
+from repro.core.pp_rclique import CompletionCache
+from repro.core.qualify import answer_sides
+from repro.core.repair import try_requalify
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import INF
+from repro.semantics.answers import Match, RootedAnswer
+from repro.semantics.blinks import keyword_expansion
+
+__all__ = ["pp_blinks_query", "peval_blinks", "arefine_keywords"]
+
+
+def peval_blinks(
+    attachment: Attachment,
+    keywords: Sequence[Label],
+    tau: float,
+) -> Dict[Vertex, PartialAnswer]:
+    """Step 1: backward expansion on the private graph, keyed by root."""
+    private = attachment.private
+    per_keyword: Dict[Label, Dict[Vertex, Match]] = {}
+    roots: Set[Vertex] = set(p for p in attachment.portals if p in private)
+    for q in keywords:
+        origins = private.vertices_with_label(q)
+        cover = keyword_expansion(private, origins, tau) if origins else {}
+        per_keyword[q] = cover
+        roots.update(cover)
+    # The paper seeds the portals as search origins for every keyword, so
+    # any private vertex within tau of a portal is traversed and becomes
+    # a candidate root (its keywords complete through the public graph).
+    # The vertex-portal map already holds those distances.
+    vpm = attachment.oracle.vertex_portal
+    for v in private.vertices():
+        if v in roots:
+            continue
+        portal_d = vpm.portal_distances(v)
+        if portal_d and min(portal_d.values()) <= tau:
+            roots.add(v)
+
+    partials: Dict[Vertex, PartialAnswer] = {}
+    for r in roots:
+        partial = PartialAnswer(answer=RootedAnswer(r, {}))
+        for q in keywords:
+            hit = per_keyword[q].get(r)
+            if hit is None:
+                partial.missing.add(q)
+                partial.set_match(q, None, INF)
+            else:
+                partial.set_match(q, hit.vertex, hit.distance)
+                partial.private_matched.add(q)
+                partial.keyword_indicators.append(KeywordIndicator(r, q))
+        partials[r] = partial
+    return partials
+
+
+def arefine_keywords(
+    attachment: Attachment,
+    partials: Dict[Vertex, PartialAnswer],
+    counters: QueryCounters,
+    reduced: bool,
+) -> None:
+    """Step 2: Algo 4 — refine (root, keyword) distances via portal pairs."""
+    if reduced and not attachment.has_refined_portals:
+        counters.refinement_checks += sum(
+            len(p.keyword_indicators) for p in partials.values()
+        )
+        return
+    oracle = attachment.oracle
+    pairs = attachment.refined_by_source if reduced else None
+    for partial in partials.values():
+        for ind in partial.keyword_indicators:
+            counters.refinement_checks += 1
+            match = partial.match(ind.keyword)
+            if match is None:
+                continue
+            refined, witness = oracle.refine_vertex_keyword_with_witness(
+                ind.root, ind.keyword, match.distance, pairs_by_source=pairs
+            )
+            if refined < match.distance:
+                # The refined path ends at the portal-side nearest keyword
+                # vertex, which becomes the new witness.
+                match.distance = refined
+                counters.refinements_applied += 1
+                if witness is not None:
+                    match.vertex = witness
+
+
+def pp_blinks_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    require_public_private: bool,
+    cache: "CompletionCache | None" = None,
+) -> QueryResult:
+    """Run the full PEval -> ARefine -> AComplete pipeline for Blinks.
+
+    ``cache`` lets batch sessions share one completion cache across
+    queries; by default each query gets a fresh one (the paper's PKA).
+    """
+    if not keywords:
+        raise QueryError("Blinks query needs at least one keyword")
+    unique_keywords = list(dict.fromkeys(keywords))
+    counters = QueryCounters()
+    breakdown = StepBreakdown()
+    options = engine.options
+
+    with _Timer() as t:
+        partials = peval_blinks(attachment, unique_keywords, tau)
+    breakdown.peval = t.elapsed
+    counters.partial_answers = len(partials)
+
+    with _Timer() as t:
+        arefine_keywords(attachment, partials, counters, options.reduced_refinement)
+    breakdown.arefine = t.elapsed
+
+    with _Timer() as t:
+        if cache is None:
+            cache = CompletionCache(options.dp_completion)
+        answers = _acomplete(
+            engine, attachment, partials, unique_keywords, tau, k, counters,
+            cache, require_public_private,
+        )
+        counters.completion_lookups = cache.misses + cache.hits
+        counters.completion_cache_hits = cache.hits
+    breakdown.acomplete = t.elapsed
+
+    answers.sort(key=RootedAnswer.sort_key)
+    top = answers[:k]
+    counters.final_answers = len(top)
+    return QueryResult(top, breakdown, counters)
+
+
+def _offset_sweep(
+    public: "LabeledGraph",
+    seeds: List[Tuple[float, Vertex, Vertex]],
+    tau: float,
+) -> Dict[Vertex, Match]:
+    """Multi-source Dijkstra with per-source starting offsets.
+
+    ``seeds`` are ``(offset, portal, witness)`` triples; the result maps
+    every public vertex ``u`` with ``min(offset + d(portal, u)) <= tau``
+    to a :class:`Match` carrying that minimal total and the witness of
+    the winning seed.
+    """
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Vertex, Vertex]] = []
+    for offset, portal, witness in seeds:
+        if offset <= tau:
+            heap.append((offset, next(counter), portal, witness))
+    heapq.heapify(heap)
+    reached: Dict[Vertex, Match] = {}
+    while heap:
+        d, _, v, witness = heapq.heappop(heap)
+        if v in reached:
+            continue
+        reached[v] = Match(witness, d)
+        for u, w in public.neighbor_items(v):
+            nd = d + w
+            if u not in reached and nd <= tau:
+                heapq.heappush(heap, (nd, next(counter), u, witness))
+    return reached
+
+
+def _acomplete(
+    engine: PPKWS,
+    attachment: Attachment,
+    partials: Dict[Vertex, PartialAnswer],
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    counters: QueryCounters,
+    cache: CompletionCache,
+    require_public_private: bool,
+) -> List[RootedAnswer]:
+    """Step 3: Algo 5 — expand, retrieve missing keywords, qualify."""
+    public = engine.public
+    private = attachment.private
+    provider = engine.index.provider()
+
+    # (a) Backward expansion from portal-rooted partial answers (lines 2-8).
+    #
+    # The paper expands each portal separately and flood-updates answers
+    # that several portals reach (UpdateAns, lines 14-19).  The fixpoint
+    # of those updates is, per keyword q, exactly
+    #     min over portal-rooted answers a'  of  a'.match[q].d + d(p, u)
+    # which one *offset* multi-source Dijkstra per keyword computes in a
+    # single sweep — same final matches, |Q| sweeps instead of |P|.
+    answers: Dict[Vertex, PartialAnswer] = dict(partials)
+    portal_seeds: List[Tuple[Vertex, PartialAnswer]] = [
+        (p, partials[p])
+        for p in attachment.portals
+        if p in partials and p in public
+    ]
+    swept: Dict[Label, Dict[Vertex, Match]] = {}
+    for q in keywords:
+        seeds = [
+            (seed.answer.matches[q].distance, p, seed.answer.matches[q].vertex)
+            for p, seed in portal_seeds
+            if seed.answer.matches[q].distance < INF
+        ]
+        swept[q] = _offset_sweep(public, seeds, tau) if seeds else {}
+    touched: Set[Vertex] = set()
+    for cover in swept.values():
+        touched.update(cover)
+    for u in touched:
+        if u in answers:
+            existing = answers[u]
+            for q in keywords:
+                hit = swept[q].get(u)
+                dst = existing.answer.matches.get(q)
+                if hit is not None and (dst is None or hit.distance < dst.distance):
+                    existing.set_match(q, hit.vertex, hit.distance)
+                    existing.missing.discard(q)
+        else:
+            partial = PartialAnswer(answer=RootedAnswer(u, {}))
+            for q in keywords:
+                hit = swept[q].get(u)
+                if hit is None:
+                    partial.set_match(q, None, INF)
+                    partial.missing.add(q)
+                else:
+                    partial.set_match(q, hit.vertex, hit.distance)
+            answers[u] = partial
+
+    # (b) Retrieve missing keywords / improve via the public graph
+    # (CompleteAns, lines 20-23).
+    for root, partial in answers.items():
+        root_is_public = root in public
+        root_is_private = root in private
+        for q in keywords:
+            match = partial.match(q)
+            current = match.distance if match is not None else INF
+            best, witness = INF, None
+            if root_is_public:
+                best, witness = provider.keyword_distance_with_witness(root, q)
+            if root_is_private:
+                for portal, d1 in (
+                    attachment.oracle.vertex_portal.portal_distances(root).items()
+                ):
+                    pub_d, w = cache.lookup(engine, portal, q)
+                    if w is not None and d1 + pub_d < best:
+                        best, witness = d1 + pub_d, w
+            if witness is not None and best < current:
+                partial.set_match(q, witness, best)
+                partial.missing.discard(q)
+                partial.public_matched.add(q)
+
+    # (c) Qualification.  Candidates are processed in weight order and
+    # the walk stops once the top-k survivors are in hand, so the
+    # (comparatively expensive) witness repair only ever touches the
+    # cheap prefix of the candidate list.
+    final: List[RootedAnswer] = []
+    candidates = sorted(answers.values(), key=lambda p: p.answer.sort_key())
+    for partial in candidates:
+        if len(final) >= k:
+            break
+        if partial.missing or not partial.answer.within_bound(tau):
+            counters.answers_pruned += 1
+            continue
+        if any(not m.is_resolved() for m in partial.answer.matches.values()):
+            counters.answers_pruned += 1
+            continue
+        if require_public_private and not try_requalify(
+            engine, attachment, partial, keywords, cache
+        ):
+            counters.answers_pruned += 1
+            continue
+        final.append(partial.answer)
+    return final

@@ -1,0 +1,163 @@
+"""PP-knk: top-k nearest keyword search on top of PPKWS (Sec. IV-C, Appx. A).
+
+* **PEval** is the unmodified k-nk algorithm on the private graph: a
+  distance-ordered Dijkstra sweep from the query vertex collecting
+  keyword matches.  The sweep additionally records every portal it
+  passes — each is a gateway to public-side matches.
+* **ARefine** tightens both the match distances and the portal distances
+  with two-portal detours (Eq. 4), identical to PP-r-clique.
+* **AComplete** extends each recorded portal with the public-side
+  keyword distance ``d_hat(p, q)`` from PADS/KPADS (with witness), merges
+  public candidates into the private ranking and keeps the top k.
+
+Lemma A.1/A.4 guarantee: every private vertex belonging to the true
+combined-graph top-k is returned, because private match distances are
+exact on ``Gc`` after refinement while public candidates only ever carry
+over-estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.framework import (
+    Attachment,
+    KnkQueryResult,
+    PPKWS,
+    QueryCounters,
+    StepBreakdown,
+    _Timer,
+)
+from repro.core.partial import PairIndicator, PartialKnkAnswer
+from repro.core.pp_rclique import CompletionCache
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.traversal import INF, dijkstra_ordered
+from repro.semantics.answers import KnkAnswer, Match
+
+__all__ = ["pp_knk_query", "peval_knk"]
+
+
+def peval_knk(
+    attachment: Attachment,
+    source: Vertex,
+    keyword: Label,
+    k: int,
+) -> PartialKnkAnswer:
+    """Step 1: exact k-nk sweep on the private graph, recording portals."""
+    private = attachment.private
+    portals = attachment.portals
+    answer = KnkAnswer(source, keyword, [])
+    partial = PartialKnkAnswer(answer=answer)
+    for v, d in dijkstra_ordered(private, source):
+        if v in portals:
+            partial.portal_entries.append((v, d))
+        if private.has_label(v, keyword):
+            answer.matches.append(Match(v, d))
+            partial.pair_indicators.append(PairIndicator(source, v, keyword))
+            if len(answer.matches) >= k:
+                break
+    return partial
+
+
+def pp_knk_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    source: Vertex,
+    keyword: Label,
+    k: int,
+    cache: "CompletionCache | None" = None,
+) -> KnkQueryResult:
+    """Run the full PEval -> ARefine -> AComplete pipeline for k-nk.
+
+    ``cache`` lets batch sessions share one completion cache across
+    queries; by default each query gets a fresh one (the paper's PKA).
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if source not in attachment.private:
+        raise QueryError(
+            f"k-nk query vertex {source!r} must belong to the private graph"
+        )
+    counters = QueryCounters()
+    breakdown = StepBreakdown()
+    options = engine.options
+
+    with _Timer() as t:
+        partial = peval_knk(attachment, source, keyword, k)
+    breakdown.peval = t.elapsed
+    counters.partial_answers = len(partial.answer.matches)
+
+    with _Timer() as t:
+        _arefine(attachment, partial, counters, options.reduced_refinement)
+    breakdown.arefine = t.elapsed
+
+    with _Timer() as t:
+        if cache is None:
+            cache = CompletionCache(options.dp_completion)
+        final = _acomplete(engine, attachment, partial, keyword, k, cache)
+        counters.completion_lookups = cache.misses + cache.hits
+        counters.completion_cache_hits = cache.hits
+    breakdown.acomplete = t.elapsed
+
+    counters.final_answers = len(final.matches)
+    return KnkQueryResult(final, breakdown, counters)
+
+
+def _arefine(
+    attachment: Attachment,
+    partial: PartialKnkAnswer,
+    counters: QueryCounters,
+    reduced: bool,
+) -> None:
+    """Step 2: refine match and portal distances with portal detours."""
+    if reduced and not attachment.has_refined_portals:
+        counters.refinement_checks += len(partial.pair_indicators) + len(
+            partial.portal_entries
+        )
+        return
+    oracle = attachment.oracle
+    pairs = attachment.refined_by_source if reduced else None
+    source = partial.answer.source
+    for match in partial.answer.matches:
+        counters.refinement_checks += 1
+        if match.vertex is None:
+            continue
+        refined = oracle.refine_pair(
+            source, match.vertex, match.distance, pairs_by_source=pairs
+        )
+        if refined < match.distance:
+            match.distance = refined
+            counters.refinements_applied += 1
+    refined_portals: List[Tuple[Vertex, float]] = []
+    for portal, d in partial.portal_entries:
+        counters.refinement_checks += 1
+        nd = oracle.refine_pair(source, portal, d, pairs_by_source=pairs)
+        if nd < d:
+            counters.refinements_applied += 1
+        refined_portals.append((portal, nd))
+    partial.portal_entries = refined_portals
+
+
+def _acomplete(
+    engine: PPKWS,
+    attachment: Attachment,
+    partial: PartialKnkAnswer,
+    keyword: Label,
+    k: int,
+    cache: CompletionCache,
+) -> KnkAnswer:
+    """Step 3: merge public candidates reached through portals (Appx. A)."""
+    best: Dict[Vertex, float] = {}
+    for m in partial.answer.matches:
+        if m.vertex is not None and m.distance < best.get(m.vertex, INF):
+            best[m.vertex] = m.distance
+    for portal, d in partial.portal_entries:
+        for witness, pub_d in cache.lookup_candidates(engine, portal, keyword, k):
+            total = d + pub_d
+            if total < best.get(witness, INF):
+                best[witness] = total
+    ranked = sorted(best.items(), key=lambda item: (item[1], repr(item[0])))
+    final = KnkAnswer(partial.answer.source, keyword, [])
+    final.matches = [Match(v, d) for v, d in ranked[:k]]
+    return final

@@ -1,0 +1,153 @@
+"""PP-knk for multi-keyword queries (conjunction / disjunction).
+
+Extends :mod:`repro.core.pp_knk` to the multi-keyword k-nk semantics
+(paper Sec. II mentions the extension; the framework steps carry over):
+
+* **disjunction** completes each portal with the *best single-keyword*
+  KPADS candidates of every query keyword — a vertex matching any
+  keyword matches the disjunction, so merging per-keyword candidate
+  lists is exact with respect to the sketches;
+* **conjunction** completes each portal with candidates drawn from the
+  *rarest* keyword's KPADS lists and keeps only those carrying all query
+  keywords (labels are checked on the public graph).  This mirrors the
+  classic rarest-first strategy for conjunctive retrieval; candidates
+  the sketch does not surface may be missed, so the conjunctive variant
+  is approximate on the public side — private-side answers remain exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.framework import (
+    Attachment,
+    KnkQueryResult,
+    PPKWS,
+    QueryCounters,
+    StepBreakdown,
+    _Timer,
+)
+from repro.core.partial import PairIndicator, PartialKnkAnswer
+from repro.core.pp_knk import _arefine
+from repro.core.pp_rclique import CompletionCache
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.traversal import INF, dijkstra_ordered
+from repro.semantics.answers import KnkAnswer, Match
+from repro.semantics.knk_multi import match_predicate
+
+__all__ = ["pp_knk_multi_query"]
+
+
+def _peval_multi(
+    attachment: Attachment,
+    source: Vertex,
+    keywords: Sequence[Label],
+    mode: str,
+    k: int,
+) -> PartialKnkAnswer:
+    """Private-graph sweep with the multi-keyword predicate."""
+    private = attachment.private
+    predicate = match_predicate(private, keywords, mode)
+    portals = attachment.portals
+    joiner = "&" if mode == "and" else "|"
+    answer = KnkAnswer(source, joiner.join(keywords), [])
+    partial = PartialKnkAnswer(answer=answer)
+    for v, d in dijkstra_ordered(private, source):
+        if v in portals:
+            partial.portal_entries.append((v, d))
+        if predicate(v):
+            answer.matches.append(Match(v, d))
+            partial.pair_indicators.append(
+                PairIndicator(source, v, answer.keyword)
+            )
+            if len(answer.matches) >= k:
+                break
+    return partial
+
+
+def pp_knk_multi_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    source: Vertex,
+    keywords: Sequence[Label],
+    k: int,
+    mode: str = "and",
+) -> KnkQueryResult:
+    """PEval -> ARefine -> AComplete for multi-keyword k-nk."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not keywords:
+        raise QueryError("multi-keyword k-nk needs at least one keyword")
+    if source not in attachment.private:
+        raise QueryError(
+            f"k-nk query vertex {source!r} must belong to the private graph"
+        )
+    unique_keywords = list(dict.fromkeys(keywords))
+    counters = QueryCounters()
+    breakdown = StepBreakdown()
+    options = engine.options
+
+    with _Timer() as t:
+        partial = _peval_multi(attachment, source, unique_keywords, mode, k)
+    breakdown.peval = t.elapsed
+    counters.partial_answers = len(partial.answer.matches)
+
+    with _Timer() as t:
+        _arefine(attachment, partial, counters, options.reduced_refinement)
+    breakdown.arefine = t.elapsed
+
+    with _Timer() as t:
+        cache = CompletionCache(options.dp_completion)
+        final = _acomplete_multi(
+            engine, attachment, partial, unique_keywords, mode, k, cache
+        )
+        counters.completion_lookups = cache.misses + cache.hits
+        counters.completion_cache_hits = cache.hits
+    breakdown.acomplete = t.elapsed
+
+    counters.final_answers = len(final.matches)
+    return KnkQueryResult(final, breakdown, counters)
+
+
+def _rarest_keyword(engine: PPKWS, keywords: Sequence[Label]) -> Label:
+    """The query keyword with the fewest public matches (rarest-first)."""
+    public = engine.public
+    return min(keywords, key=lambda t: (public.label_frequency(t), t))
+
+
+def _acomplete_multi(
+    engine: PPKWS,
+    attachment: Attachment,
+    partial: PartialKnkAnswer,
+    keywords: List[Label],
+    mode: str,
+    k: int,
+    cache: CompletionCache,
+) -> KnkAnswer:
+    """Merge public candidates reached through portals."""
+    public = engine.public
+    best: Dict[Vertex, float] = {}
+    for m in partial.answer.matches:
+        if m.vertex is not None and m.distance < best.get(m.vertex, INF):
+            best[m.vertex] = m.distance
+
+    if mode == "or":
+        probe_keywords = keywords
+    else:
+        probe_keywords = [_rarest_keyword(engine, keywords)]
+    keyword_set = frozenset(keywords)
+
+    for portal, d in partial.portal_entries:
+        for q in probe_keywords:
+            for witness, pub_d in cache.lookup_candidates(engine, portal, q, k):
+                if mode == "and" and not keyword_set <= public.labels(witness):
+                    continue
+                total = d + pub_d
+                if total < best.get(witness, INF):
+                    best[witness] = total
+
+    ranked = sorted(best.items(), key=lambda item: (item[1], repr(item[0])))
+    final = KnkAnswer(partial.answer.source, partial.answer.keyword, [])
+    final.matches = [Match(v, d) for v, d in ranked[:k]]
+    return final

@@ -1,0 +1,254 @@
+"""PP-r-clique: the r-clique semantic on top of PPKWS (paper Sec. IV-A).
+
+* **PEval** runs the Kargar-An star enumeration on the private graph with
+  the portal nodes appended to every keyword's candidate set (Algo 2,
+  line 1) and the ``tau`` bound *not* enforced — portal detours refined
+  in later may still pull a partial answer under the bound.
+* **ARefine** (Algo 3) tightens every recorded ``(root, match)`` distance
+  with two-portal detours, ``d'(v,p_i) + dc(p_i,p_j) + d'(p_j,u)``
+  (Eq. 4), guarded by the Lemma-VI.1 refined-portal table when the
+  reduced-refinement optimization is on.
+* **AComplete** resolves every keyword still routed through a portal by a
+  KPADS lookup on the public side (``d_hat(p, q)`` plus the recorded
+  ``d'(root, p)``), prunes answers that exceed ``tau`` or fail the
+  public-private qualification (Def. II.2), and ranks by star weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.framework import (
+    Attachment,
+    PPKWS,
+    QueryCounters,
+    QueryResult,
+    StepBreakdown,
+    _Timer,
+)
+from repro.core.partial import PairIndicator, PartialAnswer
+from repro.core.qualify import answer_sides
+from repro.core.repair import try_requalify
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.traversal import INF
+from repro.semantics.answers import RootedAnswer
+from repro.semantics.rclique import rclique_search
+
+__all__ = ["pp_rclique_query", "peval_rclique", "arefine_pairs", "CompletionCache"]
+
+
+class CompletionCache:
+    """The Sec.-VI-B dynamic-programming table ``PKA``.
+
+    Memoizes ``portal x keyword -> (distance, witness)`` public-side
+    lookups so partial answers sharing a portal-keyword pair pay for it
+    once.  With the optimization disabled the cache is bypassed and every
+    answer re-queries the sketches (the ablation benchmark measures the
+    difference).
+    """
+
+    __slots__ = ("enabled", "_table", "_list_table", "hits", "misses")
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._table: Dict[Tuple[Vertex, Label], Tuple[float, Optional[Vertex]]] = {}
+        self._list_table: Dict[
+            Tuple[Vertex, Label, int], List[Tuple[Vertex, float]]
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self,
+        engine: PPKWS,
+        portal: Vertex,
+        keyword: Label,
+    ) -> Tuple[float, Optional[Vertex]]:
+        """``d_hat(portal, keyword)`` on the public graph, with witness."""
+        key = (portal, keyword)
+        if self.enabled and key in self._table:
+            self.hits += 1
+            return self._table[key]
+        self.misses += 1
+        result = engine.index.provider().keyword_distance_with_witness(
+            portal, keyword
+        )
+        if self.enabled:
+            self._table[key] = result
+        return result
+
+    def lookup_candidates(
+        self,
+        engine: PPKWS,
+        portal: Vertex,
+        keyword: Label,
+        k: int,
+    ) -> List[Tuple[Vertex, float]]:
+        """Top-``k`` public keyword candidates near ``portal`` (PP-knk)."""
+        key = (portal, keyword, k)
+        if self.enabled and key in self._list_table:
+            self.hits += 1
+            return self._list_table[key]
+        self.misses += 1
+        result = engine.index.kpads.top_candidates(
+            engine.index.pads, portal, keyword, k
+        )
+        if self.enabled:
+            self._list_table[key] = result
+        return result
+
+
+def peval_rclique(
+    attachment: Attachment,
+    keywords: Sequence[Label],
+    tau: float,
+    max_answers: int,
+) -> List[PartialAnswer]:
+    """Step 1: partial evaluation on the private graph (Algo 2)."""
+    raw = rclique_search(
+        attachment.private,
+        keywords,
+        tau,
+        k=max_answers,
+        extra_candidates=attachment.portals,
+        enforce_bound=False,
+        search_cutoff=tau,
+    )
+    partials: List[PartialAnswer] = []
+    private = attachment.private
+    for answer in raw:
+        partial = PartialAnswer(answer=answer)
+        for q, m in answer.matches.items():
+            if m.vertex is None:
+                partial.missing.add(q)
+                continue
+            # Every recorded pair is a refinement candidate (Algo 2 line 22).
+            partial.pair_indicators.append(
+                PairIndicator(answer.root, m.vertex, q)
+            )
+            if private.has_label(m.vertex, q):
+                partial.private_matched.add(q)
+            elif m.vertex in attachment.portals:
+                partial.portal_routed[q] = m.vertex
+            else:  # pragma: no cover - rclique_search only matches label/portal
+                partial.missing.add(q)
+        partials.append(partial)
+    return partials
+
+
+def arefine_pairs(
+    attachment: Attachment,
+    partials: List[PartialAnswer],
+    counters: QueryCounters,
+    reduced: bool,
+) -> None:
+    """Step 2: Algo 3 — tighten every indicated pair through the portals."""
+    if reduced and not attachment.has_refined_portals:
+        # Lemma VI.1: no portal pair improved, so no private distance can.
+        counters.refinement_checks += sum(len(p.pair_indicators) for p in partials)
+        return
+    oracle = attachment.oracle
+    # Reduced refinement (Sec. VI-A): only detours through *refined*
+    # portal pairs can beat a private shortest distance, so restrict the
+    # Eq.-4 middle loop to them.
+    pairs = attachment.refined_by_source if reduced else None
+    for partial in partials:
+        for ind in partial.pair_indicators:
+            counters.refinement_checks += 1
+            match = partial.match(ind.keyword)
+            if match is None or match.vertex != ind.u:
+                continue
+            refined = oracle.refine_pair(ind.v, ind.u, match.distance, pairs_by_source=pairs)
+            if refined < match.distance:
+                match.distance = refined
+                counters.refinements_applied += 1
+
+
+def pp_rclique_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    require_public_private: bool,
+    cache: Optional[CompletionCache] = None,
+) -> QueryResult:
+    """Run the full PEval -> ARefine -> AComplete pipeline for r-clique.
+
+    ``cache`` lets batch sessions share one completion cache across
+    queries; by default each query gets a fresh one (the paper's PKA).
+    """
+    if not keywords:
+        raise QueryError("r-clique query needs at least one keyword")
+    unique_keywords = list(dict.fromkeys(keywords))
+    counters = QueryCounters()
+    breakdown = StepBreakdown()
+    options = engine.options
+
+    with _Timer() as t:
+        partials = peval_rclique(
+            attachment, unique_keywords, tau, options.peval_answers
+        )
+    breakdown.peval = t.elapsed
+    counters.partial_answers = len(partials)
+
+    with _Timer() as t:
+        arefine_pairs(attachment, partials, counters, options.reduced_refinement)
+    breakdown.arefine = t.elapsed
+
+    with _Timer() as t:
+        if cache is None:
+            cache = CompletionCache(options.dp_completion)
+        final = _acomplete(
+            engine, attachment, partials, unique_keywords, tau, counters,
+            cache, require_public_private,
+        )
+        counters.completion_lookups = cache.misses + cache.hits
+        counters.completion_cache_hits = cache.hits
+    breakdown.acomplete = t.elapsed
+
+    final.sort(key=RootedAnswer.sort_key)
+    answers = final[:k]
+    counters.final_answers = len(answers)
+    return QueryResult(answers, breakdown, counters)
+
+
+def _acomplete(
+    engine: PPKWS,
+    attachment: Attachment,
+    partials: List[PartialAnswer],
+    keywords: List[Label],
+    tau: float,
+    counters: QueryCounters,
+    cache: CompletionCache,
+    require_public_private: bool,
+) -> List[RootedAnswer]:
+    """Step 3: complete portal-routed keywords and qualify (Sec. IV-A (3))."""
+    public = engine.public
+    private = attachment.private
+    completed: List[RootedAnswer] = []
+    for partial in partials:
+        if partial.missing:
+            counters.answers_pruned += 1
+            continue
+        ok = True
+        for q, portal in partial.portal_routed.items():
+            match = partial.match(q)
+            assert match is not None  # portal_routed entries always have a slot
+            pub_d, witness = cache.lookup(engine, portal, q)
+            if witness is None or match.distance + pub_d > tau:
+                ok = False
+                break
+            partial.set_match(q, witness, match.distance + pub_d)
+            partial.public_matched.add(q)
+        if not ok or not partial.answer.within_bound(tau):
+            counters.answers_pruned += 1
+            continue
+        if require_public_private and not try_requalify(
+            engine, attachment, partial, keywords, cache
+        ):
+            counters.answers_pruned += 1
+            continue
+        completed.append(partial.answer)
+    return completed

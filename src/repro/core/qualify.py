@@ -1,0 +1,49 @@
+"""Answer qualification: the public-private answer test (Def. II.2).
+
+An answer is *public-private* iff it contains (i) a keyword-carrying
+vertex in the private graph's vertex set and (ii) a keyword-carrying
+vertex in the public graph's vertex set.  The two conditions are
+independent — a portal node belongs to both vertex sets, so a single
+keyword-carrying portal satisfies both (the definition's memberships are
+checked separately).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.semantics.answers import RootedAnswer
+
+__all__ = ["answer_sides", "is_public_private_answer"]
+
+
+def answer_sides(
+    match_vertices: Iterable[Vertex],
+    public: LabeledGraph,
+    private: LabeledGraph,
+) -> Tuple[bool, bool]:
+    """``(touches_private, touches_public)`` over keyword-match vertices."""
+    touches_private = False
+    touches_public = False
+    for v in match_vertices:
+        if v is None:
+            continue
+        if v in private:
+            touches_private = True
+        if v in public:
+            touches_public = True
+        if touches_private and touches_public:
+            break
+    return touches_private, touches_public
+
+
+def is_public_private_answer(
+    answer: RootedAnswer,
+    public: LabeledGraph,
+    private: LabeledGraph,
+) -> bool:
+    """Def. II.2 for a rooted answer (only match vertices carry keywords)."""
+    vertices = (m.vertex for m in answer.matches.values())
+    touches_private, touches_public = answer_sides(vertices, public, private)
+    return touches_private and touches_public

@@ -1,0 +1,138 @@
+"""Witness repair: re-qualify answers by equal-distance witness swaps.
+
+Distance ties are common on unit-weight graphs, and the qualification of
+Def. II.2 depends on *which* witness a match slot holds, not only on its
+distance.  An answer whose matches all landed on private vertices can
+therefore fail the public-private test even though an equally close
+public witness exists (and vice versa).  Before pruning such an answer,
+the AComplete steps call :func:`try_requalify`, which looks for a single
+equal-distance swap that adds the missing side:
+
+* missing the *public* side — for some keyword, a public-graph route of
+  exactly the recorded distance (direct KPADS lookup for public roots,
+  portal + KPADS for private roots);
+* missing the *private* side — for some keyword, a portal-entry route of
+  exactly the recorded distance ending at a private PKD witness.
+
+Swaps never change distances, so weights, bounds and the quality lemmas
+are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.partial import PartialAnswer
+from repro.core.qualify import answer_sides
+from repro.graph.labeled_graph import Label, Vertex
+
+__all__ = ["try_requalify"]
+
+_EPS = 1e-12
+
+
+def _reach_portal(engine, attachment, root: Vertex, portal: Vertex) -> float:
+    """Best known root-to-portal distance (private map and/or public)."""
+    reach = attachment.oracle.vertex_portal.get(root, portal)
+    if root in engine.public:
+        reach = min(reach, engine.index.provider().vertex_distance(root, portal))
+    return reach
+
+
+def _public_route(
+    engine, attachment, root: Vertex, keyword: Label, cache
+) -> Tuple[float, Optional[Vertex]]:
+    """Best public-side witness for (root, keyword), root public or private.
+
+    Portals carrying the keyword (in either graph — labels union on the
+    combined view) also count: a portal belongs to ``G.V``.
+    """
+    best, witness = float("inf"), None
+    if root in engine.public:
+        best, witness = engine.index.provider().keyword_distance_with_witness(
+            root, keyword
+        )
+    if root in attachment.private:
+        for portal, d1 in (
+            attachment.oracle.vertex_portal.portal_distances(root).items()
+        ):
+            pub_d, w = cache.lookup(engine, portal, keyword)
+            if w is not None and d1 + pub_d < best:
+                best, witness = d1 + pub_d, w
+    for portal in attachment.portals:
+        if attachment.private.has_label(portal, keyword):
+            reach = _reach_portal(engine, attachment, root, portal)
+            if reach < best:
+                best, witness = reach, portal
+    return best, witness
+
+
+def _private_route(
+    engine, attachment, root: Vertex, keyword: Label
+) -> Tuple[float, Optional[Vertex]]:
+    """Best private-side witness for (root, keyword) through the portals."""
+    oracle = attachment.oracle
+    best, witness = float("inf"), None
+    for pj in attachment.portals:
+        reach = _reach_portal(engine, attachment, root, pj)
+        # a portal in G'.V carrying the keyword (even only via its public
+        # labels) is itself a private-side witness
+        if engine.public.has_label(pj, keyword) or (
+            attachment.private.has_label(pj, keyword)
+        ):
+            if reach < best:
+                best, witness = reach, pj
+        entry = oracle.pkd.get(pj, keyword)
+        if entry is not None and reach + entry.distance < best:
+            best, witness = reach + entry.distance, entry.vertex
+    return best, witness
+
+
+def try_requalify(
+    engine,
+    attachment,
+    partial: PartialAnswer,
+    keywords: List[Label],
+    cache,
+) -> bool:
+    """Attempt one equal-distance witness swap to pass Def. II.2.
+
+    Returns ``True`` if the answer now qualifies (possibly after a swap),
+    ``False`` if no lossless swap exists.
+    """
+    public = engine.public
+    private = attachment.private
+    matches = partial.answer.matches
+    touches_private, touches_public = answer_sides(
+        (m.vertex for m in matches.values()), public, private
+    )
+    if touches_private and touches_public:
+        return True
+
+    for q in sorted(keywords):
+        match = matches.get(q)
+        if match is None or match.vertex is None:
+            continue
+        # Sides contributed by the *other* matches: a swap must not strip
+        # the answer of the last witness for the side we are not fixing.
+        others_private, others_public = answer_sides(
+            (m.vertex for key, m in matches.items() if key != q),
+            public, private,
+        )
+        if not touches_public:
+            d, witness = _public_route(engine, attachment, partial.root, q, cache)
+            if witness is not None and abs(d - match.distance) <= _EPS:
+                if others_private or witness in private:
+                    match.vertex = witness
+                    partial.public_matched.add(q)
+        elif not touches_private:
+            d, witness = _private_route(engine, attachment, partial.root, q)
+            if witness is not None and abs(d - match.distance) <= _EPS:
+                if others_public or witness in public:
+                    match.vertex = witness
+        touches_private, touches_public = answer_sides(
+            (m.vertex for m in matches.values()), public, private
+        )
+        if touches_private and touches_public:
+            return True
+    return False

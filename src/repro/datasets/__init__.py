@@ -1,0 +1,29 @@
+"""Synthetic datasets and query workloads mirroring the paper's setup."""
+
+from repro.datasets.queries import (
+    KeywordQuery,
+    KnkQuery,
+    generate_keyword_queries,
+    generate_knk_queries,
+)
+from repro.datasets.synthetic import (
+    DATASET_BUILDERS,
+    PublicPrivateDataset,
+    dataset_by_name,
+    dbpedia_like,
+    ppdblp_like,
+    yago_like,
+)
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "KeywordQuery",
+    "KnkQuery",
+    "PublicPrivateDataset",
+    "dataset_by_name",
+    "dbpedia_like",
+    "generate_keyword_queries",
+    "generate_knk_queries",
+    "ppdblp_like",
+    "yago_like",
+]

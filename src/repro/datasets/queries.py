@@ -1,0 +1,131 @@
+"""Query workload generators (paper Sec. VII-A.4).
+
+The paper runs 50 random keyword queries per experiment, generated so
+that *public-private answers exist*:
+
+* Blinks / r-clique queries mix keywords present in the private graph's
+  alphabet with keywords present in the public one
+  (``Q ∩ G'.Σ ≠ ∅`` and ``Q ∩ G.Σ ≠ ∅``);
+* k-nk queries pick the query vertex from the private graph and the
+  keyword following the keyword distribution of the combined graph.
+
+These generators reproduce that workload over our synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+__all__ = [
+    "KeywordQuery",
+    "KnkQuery",
+    "generate_keyword_queries",
+    "generate_knk_queries",
+]
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A Blinks / r-clique workload item: keywords plus the bound tau."""
+
+    keywords: Tuple[Label, ...]
+    tau: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"Q={{{', '.join(self.keywords)}}} tau={self.tau:g}"
+
+
+@dataclass(frozen=True)
+class KnkQuery:
+    """A k-nk workload item: ``(source, keyword, k)``."""
+
+    source: Vertex
+    keyword: Label
+    k: int
+
+
+def _weighted_label_choice(
+    rng: random.Random, graph: LabeledGraph, labels: Sequence[Label]
+) -> Label:
+    """Pick a label weighted by its frequency in ``graph``."""
+    weights = [max(1, graph.label_frequency(t)) for t in labels]
+    return rng.choices(list(labels), weights=weights, k=1)[0]
+
+
+def generate_keyword_queries(
+    public: LabeledGraph,
+    private: LabeledGraph,
+    num_queries: int = 50,
+    keywords_per_query: int = 3,
+    tau: float = 5.0,
+    seed: Optional[int] = None,
+) -> List[KeywordQuery]:
+    """Random keyword queries guaranteed to straddle both alphabets.
+
+    Each query draws at least one keyword from the private alphabet and
+    at least one from the public alphabet (frequency-weighted, like
+    picking from ``G.Σ`` at random); remaining slots draw from the union.
+    """
+    if keywords_per_query < 2:
+        raise QueryError("need at least 2 keywords to straddle both graphs")
+    private_labels = sorted(private.label_universe())
+    public_labels = sorted(public.label_universe())
+    if not private_labels or not public_labels:
+        raise QueryError("both graphs must carry at least one label")
+    union_labels = sorted(set(private_labels) | set(public_labels))
+    rng = random.Random(seed)
+    queries: List[KeywordQuery] = []
+    for _ in range(num_queries):
+        chosen: List[Label] = [_weighted_label_choice(rng, private, private_labels)]
+        # Draw a public-side keyword distinct from the private one (the
+        # alphabets overlap, so a joint draw could repeat it).
+        while True:
+            pub_kw = _weighted_label_choice(rng, public, public_labels)
+            if pub_kw not in chosen or len(public_labels) == 1:
+                chosen.append(pub_kw)
+                break
+        while len(chosen) < keywords_per_query:
+            extra = rng.choice(union_labels)
+            if extra not in chosen:
+                chosen.append(extra)
+        rng.shuffle(chosen)
+        queries.append(KeywordQuery(tuple(chosen), tau))
+    return queries
+
+
+def generate_knk_queries(
+    public: LabeledGraph,
+    private: LabeledGraph,
+    num_queries: int = 50,
+    k: int = 64,
+    seed: Optional[int] = None,
+) -> List[KnkQuery]:
+    """Random k-nk queries: private source vertex, combined-graph keyword.
+
+    Following the paper, ``k`` is chosen to exceed the keyword's private
+    frequency so the top-k must spill into the public graph (they use
+    k = 64 > max private keyword frequency).
+    """
+    rng = random.Random(seed)
+    private_vertices = sorted(private.vertices(), key=repr)
+    if not private_vertices:
+        raise QueryError("private graph has no vertices")
+    # Keyword distribution of the combined graph = union, weighted by
+    # total frequency.
+    labels = sorted(set(public.label_universe()) | set(private.label_universe()))
+    if not labels:
+        raise QueryError("no labels to query")
+    weights = [
+        public.label_frequency(t) + private.label_frequency(t) for t in labels
+    ]
+    queries: List[KnkQuery] = []
+    for _ in range(num_queries):
+        source = rng.choice(private_vertices)
+        keyword = rng.choices(labels, weights=weights, k=1)[0]
+        queries.append(KnkQuery(source, keyword, k))
+    return queries

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch every library failure with a single ``except`` clause
+while still being able to distinguish graph-construction problems from
+query-time and index-time problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the PPKWS reproduction."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (unknown vertices, bad weights)."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex absent from the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge absent from the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class QueryError(ReproError):
+    """Raised for malformed keyword queries (empty keyword sets, k <= 0)."""
+
+
+class IndexBuildError(ReproError):
+    """Raised when a sketch or distance-map index cannot be constructed."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset specification is inconsistent."""

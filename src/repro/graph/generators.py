@@ -1,0 +1,223 @@
+"""Synthetic graph generators.
+
+The paper evaluates on YAGO3, DBpedia and PP-DBLP — multi-million-vertex
+dumps we cannot ship.  These generators produce *structurally similar*
+graphs at laptop scale (see DESIGN.md §4 for the substitution argument):
+
+* random topologies (Erdős–Rényi, Barabási–Albert, Watts–Strogatz),
+* a planted-community "collaboration network" used for the PP-DBLP
+  stand-in, and
+* Zipfian keyword assignment, reproducing the skewed label frequencies
+  that drive keyword-search workloads (frequent labels -> large search
+  origins, rare labels -> selective ones).
+
+All generators take an explicit ``seed`` and are deterministic for a given
+seed, which the benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.exceptions import DatasetError
+from repro.graph.labeled_graph import LabeledGraph
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "community_graph",
+    "assign_zipf_labels",
+    "zipf_weights",
+]
+
+
+def _empty_labeled(n: int, name: str) -> LabeledGraph:
+    if n < 0:
+        raise DatasetError(f"vertex count must be non-negative, got {n}")
+    g = LabeledGraph(name)
+    for v in range(n):
+        g.add_vertex(v)
+    return g
+
+
+def erdos_renyi_graph(
+    n: int, p: float, seed: Optional[int] = None, name: str = "er"
+) -> LabeledGraph:
+    """G(n, p) random graph over vertices ``0..n-1`` with unit weights.
+
+    Uses the geometric skipping trick, so the cost is proportional to the
+    number of edges generated rather than ``n**2``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise DatasetError(f"edge probability must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    g = _empty_labeled(n, name)
+    if p == 0.0 or n < 2:
+        return g
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                g.add_edge(u, v)
+        return g
+    # Batagelj-Brandes geometric skipping over pairs (v, w), w < v.
+    import math
+
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w += 1 + int(math.log(max(1.0 - r, 1e-300)) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            g.add_edge(v, w)
+    return g
+
+
+def barabasi_albert_graph(
+    n: int, m: int, seed: Optional[int] = None, name: str = "ba"
+) -> LabeledGraph:
+    """Preferential-attachment graph: each new vertex attaches to ``m`` others.
+
+    Produces the heavy-tailed degree distribution typical of knowledge
+    graphs and social networks (the YAGO3/DBpedia stand-ins use this).
+    """
+    if m < 1:
+        raise DatasetError(f"attachment count m must be >= 1, got {m}")
+    if n < m + 1:
+        raise DatasetError(f"need n > m, got n={n}, m={m}")
+    rng = random.Random(seed)
+    g = _empty_labeled(n, name)
+    # Start from a star on the first m+1 vertices so every early vertex
+    # has nonzero degree.
+    repeated: List[int] = []
+    for v in range(1, m + 1):
+        g.add_edge(0, v)
+        repeated += [0, v]
+    for v in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            g.add_edge(v, t)
+            repeated += [v, t]
+    return g
+
+
+def watts_strogatz_graph(
+    n: int,
+    k: int,
+    beta: float,
+    seed: Optional[int] = None,
+    name: str = "ws",
+) -> LabeledGraph:
+    """Small-world ring lattice with rewiring probability ``beta``."""
+    if k % 2 or k < 2:
+        raise DatasetError(f"k must be a positive even integer, got {k}")
+    if n <= k:
+        raise DatasetError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= beta <= 1.0:
+        raise DatasetError(f"beta must be in [0, 1], got {beta}")
+    rng = random.Random(seed)
+    g = _empty_labeled(n, name)
+    half = k // 2
+    for v in range(n):
+        for j in range(1, half + 1):
+            g.add_edge(v, (v + j) % n)
+    if beta == 0.0:
+        return g
+    for v in range(n):
+        for j in range(1, half + 1):
+            u = (v + j) % n
+            if rng.random() < beta and g.has_edge(v, u):
+                candidates = [w for w in range(n) if w != v and not g.has_edge(v, w)]
+                if candidates:
+                    g.remove_edge(v, u)
+                    g.add_edge(v, rng.choice(candidates))
+    return g
+
+
+def community_graph(
+    num_communities: int,
+    community_size: int,
+    p_in: float,
+    p_out_edges: int,
+    seed: Optional[int] = None,
+    name: str = "community",
+) -> LabeledGraph:
+    """Planted-partition collaboration network (the PP-DBLP stand-in).
+
+    ``num_communities`` dense Erdős–Rényi blocks of ``community_size``
+    vertices each (intra-block edge probability ``p_in``), joined by
+    ``p_out_edges`` random inter-block edges — mimicking research
+    communities bridged by occasional cross-community collaborations.
+    """
+    if num_communities < 1 or community_size < 1:
+        raise DatasetError("need at least one community of at least one vertex")
+    rng = random.Random(seed)
+    n = num_communities * community_size
+    g = _empty_labeled(n, name)
+    for c in range(num_communities):
+        base = c * community_size
+        for i in range(community_size):
+            for j in range(i + 1, community_size):
+                if rng.random() < p_in:
+                    g.add_edge(base + i, base + j)
+    for _ in range(p_out_edges):
+        c1, c2 = rng.sample(range(num_communities), 2) if num_communities > 1 else (0, 0)
+        if c1 == c2:
+            continue
+        u = c1 * community_size + rng.randrange(community_size)
+        v = c2 * community_size + rng.randrange(community_size)
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def zipf_weights(num_labels: int, exponent: float = 1.0) -> List[float]:
+    """Unnormalized Zipf weights ``1/rank**exponent`` for label sampling."""
+    if num_labels < 1:
+        raise DatasetError(f"need at least one label, got {num_labels}")
+    return [1.0 / (rank**exponent) for rank in range(1, num_labels + 1)]
+
+
+def assign_zipf_labels(
+    graph: LabeledGraph,
+    vocabulary: Sequence[str],
+    labels_per_vertex: float,
+    exponent: float = 1.0,
+    seed: Optional[int] = None,
+) -> None:
+    """Assign Zipf-distributed labels in place.
+
+    Each vertex receives a number of labels drawn so the *mean* equals
+    ``labels_per_vertex`` (matching the paper's per-dataset averages in
+    Tab. V: ~3.8 for YAGO3, ~3.7 for DBpedia, 10 for PP-DBLP), sampled
+    without replacement per vertex from a Zipfian distribution over
+    ``vocabulary``: a few hugely popular keywords, a long selective tail.
+    """
+    if labels_per_vertex <= 0:
+        raise DatasetError(
+            f"labels_per_vertex must be positive, got {labels_per_vertex}"
+        )
+    if labels_per_vertex > len(vocabulary):
+        raise DatasetError("labels_per_vertex exceeds vocabulary size")
+    rng = random.Random(seed)
+    weights = zipf_weights(len(vocabulary), exponent)
+    base = int(labels_per_vertex)
+    frac = labels_per_vertex - base
+    for v in graph.vertices():
+        count = base + (1 if rng.random() < frac else 0)
+        if count == 0:
+            continue
+        chosen: set = set()
+        # Rejection-sample distinct labels; vocabulary >> count in all of
+        # our datasets, so collisions are rare.
+        while len(chosen) < count:
+            chosen.update(
+                rng.choices(vocabulary, weights=weights, k=count - len(chosen))
+            )
+        graph.add_labels(v, chosen)

@@ -1,0 +1,148 @@
+"""Structural graph metrics used to characterize the dataset stand-ins.
+
+DESIGN.md §4's substitution argument rests on measurable structure —
+degree distribution, diameter (locality!), clustering — so the library
+ships the measurements: they feed the Tab.-V-style dataset reports and
+let a user verify that their own graphs sit in the regime where PPKWS's
+locality assumptions hold.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import bfs_hops, dijkstra
+
+__all__ = [
+    "degree_distribution",
+    "degree_skew",
+    "approximate_diameter",
+    "average_shortest_path_length",
+    "clustering_coefficient",
+    "ball_coverage",
+    "structural_summary",
+]
+
+
+def degree_distribution(graph: LabeledGraph) -> Dict[int, int]:
+    """Histogram ``degree -> vertex count``."""
+    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+def degree_skew(graph: LabeledGraph) -> float:
+    """Max degree over mean degree (1.0 = regular, large = hubby)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    mean = sum(degrees) / len(degrees)
+    return (max(degrees) / mean) if mean else 0.0
+
+
+def approximate_diameter(
+    graph: LabeledGraph, sweeps: int = 4, seed: Optional[int] = None
+) -> int:
+    """Lower bound on the (hop) diameter via repeated double sweeps.
+
+    Start anywhere, BFS to the farthest vertex, BFS again from there;
+    repeating from the new endpoint converges quickly in practice.
+    """
+    verts = list(graph.vertices())
+    if not verts:
+        return 0
+    rng = random.Random(seed)
+    start = rng.choice(verts)
+    best = 0
+    for _ in range(sweeps):
+        hops = bfs_hops(graph, start)
+        far, dist = max(hops.items(), key=lambda kv: kv[1])
+        best = max(best, dist)
+        start = far
+    return best
+
+
+def average_shortest_path_length(
+    graph: LabeledGraph, samples: int = 50, seed: Optional[int] = None
+) -> float:
+    """Estimated mean hop distance over reachable pairs (sampled sources)."""
+    verts = list(graph.vertices())
+    if len(verts) < 2:
+        return 0.0
+    rng = random.Random(seed)
+    total = 0.0
+    count = 0
+    for _ in range(min(samples, len(verts))):
+        source = rng.choice(verts)
+        hops = bfs_hops(graph, source)
+        reachable = [h for v, h in hops.items() if v != source]
+        if reachable:
+            total += sum(reachable)
+            count += len(reachable)
+    return total / count if count else 0.0
+
+
+def clustering_coefficient(
+    graph: LabeledGraph, samples: int = 200, seed: Optional[int] = None
+) -> float:
+    """Estimated mean local clustering coefficient (sampled vertices)."""
+    verts = [v for v in graph.vertices() if graph.degree(v) >= 2]
+    if not verts:
+        return 0.0
+    rng = random.Random(seed)
+    chosen = rng.sample(verts, min(samples, len(verts)))
+    total = 0.0
+    for v in chosen:
+        nbrs = list(graph.neighbors(v))
+        possible = len(nbrs) * (len(nbrs) - 1) / 2
+        closed = sum(
+            1
+            for i, a in enumerate(nbrs)
+            for b in nbrs[i + 1:]
+            if graph.has_edge(a, b)
+        )
+        total += closed / possible
+    return total / len(chosen)
+
+
+def ball_coverage(
+    graph: LabeledGraph,
+    radius: float,
+    samples: int = 20,
+    seed: Optional[int] = None,
+) -> float:
+    """Mean fraction of the graph inside a radius-``radius`` ball.
+
+    The locality number behind every PPKWS result: the paper's regime is
+    ``ball_coverage(G, tau) << 1``.  (Weighted distance, not hops.)
+    """
+    verts = list(graph.vertices())
+    if not verts:
+        return 0.0
+    rng = random.Random(seed)
+    total = 0.0
+    n = min(samples, len(verts))
+    for _ in range(n):
+        source = rng.choice(verts)
+        ball = dijkstra(graph, source, cutoff=radius)
+        total += len(ball) / len(verts)
+    return total / n
+
+
+def structural_summary(
+    graph: LabeledGraph, tau: float = 5.0, seed: int = 7
+) -> Dict[str, float]:
+    """One-call structural profile (used by dataset reports)."""
+    return {
+        "num_vertices": float(graph.num_vertices),
+        "num_edges": float(graph.num_edges),
+        "avg_degree": (
+            2.0 * graph.num_edges / graph.num_vertices if graph.num_vertices else 0.0
+        ),
+        "degree_skew": degree_skew(graph),
+        "approx_diameter": float(approximate_diameter(graph, seed=seed)),
+        "avg_path_length": average_shortest_path_length(graph, seed=seed),
+        "clustering": clustering_coefficient(graph, seed=seed),
+        "ball_coverage_tau": ball_coverage(graph, tau, seed=seed),
+    }

@@ -1,0 +1,169 @@
+"""The public-private graph model (paper Sec. II).
+
+A :class:`PublicPrivateNetwork` holds one shared public graph ``G`` and a
+collection of per-owner private graphs ``G'``.  A private graph attaches
+to the public graph through its *portal nodes* — vertices present in both
+(Def. II.1) — and each owner sees the *combined graph* ``Gc = G ⊕ G'``
+with ``Vc = V ∪ V'`` and ``Ec = E ∪ E'``.
+
+The combined graph is what the baselines (query model M2) search directly;
+PPKWS (M3) instead keeps the pieces separate and stitches distances
+through the portals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+__all__ = ["PublicPrivateNetwork", "portal_nodes", "combine"]
+
+
+def portal_nodes(public: LabeledGraph, private: LabeledGraph) -> FrozenSet[Vertex]:
+    """Portal nodes ``P = V ∩ V'`` (Def. II.1)."""
+    small, large = (
+        (private, public)
+        if private.num_vertices <= public.num_vertices
+        else (public, private)
+    )
+    return frozenset(v for v in small.vertices() if v in large)
+
+
+def combine(
+    public: LabeledGraph, private: LabeledGraph, name: str = ""
+) -> LabeledGraph:
+    """The combined graph ``Gc = G ⊕ G'`` (the paper's attach operation)."""
+    return public.union(private, name or f"{public.name}+{private.name}")
+
+
+class PublicPrivateNetwork:
+    """A public graph plus named private graphs, one per owner.
+
+    Example
+    -------
+    >>> pub = LabeledGraph.from_edges([(1, 2), (2, 3)], {1: {"DB"}, 3: {"AI"}})
+    >>> priv = LabeledGraph.from_edges([(3, 10)], {10: {"CV"}})
+    >>> net = PublicPrivateNetwork(pub)
+    >>> net.add_private_graph("bob", priv)
+    >>> sorted(net.portals("bob"))
+    [3]
+    >>> net.combined("bob").num_vertices
+    4
+    """
+
+    def __init__(self, public: LabeledGraph) -> None:
+        self._public = public
+        self._private: Dict[str, LabeledGraph] = {}
+        self._portals: Dict[str, FrozenSet[Vertex]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def public(self) -> LabeledGraph:
+        """The shared public graph ``G``."""
+        return self._public
+
+    def add_private_graph(
+        self,
+        owner: str,
+        private: LabeledGraph,
+        require_portals: bool = True,
+    ) -> FrozenSet[Vertex]:
+        """Register ``private`` for ``owner`` and return its portal set.
+
+        ``require_portals=True`` (the default) rejects a private graph
+        with no common vertex — such a graph can never contribute to a
+        public-private answer and attaching it is almost always a caller
+        bug.  Pass ``False`` to allow fully detached private graphs.
+        """
+        if owner in self._private:
+            raise GraphError(f"owner {owner!r} already has a private graph")
+        portals = portal_nodes(self._public, private)
+        if require_portals and not portals:
+            raise GraphError(
+                f"private graph of {owner!r} shares no vertex with the "
+                "public graph (no portal nodes)"
+            )
+        self._private[owner] = private
+        self._portals[owner] = portals
+        return portals
+
+    def remove_private_graph(self, owner: str) -> None:
+        """Forget ``owner``'s private graph."""
+        if owner not in self._private:
+            raise GraphError(f"owner {owner!r} has no private graph")
+        del self._private[owner]
+        del self._portals[owner]
+
+    def private(self, owner: str) -> LabeledGraph:
+        """The private graph ``G'`` of ``owner``."""
+        try:
+            return self._private[owner]
+        except KeyError:
+            raise GraphError(f"owner {owner!r} has no private graph") from None
+
+    def portals(self, owner: str) -> FrozenSet[Vertex]:
+        """The portal nodes of ``owner``'s private graph."""
+        try:
+            return self._portals[owner]
+        except KeyError:
+            raise GraphError(f"owner {owner!r} has no private graph") from None
+
+    def combined(self, owner: str) -> LabeledGraph:
+        """Materialize ``Gc = G ⊕ G'`` for ``owner`` (used by baselines)."""
+        return combine(self._public, self.private(owner), name=f"combined:{owner}")
+
+    def owners(self) -> Iterator[str]:
+        """Iterate over registered owners."""
+        return iter(self._private)
+
+    def __contains__(self, owner: str) -> bool:
+        return owner in self._private
+
+    def __len__(self) -> int:
+        return len(self._private)
+
+    # ------------------------------------------------------------------
+    def is_private_vertex(self, owner: str, v: Vertex) -> bool:
+        """Whether ``v`` lives in the private graph of ``owner``."""
+        return v in self.private(owner)
+
+    def is_public_vertex(self, v: Vertex) -> bool:
+        """Whether ``v`` lives in the public graph."""
+        return v in self._public
+
+    def classify_answer_vertices(
+        self, owner: str, vertices: Iterable[Vertex]
+    ) -> Tuple[bool, bool]:
+        """Return ``(touches_private, touches_public_only)`` for an answer.
+
+        A *public-private answer* (Def. II.2) must contain at least one
+        keyword vertex from the private graph and one from the public
+        graph; this helper feeds that qualification test.  Portal nodes
+        live in both graphs; a portal counts as private here, while
+        "public only" requires a vertex outside ``V'``.
+        """
+        private_graph = self.private(owner)
+        touches_private = False
+        touches_public_only = False
+        for v in vertices:
+            if v in private_graph:
+                touches_private = True
+            elif v in self._public:
+                touches_public_only = True
+        return touches_private, touches_public_only
+
+    def stats(self, owner: Optional[str] = None) -> Dict[str, float]:
+        """Tab.-V-style statistics for the network (or one owner's view)."""
+        out = dict(self._public.stats())
+        if owner is not None:
+            priv = self.private(owner)
+            out.update(
+                private_vertices=priv.num_vertices,
+                private_edges=priv.num_edges,
+                portals=len(self.portals(owner)),
+            )
+        else:
+            out.update(num_owners=len(self._private))
+        return out

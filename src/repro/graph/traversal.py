@@ -1,0 +1,283 @@
+"""Shortest-path and traversal primitives over :class:`LabeledGraph`.
+
+Everything in PPKWS is distance-driven (Sec. II of the paper: "the answers
+of all the query semantics involve the shortest distance between the nodes
+of the answer"), so these routines are the hot path of both the baseline
+algorithms and the framework itself.  They are implemented with plain
+binary heaps (``heapq``) and lazy deletion, which in CPython outperforms
+fancier decrease-key structures for the graph sizes we target.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+__all__ = [
+    "INF",
+    "dijkstra",
+    "dijkstra_with_paths",
+    "dijkstra_ordered",
+    "multi_source_dijkstra",
+    "shortest_path",
+    "shortest_distance",
+    "bfs_hops",
+    "vertices_within_hops",
+    "eccentricity",
+    "nearest_vertices_with_label",
+]
+
+INF = float("inf")
+
+
+def _check_source(graph: LabeledGraph, source: Vertex) -> None:
+    if source not in graph:
+        raise VertexNotFoundError(source)
+
+
+def dijkstra(
+    graph: LabeledGraph,
+    source: Vertex,
+    cutoff: Optional[float] = None,
+    targets: Optional[Set[Vertex]] = None,
+) -> Dict[Vertex, float]:
+    """Single-source shortest distances from ``source``.
+
+    Parameters
+    ----------
+    cutoff:
+        Stop expanding once the settled distance exceeds ``cutoff``
+        (distances strictly greater than the cutoff are not reported).
+    targets:
+        If given, stop as soon as every target is settled.  The returned
+        map still contains every settled vertex (callers often reuse it).
+    """
+    _check_source(graph, source)
+    dist: Dict[Vertex, float] = {}
+    remaining = set(targets) if targets is not None else None
+    counter = itertools.count()  # heap tie-break: vertices may not be comparable
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[v] = d
+        if remaining is not None:
+            remaining.discard(v)
+            if not remaining:
+                break
+        for u, w in graph.neighbor_items(v):
+            if u not in dist:
+                nd = d + w
+                if cutoff is None or nd <= cutoff:
+                    heapq.heappush(heap, (nd, next(counter), u))
+    return dist
+
+
+def dijkstra_with_paths(
+    graph: LabeledGraph,
+    source: Vertex,
+    cutoff: Optional[float] = None,
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    """Shortest distances plus predecessor links (for path reconstruction)."""
+    _check_source(graph, source)
+    dist: Dict[Vertex, float] = {}
+    pred: Dict[Vertex, Optional[Vertex]] = {source: None}
+    tentative: Dict[Vertex, float] = {source: 0.0}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[v] = d
+        for u, w in graph.neighbor_items(v):
+            if u in dist:
+                continue
+            nd = d + w
+            if (cutoff is None or nd <= cutoff) and nd < tentative.get(u, INF):
+                tentative[u] = nd
+                pred[u] = v
+                heapq.heappush(heap, (nd, next(counter), u))
+    return dist, pred
+
+
+def dijkstra_ordered(
+    graph: LabeledGraph,
+    source: Vertex,
+    cutoff: Optional[float] = None,
+) -> Iterator[Tuple[Vertex, float]]:
+    """Yield ``(vertex, distance)`` in non-decreasing distance order.
+
+    This is the *Dijkstra order* used to define Dijkstra ranks in the
+    sketch construction (paper Sec. V-A); it is also the workhorse of the
+    k-nk semantic, which consumes vertices lazily until k matches appear.
+    """
+    _check_source(graph, source)
+    settled: Set[Vertex] = set()
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in settled:
+            continue
+        if cutoff is not None and d > cutoff:
+            return
+        settled.add(v)
+        yield v, d
+        for u, w in graph.neighbor_items(v):
+            if u not in settled:
+                nd = d + w
+                if cutoff is None or nd <= cutoff:
+                    heapq.heappush(heap, (nd, next(counter), u))
+
+
+def multi_source_dijkstra(
+    graph: LabeledGraph,
+    sources: Iterable[Vertex],
+    cutoff: Optional[float] = None,
+) -> Dict[Vertex, float]:
+    """Shortest distance from the *nearest* of ``sources`` to each vertex.
+
+    Used for keyword-to-vertex distances: ``d(v, t) = min over u with
+    t in L(u) of d(v, u)`` is a multi-source search seeded at the
+    keyword's inverted-index bucket.
+    """
+    dist: Dict[Vertex, float] = {}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Vertex]] = []
+    for s in sources:
+        _check_source(graph, s)
+        heapq.heappush(heap, (0.0, next(counter), s))
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[v] = d
+        for u, w in graph.neighbor_items(v):
+            if u not in dist:
+                nd = d + w
+                if cutoff is None or nd <= cutoff:
+                    heapq.heappush(heap, (nd, next(counter), u))
+    return dist
+
+
+def shortest_distance(
+    graph: LabeledGraph, source: Vertex, target: Vertex
+) -> float:
+    """Exact shortest distance ``d(source, target)``; ``inf`` if unreachable."""
+    if target not in graph:
+        raise VertexNotFoundError(target)
+    dist = dijkstra(graph, source, targets={target})
+    return dist.get(target, INF)
+
+
+def shortest_path(
+    graph: LabeledGraph, source: Vertex, target: Vertex
+) -> Optional[List[Vertex]]:
+    """An actual shortest path as a vertex list, or ``None`` if unreachable."""
+    if target not in graph:
+        raise VertexNotFoundError(target)
+    _check_source(graph, source)
+    dist: Dict[Vertex, float] = {}
+    pred: Dict[Vertex, Vertex] = {}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
+    tentative: Dict[Vertex, float] = {source: 0.0}
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in dist:
+            continue
+        dist[v] = d
+        if v == target:
+            break
+        for u, w in graph.neighbor_items(v):
+            if u in dist:
+                continue
+            nd = d + w
+            if nd < tentative.get(u, INF):
+                tentative[u] = nd
+                pred[u] = v
+                heapq.heappush(heap, (nd, next(counter), u))
+    if target not in dist:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return path
+
+
+def bfs_hops(
+    graph: LabeledGraph,
+    source: Vertex,
+    max_hops: Optional[int] = None,
+) -> Dict[Vertex, int]:
+    """Hop counts (unweighted BFS distance) from ``source``.
+
+    AComplete for Blinks expands portals "up to x hops" on the public
+    graph (paper Algo 5) — this is that traversal.
+    """
+    _check_source(graph, source)
+    hops = {source: 0}
+    frontier = [source]
+    level = 0
+    while frontier and (max_hops is None or level < max_hops):
+        level += 1
+        nxt: List[Vertex] = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in hops:
+                    hops[u] = level
+                    nxt.append(u)
+        frontier = nxt
+    return hops
+
+
+def vertices_within_hops(
+    graph: LabeledGraph, source: Vertex, max_hops: int
+) -> Set[Vertex]:
+    """The ball of radius ``max_hops`` (in hops) around ``source``."""
+    return set(bfs_hops(graph, source, max_hops))
+
+
+def eccentricity(graph: LabeledGraph, source: Vertex) -> float:
+    """Largest finite shortest distance from ``source``."""
+    dist = dijkstra(graph, source)
+    return max(dist.values()) if dist else 0.0
+
+
+def nearest_vertices_with_label(
+    graph: LabeledGraph,
+    source: Vertex,
+    label: str,
+    k: int = 1,
+    cutoff: Optional[float] = None,
+    accept: Optional[Callable[[Vertex], bool]] = None,
+) -> List[Tuple[Vertex, float]]:
+    """The ``k`` nearest vertices to ``source`` carrying ``label``.
+
+    This is the exact (index-free) k-nk primitive: expand Dijkstra from
+    ``source`` and collect matches lazily.  ``accept`` can further filter
+    candidates (used by PEval to also admit portal nodes).
+    """
+    matches: List[Tuple[Vertex, float]] = []
+    for v, d in dijkstra_ordered(graph, source, cutoff=cutoff):
+        is_match = graph.has_label(v, label)
+        if accept is not None:
+            is_match = is_match or accept(v)
+        if is_match:
+            matches.append((v, d))
+            if len(matches) >= k:
+                break
+    return matches

@@ -1,0 +1,198 @@
+"""Read-only combined-graph *view*: ``G ⊕ G'`` without materialization.
+
+The paper's baselines must evaluate on the combined graph; materializing
+``Gc`` copies the entire public graph per user.  :class:`CombinedView`
+instead presents the union lazily — adjacency, labels and the inverted
+label index are computed on access by consulting both underlying graphs —
+so any algorithm written against the :class:`LabeledGraph` read API
+(all of :mod:`repro.semantics`, :mod:`repro.graph.traversal`) runs on the
+combined view unchanged, with O(1) setup cost.
+
+Semantics match :meth:`LabeledGraph.union`: vertex/edge union, label
+union on shared vertices, minimum weight on shared edges.  The view is a
+snapshot-by-reference: mutations of the underlying graphs show through
+(callers who need isolation should materialize).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+__all__ = ["CombinedView", "combine_lazy"]
+
+
+class CombinedView:
+    """A read-only union view over a public and a private graph.
+
+    Implements the read surface of :class:`LabeledGraph` (everything the
+    traversal and semantics modules touch); mutating methods are absent
+    by design, so accidental writes fail loudly with ``AttributeError``.
+    """
+
+    __slots__ = ("public", "private", "name")
+
+    def __init__(
+        self, public: LabeledGraph, private: LabeledGraph, name: str = ""
+    ) -> None:
+        self.public = public
+        self.private = private
+        self.name = name or f"view:{public.name}+{private.name}"
+
+    # ------------------------------------------------------------------
+    # vertex set
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self.public or v in self.private
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return self.vertices()
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def vertices(self) -> Iterator[Vertex]:
+        """All vertices of the union, each exactly once."""
+        for v in self.public.vertices():
+            yield v
+        for v in self.private.vertices():
+            if v not in self.public:
+                yield v
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V ∪ V'|`` (portals counted once)."""
+        shared = sum(1 for v in self.private.vertices() if v in self.public)
+        return self.public.num_vertices + self.private.num_vertices - shared
+
+    @property
+    def num_edges(self) -> int:
+        """``|E ∪ E'|`` (shared edges counted once)."""
+        shared = sum(
+            1
+            for u, v, _ in self.private.edges()
+            if self.public.has_edge(u, v)
+        )
+        return self.public.num_edges + self.private.num_edges - shared
+
+    @property
+    def size(self) -> int:
+        """``|V| + |E|`` of the union."""
+        return self.num_vertices + self.num_edges
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Union of the two neighbor sets."""
+        return iter(dict(self.neighbor_items(v)))
+
+    def neighbor_items(self, v: Vertex) -> Iterable[Tuple[Vertex, float]]:
+        """``(neighbor, weight)`` pairs; shared edges take the min weight."""
+        in_public = v in self.public
+        in_private = v in self.private
+        if not in_public and not in_private:
+            raise VertexNotFoundError(v)
+        if in_public and not in_private:
+            return self.public.neighbor_items(v)
+        if in_private and not in_public:
+            return self.private.neighbor_items(v)
+        merged: Dict[Vertex, float] = dict(self.public.neighbor_items(v))
+        for u, w in self.private.neighbor_items(v):
+            if w < merged.get(u, float("inf")):
+                merged[u] = w
+        return merged.items()
+
+    def degree(self, v: Vertex) -> int:
+        """Number of distinct neighbors in the union."""
+        return sum(1 for _ in self.neighbors(v))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the edge exists in either graph."""
+        return self.public.has_edge(u, v) or self.private.has_edge(u, v)
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Minimum of the two weights (consistent with ⊕)."""
+        weights = []
+        if self.public.has_edge(u, v):
+            weights.append(self.public.weight(u, v))
+        if self.private.has_edge(u, v):
+            weights.append(self.private.weight(u, v))
+        if not weights:
+            from repro.exceptions import EdgeNotFoundError
+
+            raise EdgeNotFoundError(u, v)
+        return min(weights)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Each union edge once, with the effective (min) weight."""
+        for u, v, w in self.public.edges():
+            if self.private.has_edge(u, v):
+                w = min(w, self.private.weight(u, v))
+            yield u, v, w
+        for u, v, w in self.private.edges():
+            if not self.public.has_edge(u, v):
+                yield u, v, w
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def labels(self, v: Vertex) -> FrozenSet[Label]:
+        """Label union ``L(v) ∪ L'(v)``."""
+        out: FrozenSet[Label] = frozenset()
+        found = False
+        if v in self.public:
+            out |= self.public.labels(v)
+            found = True
+        if v in self.private:
+            out |= self.private.labels(v)
+            found = True
+        if not found:
+            raise VertexNotFoundError(v)
+        return out
+
+    def has_label(self, v: Vertex, label: Label) -> bool:
+        """Whether ``label`` appears on ``v`` in either graph."""
+        return label in self.labels(v)
+
+    def vertices_with_label(self, label: Label) -> FrozenSet[Vertex]:
+        """Union of the two inverted-index buckets."""
+        return self.public.vertices_with_label(label) | (
+            self.private.vertices_with_label(label)
+        )
+
+    def label_universe(self) -> FrozenSet[Label]:
+        """Union of the label alphabets."""
+        return self.public.label_universe() | self.private.label_universe()
+
+    def label_frequency(self, label: Label) -> int:
+        """Number of union vertices carrying ``label``."""
+        return len(self.vertices_with_label(label))
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> LabeledGraph:
+        """An independent :class:`LabeledGraph` copy of the union."""
+        return self.public.union(self.private, name=self.name)
+
+    def stats(self) -> Mapping[str, float]:
+        """Tab.-V-style statistics of the union."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_labels": len(self.label_universe()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CombinedView {self.name!r} |V|={self.num_vertices} "
+            f"|E|={self.num_edges}>"
+        )
+
+
+def combine_lazy(
+    public: LabeledGraph, private: LabeledGraph, name: str = ""
+) -> CombinedView:
+    """A zero-copy combined view of ``G ⊕ G'`` (read-only)."""
+    return CombinedView(public, private, name)

@@ -1,0 +1,170 @@
+"""Portal distance maps and their combined-graph refinement (Sec. V-C).
+
+Portals are the only places where shortest paths can cross between the
+public and private graphs, and there are few of them, so PPKWS
+precomputes:
+
+* ``d(p_i, p_j)``  — all-pairs portal distances on the public graph ``G``,
+* ``d'(p_i, p_j)`` — all-pairs portal distances on the private graph ``G'``,
+
+and then *refines* them into the combined-graph portal distances
+``dc(p_i, p_j)`` with the fixpoint of the paper's Algo 7: start from the
+pointwise minimum of the two maps and repeatedly relax triangles through
+other portals until nothing improves.  The result equals the true
+all-pairs shortest distances between portals on ``Gc`` (we test this
+against Dijkstra on the materialized combined graph).
+
+The refinement also records *which portal pairs actually improved* over
+the private-graph distances — the bookkeeping behind the reduced-answer-
+refinement optimization (Sec. VI-A, Lemma VI.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import INF, dijkstra
+
+__all__ = [
+    "PortalDistanceMap",
+    "all_pairs_portal_distances",
+    "refine_portal_distances",
+]
+
+
+class PortalDistanceMap:
+    """Symmetric map of shortest distances between portal nodes.
+
+    Missing pairs are treated as unreachable (``inf``).  Storage is a
+    symmetric dict-of-dicts — every pair is stored in both orientations —
+    because :meth:`get` sits on the answer-refinement hot path and must
+    be a plain double dict lookup (portals may be incomparable objects,
+    so there is no cheap canonical ordering).  The map is tiny anyway:
+    ``O(|P|^2)`` with ``|P| << |V|``.
+    """
+
+    __slots__ = ("portals", "_adj")
+
+    def __init__(self, portals: Iterable[Vertex]) -> None:
+        self.portals: FrozenSet[Vertex] = frozenset(portals)
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+
+    def get(self, p: Vertex, q: Vertex) -> float:
+        """Distance between two portals (``0`` on the diagonal)."""
+        if p == q:
+            return 0.0
+        row = self._adj.get(p)
+        if row is None:
+            return INF
+        return row.get(q, INF)
+
+    def set(self, p: Vertex, q: Vertex, d: float) -> None:
+        """Record ``d(p, q)``; the diagonal is implicit and immutable."""
+        if p != q:
+            self._adj.setdefault(p, {})[q] = d
+            self._adj.setdefault(q, {})[p] = d
+
+    def improve(self, p: Vertex, q: Vertex, d: float) -> bool:
+        """Lower ``d(p, q)`` to ``d`` if smaller; report whether it changed."""
+        if p == q or d >= self.get(p, q):
+            return False
+        self.set(p, q, d)
+        return True
+
+    def pairs(self) -> Iterable[Tuple[Vertex, Vertex, float]]:
+        """Iterate each stored unordered pair once as ``(p, q, distance)``."""
+        seen: set = set()
+        for p, row in self._adj.items():
+            for q, d in row.items():
+                if q not in seen:
+                    yield p, q, d
+            seen.add(p)
+
+    def copy(self) -> "PortalDistanceMap":
+        """An independent copy (refinement mutates in place)."""
+        out = PortalDistanceMap(self.portals)
+        out._adj = {p: dict(row) for p, row in self._adj.items()}
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(row) for row in self._adj.values()) // 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PortalDistanceMap |P|={len(self.portals)} pairs={len(self)}>"
+
+
+def all_pairs_portal_distances(
+    graph: LabeledGraph, portals: Iterable[Vertex]
+) -> PortalDistanceMap:
+    """All-pairs shortest distances between ``portals`` within ``graph``.
+
+    Runs one Dijkstra per portal, early-terminated once the other portals
+    are settled.  Portals absent from ``graph`` simply stay unreachable —
+    this happens for private-only analysis of portals of another owner.
+    """
+    portal_list = [p for p in portals]
+    pmap = PortalDistanceMap(portal_list)
+    present = [p for p in portal_list if p in graph]
+    target_set = set(present)
+    for p in present:
+        dist = dijkstra(graph, p, targets=set(target_set))
+        for q in present:
+            if q != p:
+                d = dist.get(q, INF)
+                if d < INF:
+                    pmap.improve(p, q, d)
+    return pmap
+
+
+def refine_portal_distances(
+    public_map: PortalDistanceMap,
+    private_map: PortalDistanceMap,
+) -> Tuple[PortalDistanceMap, Set[Tuple[Vertex, Vertex]]]:
+    """Combine portal maps into the combined-graph map ``dc`` (Algo 7).
+
+    Returns ``(dc, refined_pairs)`` where ``refined_pairs`` contains the
+    portal pairs (in *both* orientations, for direct iteration) whose
+    combined distance became strictly smaller than the private-graph
+    distance — exactly the pairs that can make answer refinement
+    worthwhile (Lemma VI.1): a detour through an unrefined pair is a
+    private-graph path and can never beat a private shortest distance.
+    """
+    portals = public_map.portals | private_map.portals
+    combined = PortalDistanceMap(portals)
+    counter = itertools.count()  # tie-break: portals may be incomparable
+    queue: List[Tuple[float, int, Vertex, Vertex]] = []
+
+    # Initialization: pointwise minimum of the two maps (Algo 7 lines 2-5).
+    for p, q in itertools.combinations(sorted(portals, key=repr), 2):
+        d = min(public_map.get(p, q), private_map.get(p, q))
+        if d < INF:
+            combined.set(p, q, d)
+            heapq.heappush(queue, (d, next(counter), p, q))
+
+    # Fixpoint relaxation through intermediate portals (lines 6-14).
+    portal_list = list(portals)
+    while queue:
+        dist, _, p1, p2 = heapq.heappop(queue)
+        if dist > combined.get(p1, p2):
+            continue  # stale queue entry
+        for pi in portal_list:
+            if pi == p1 or pi == p2:
+                continue
+            via_p1 = combined.get(pi, p1)
+            if via_p1 + dist < combined.get(pi, p2):
+                combined.set(pi, p2, via_p1 + dist)
+                heapq.heappush(queue, (via_p1 + dist, next(counter), pi, p2))
+            via_p2 = combined.get(pi, p2)
+            if via_p2 + dist < combined.get(pi, p1):
+                combined.set(pi, p1, via_p2 + dist)
+                heapq.heappush(queue, (via_p2 + dist, next(counter), pi, p1))
+
+    refined: Set[Tuple[Vertex, Vertex]] = set()
+    for p, q, d in combined.pairs():
+        if d < private_map.get(p, q):
+            refined.add((p, q))
+            refined.add((q, p))
+    return combined, refined

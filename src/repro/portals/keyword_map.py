@@ -1,0 +1,107 @@
+"""Portal-keyword and vertex-portal distance maps (paper Sec. V-C).
+
+Two small private-graph-side indexes complete the picture:
+
+* **PKD** (portal-keyword distance map): for each portal ``p`` and each
+  keyword ``t`` in the private graph's alphabet, the nearest private
+  vertex carrying ``t`` and its distance ``d'(p, v)``.
+* **Vertex-portal map**: ``d'(v, p)`` for every private vertex ``v`` and
+  portal ``p`` — the entry/exit costs of paths that detour through the
+  public graph (Eq. 4/5).
+
+Both are built with one Dijkstra per portal over the (small) private
+graph, so construction is ``O(|P| * |G'| log |G'|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import INF, dijkstra
+
+__all__ = [
+    "PortalKeywordEntry",
+    "PortalKeywordDistanceMap",
+    "VertexPortalDistanceMap",
+    "build_private_maps",
+]
+
+
+@dataclass(frozen=True)
+class PortalKeywordEntry:
+    """``PKD(p, t)``: the nearest private vertex with ``t`` and its distance."""
+
+    vertex: Vertex
+    distance: float
+
+
+class PortalKeywordDistanceMap:
+    """``(portal, keyword) -> PortalKeywordEntry`` over the private graph."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[Vertex, Label], PortalKeywordEntry] = {}
+
+    def record(self, portal: Vertex, keyword: Label, vertex: Vertex, d: float) -> None:
+        """Keep the closest witness for ``(portal, keyword)``."""
+        key = (portal, keyword)
+        cur = self._entries.get(key)
+        if cur is None or d < cur.distance:
+            self._entries[key] = PortalKeywordEntry(vertex, d)
+
+    def get(self, portal: Vertex, keyword: Label) -> Optional[PortalKeywordEntry]:
+        """Lookup ``PKD(p, t)``; ``None`` when the keyword is unreachable."""
+        return self._entries.get((portal, keyword))
+
+    def distance(self, portal: Vertex, keyword: Label) -> float:
+        """Distance-only lookup (``inf`` when absent)."""
+        entry = self._entries.get((portal, keyword))
+        return entry.distance if entry is not None else INF
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class VertexPortalDistanceMap:
+    """``d'(v, p)`` for private vertices ``v`` and portals ``p``."""
+
+    __slots__ = ("_by_vertex", "portals")
+
+    def __init__(self, portals: Iterable[Vertex]) -> None:
+        self.portals: FrozenSet[Vertex] = frozenset(portals)
+        self._by_vertex: Dict[Vertex, Dict[Vertex, float]] = {}
+
+    def record(self, v: Vertex, portal: Vertex, d: float) -> None:
+        """Store ``d'(v, portal)``."""
+        self._by_vertex.setdefault(v, {})[portal] = d
+
+    def get(self, v: Vertex, portal: Vertex) -> float:
+        """``d'(v, portal)`` (``inf`` when unreachable)."""
+        return self._by_vertex.get(v, {}).get(portal, INF)
+
+    def portal_distances(self, v: Vertex) -> Mapping[Vertex, float]:
+        """All portal distances of ``v`` — the inner loop of Eq. 4/5."""
+        return self._by_vertex.get(v, {})
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._by_vertex.values())
+
+
+def build_private_maps(
+    private: LabeledGraph,
+    portals: Iterable[Vertex],
+) -> Tuple[PortalKeywordDistanceMap, VertexPortalDistanceMap]:
+    """Build PKD and the vertex-portal map with one Dijkstra per portal."""
+    portal_list = [p for p in portals if p in private]
+    pkd = PortalKeywordDistanceMap()
+    vpm = VertexPortalDistanceMap(portal_list)
+    for p in portal_list:
+        dist = dijkstra(private, p)
+        for v, d in dist.items():
+            vpm.record(v, p, d)
+            for t in private.labels(v):
+                pkd.record(p, t, v, d)
+    return pkd, vpm

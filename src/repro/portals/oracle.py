@@ -1,0 +1,262 @@
+"""Distance oracles over the (never materialized) combined graph.
+
+Two layers:
+
+* **Public-distance providers** answer vertex-vertex and vertex-keyword
+  distance queries *within the public graph*.  The production provider is
+  sketch-based (PADS + KPADS, Eq. 2/3, ``O(k ln |V|)`` per query); an
+  exact Dijkstra-backed provider with the same interface exists for
+  testing and for measuring sketch accuracy.
+
+* :class:`CombinedDistanceOracle` combines a private graph's local maps
+  (vertex-portal, PKD) with the refined portal map ``dc`` and a public
+  provider to evaluate the paper's Eq. 4 (vertex-vertex refinement) and
+  Eq. 5 (vertex-keyword refinement) without ever touching ``Gc``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import INF, dijkstra, dijkstra_ordered
+from repro.portals.distance_map import PortalDistanceMap
+from repro.portals.keyword_map import (
+    PortalKeywordDistanceMap,
+    VertexPortalDistanceMap,
+)
+from repro.sketches.base import DistanceSketch
+from repro.sketches.kpads import KeywordSketch
+
+__all__ = [
+    "SketchPublicDistance",
+    "ExactPublicDistance",
+    "CombinedDistanceOracle",
+]
+
+
+class SketchPublicDistance:
+    """Public-graph distances estimated from PADS/KPADS (the fast path)."""
+
+    __slots__ = ("pads", "kpads")
+
+    def __init__(self, pads: DistanceSketch, kpads: KeywordSketch) -> None:
+        self.pads = pads
+        self.kpads = kpads
+
+    def vertex_distance(self, u: Vertex, v: Vertex) -> float:
+        """``d_hat(u, v)`` on the public graph (Eq. 2)."""
+        return self.pads.estimate(u, v)
+
+    def keyword_distance(self, v: Vertex, keyword: Label) -> float:
+        """``d_hat(v, t)`` on the public graph (Eq. 3)."""
+        return self.kpads.estimate(self.pads, v, keyword)
+
+    def keyword_distance_with_witness(
+        self, v: Vertex, keyword: Label
+    ) -> Tuple[float, Optional[Vertex]]:
+        """``d_hat(v, t)`` plus the matched public vertex."""
+        return self.kpads.estimate_with_witness(self.pads, v, keyword)
+
+
+class ExactPublicDistance:
+    """Exact Dijkstra-backed provider (testing / accuracy baselines).
+
+    Caches one full distance map per queried source, which is fine for
+    the small graphs used in tests but deliberately *not* what PPKWS
+    does in production — the whole point of PADS is avoiding this.
+    """
+
+    __slots__ = ("graph", "_cache")
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self.graph = graph
+        self._cache: Dict[Vertex, Dict[Vertex, float]] = {}
+
+    def _distances_from(self, source: Vertex) -> Dict[Vertex, float]:
+        if source not in self._cache:
+            self._cache[source] = dijkstra(self.graph, source)
+        return self._cache[source]
+
+    def vertex_distance(self, u: Vertex, v: Vertex) -> float:
+        """Exact ``d(u, v)`` on the public graph."""
+        if u not in self.graph or v not in self.graph:
+            return INF
+        return self._distances_from(u).get(v, INF)
+
+    def keyword_distance(self, v: Vertex, keyword: Label) -> float:
+        """Exact ``d(v, t)`` on the public graph."""
+        return self.keyword_distance_with_witness(v, keyword)[0]
+
+    def keyword_distance_with_witness(
+        self, v: Vertex, keyword: Label
+    ) -> Tuple[float, Optional[Vertex]]:
+        """Exact nearest public vertex carrying ``keyword``."""
+        if v not in self.graph or not self.graph.vertices_with_label(keyword):
+            return INF, None
+        for u, d in dijkstra_ordered(self.graph, v):
+            if self.graph.has_label(u, keyword):
+                return d, u
+        return INF, None
+
+
+class CombinedDistanceOracle:
+    """Eq. 4 / Eq. 5 evaluation: combined-graph distances through portals.
+
+    The oracle never builds ``Gc``.  For private vertices it knows the
+    vertex-portal distances and the refined portal map; for the public
+    side it delegates to a public-distance provider.
+    """
+
+    __slots__ = ("private", "portal_map", "vertex_portal", "pkd", "public")
+
+    def __init__(
+        self,
+        private: LabeledGraph,
+        portal_map: PortalDistanceMap,
+        vertex_portal: VertexPortalDistanceMap,
+        pkd: PortalKeywordDistanceMap,
+        public: SketchPublicDistance,
+    ) -> None:
+        self.private = private
+        self.portal_map = portal_map
+        self.vertex_portal = vertex_portal
+        self.pkd = pkd
+        self.public = public
+
+    # ------------------------------------------------------------------
+    def refine_pair(
+        self,
+        v1: Vertex,
+        v2: Vertex,
+        upper: float,
+        pairs_by_source: Optional[Mapping[Vertex, Tuple[Vertex, ...]]] = None,
+    ) -> float:
+        """Eq. 4: tighten a private-graph distance with portal detours.
+
+        ``upper`` is the current bound (typically ``d'(v1, v2)``); the
+        result is the minimum of ``upper`` and every two-portal detour
+        ``d'(v1, p_i) + dc(p_i, p_j) + d'(p_j, v2)``.
+
+        ``pairs_by_source`` restricts the detour middles to the given
+        portal pairs (first portal -> allowed second portals) — the
+        Sec.-VI-A reduced refinement passes the *refined* pairs, which is
+        lossless: a detour through an unrefined pair is itself a
+        private-graph path, so it cannot beat ``d'(v1, v2)``.
+        """
+        best = upper
+        from_v1 = self.vertex_portal.portal_distances(v1)
+        to_v2 = self.vertex_portal.portal_distances(v2)
+        if not from_v1 or not to_v2:
+            return best
+        pmap = self.portal_map
+        for pi, d1 in from_v1.items():
+            if d1 >= best:
+                continue
+            if pairs_by_source is not None:
+                for pj in pairs_by_source.get(pi, ()):
+                    d2 = to_v2.get(pj)
+                    if d2 is None:
+                        continue
+                    total = d1 + pmap.get(pi, pj) + d2
+                    if total < best:
+                        best = total
+            else:
+                for pj, d2 in to_v2.items():
+                    total = d1 + pmap.get(pi, pj) + d2
+                    if total < best:
+                        best = total
+        return best
+
+    def refine_vertex_keyword(
+        self,
+        v: Vertex,
+        keyword: Label,
+        upper: float,
+        pairs_by_source: Optional[Mapping[Vertex, Tuple[Vertex, ...]]] = None,
+    ) -> float:
+        """Eq. 5: tighten a private vertex-to-keyword distance via PKD.
+
+        ``pairs_by_source`` restricts detours as in :meth:`refine_pair`.
+        """
+        return self.refine_vertex_keyword_with_witness(
+            v, keyword, upper, pairs_by_source
+        )[0]
+
+    def refine_vertex_keyword_with_witness(
+        self,
+        v: Vertex,
+        keyword: Label,
+        upper: float,
+        pairs_by_source: Optional[Mapping[Vertex, Tuple[Vertex, ...]]] = None,
+    ) -> Tuple[float, Optional[Vertex]]:
+        """Eq. 5 plus the keyword vertex realizing the refined distance.
+
+        The witness is ``None`` when ``upper`` was not improved (the
+        caller's existing match vertex remains correct).
+        """
+        best = upper
+        witness: Optional[Vertex] = None
+        from_v = self.vertex_portal.portal_distances(v)
+        if not from_v:
+            return best, witness
+        pmap = self.portal_map
+        pkd = self.pkd
+        # PKD tails depend only on the middle portal: fetch each once.
+        tails: Dict[Vertex, Tuple[float, Vertex]] = {}
+        for pi, d1 in from_v.items():
+            if d1 >= best:
+                continue
+            middles = (
+                pairs_by_source.get(pi, ())
+                if pairs_by_source is not None
+                else pmap.portals
+            )
+            for pj in middles:
+                cached = tails.get(pj)
+                if cached is None:
+                    entry = pkd.get(pj, keyword)
+                    if entry is None:
+                        tails[pj] = (INF, pj)
+                        continue
+                    cached = (entry.distance, entry.vertex)
+                    tails[pj] = cached
+                tail, tail_witness = cached
+                if tail is INF:
+                    continue
+                total = d1 + pmap.get(pi, pj) + tail
+                if total < best:
+                    best = total
+                    witness = tail_witness
+        return best, witness
+
+    # ------------------------------------------------------------------
+    def private_to_public_vertex(self, v: Vertex, u: Vertex) -> float:
+        """Distance from private vertex ``v`` to public vertex ``u``.
+
+        Paths must exit through some portal: ``min over p of
+        d'(v, p) + d_public(p, u)``.
+        """
+        best = INF
+        for p, d1 in self.vertex_portal.portal_distances(v).items():
+            d2 = self.public.vertex_distance(p, u)
+            if d1 + d2 < best:
+                best = d1 + d2
+        return best
+
+    def private_to_public_keyword(
+        self, v: Vertex, keyword: Label
+    ) -> Tuple[float, Optional[Vertex]]:
+        """Nearest *public* vertex carrying ``keyword`` from private ``v``.
+
+        The AComplete building block: exit through the best portal and
+        finish with a KPADS lookup.  Returns ``(distance, witness)``.
+        """
+        best = INF
+        witness: Optional[Vertex] = None
+        for p, d1 in self.vertex_portal.portal_distances(v).items():
+            d2, w = self.public.keyword_distance_with_witness(p, keyword)
+            if d1 + d2 < best:
+                best = d1 + d2
+                witness = w
+        return best, witness

@@ -1,0 +1,120 @@
+"""Answer representations shared by the baselines and the framework.
+
+All three semantics of the paper report *rooted* answers built from
+keyword matches:
+
+* Blinks: a tree root ``r`` with one matched leaf per query keyword and
+  the distances ``d(r, leaf)``;
+* r-clique: a star center with one matched vertex per keyword (the
+  paper's partial-answer tuple ``<v, match>`` in Sec. IV-A);
+* k-nk: a ranked list of ``(vertex, distance)`` matches.
+
+The same :class:`RootedAnswer` therefore serves Blinks and r-clique, and
+the PPKWS partial answers in :mod:`repro.core` extend these classes with
+refinement bookkeeping rather than reinventing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.traversal import INF
+
+__all__ = ["Match", "RootedAnswer", "KnkAnswer"]
+
+
+@dataclass
+class Match:
+    """One keyword match: the matched vertex and its distance to the root.
+
+    ``vertex`` may be ``None`` while a keyword is still *missing* (PPKWS
+    partial answers route such keywords through portals before completion
+    fills in a real match).
+    """
+
+    vertex: Optional[Vertex]
+    distance: float
+
+    def is_resolved(self) -> bool:
+        """Whether an actual matched vertex is known."""
+        return self.vertex is not None and self.distance < INF
+
+    def copy(self) -> "Match":
+        return Match(self.vertex, self.distance)
+
+
+@dataclass
+class RootedAnswer:
+    """A root vertex plus one :class:`Match` per query keyword."""
+
+    root: Vertex
+    matches: Dict[Label, Match] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def weight(self) -> float:
+        """Total distance — the ranking weight used by all semantics."""
+        return sum(m.distance for m in self.matches.values())
+
+    def max_distance(self) -> float:
+        """The largest per-keyword distance (the bound the semantics cap)."""
+        if not self.matches:
+            return 0.0
+        return max(m.distance for m in self.matches.values())
+
+    def is_complete(self, keywords: Iterator[Label]) -> bool:
+        """Whether every query keyword has a resolved match."""
+        return all(
+            q in self.matches and self.matches[q].is_resolved() for q in keywords
+        )
+
+    def within_bound(self, tau: float) -> bool:
+        """Whether every match distance respects the semantic's bound."""
+        return all(m.distance <= tau for m in self.matches.values())
+
+    def vertices(self) -> List[Vertex]:
+        """Root plus all resolved match vertices (for qualification tests)."""
+        out = [self.root]
+        out.extend(m.vertex for m in self.matches.values() if m.vertex is not None)
+        return out
+
+    def copy(self) -> "RootedAnswer":
+        """Deep copy (match objects are duplicated)."""
+        return RootedAnswer(
+            self.root, {q: m.copy() for q, m in self.matches.items()}
+        )
+
+    def sort_key(self) -> Tuple[float, str]:
+        """Deterministic ordering: weight, then root representation."""
+        return (self.weight(), repr(self.root))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{q}:({m.vertex!r},{m.distance:g})" for q, m in sorted(self.matches.items())
+        )
+        return f"<Answer root={self.root!r} {parts} w={self.weight():g}>"
+
+
+@dataclass
+class KnkAnswer:
+    """Ranked top-k nearest-keyword matches for a ``(v, q, k)`` query."""
+
+    source: Vertex
+    keyword: Label
+    matches: List[Match] = field(default_factory=list)
+
+    def distances(self) -> List[float]:
+        """The ranked distance list (non-decreasing)."""
+        return [m.distance for m in self.matches]
+
+    def vertices(self) -> List[Vertex]:
+        """The ranked matched vertices."""
+        return [m.vertex for m in self.matches if m.vertex is not None]
+
+    def kth_distance(self) -> float:
+        """Distance of the worst reported match (``inf`` if empty)."""
+        return self.matches[-1].distance if self.matches else INF
+
+    def __len__(self) -> int:
+        return len(self.matches)

@@ -1,0 +1,113 @@
+"""The Blinks keyword-search semantic (He et al., SIGMOD'07; paper Sec. IV-B).
+
+A query is ``(Q, tau)``.  An answer is a subtree rooted at ``r`` with one
+leaf ``v_i`` per keyword ``q_i`` such that ``q_i in L(v_i)`` and
+``d(r, v_i) <= tau``.  Answers are ranked by total root-to-leaf distance.
+
+Evaluation is *backward expansion*: every vertex carrying ``q_i`` is a
+search origin for ``q_i``; a multi-origin Dijkstra per keyword sweeps
+backwards (the graph is undirected, so backward = forward here) and a
+vertex becomes an answer root once every keyword's expansion has reached
+it.  We track, per reached vertex and keyword, the nearest origin — the
+witness leaf reported in the answer.  This runs all expansions to the
+``tau`` cutoff, which is exactly the flooding cost the PPKWS paper's
+baselines pay on the combined graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.semantics.answers import Match, RootedAnswer
+
+__all__ = ["blinks_search", "keyword_expansion"]
+
+
+def keyword_expansion(
+    graph: LabeledGraph,
+    origins: Iterable[Vertex],
+    tau: float,
+) -> Dict[Vertex, Match]:
+    """Multi-origin Dijkstra with witness tracking, cut off at ``tau``.
+
+    Returns, for every vertex within distance ``tau`` of some origin, a
+    :class:`Match` holding the nearest origin and its distance.
+    """
+    reached: Dict[Vertex, Match] = {}
+    heap: List[Tuple[float, int, Vertex, Vertex]] = []
+    counter = 0
+    for o in origins:
+        if o in graph:
+            heap.append((0.0, counter, o, o))
+            counter += 1
+    heapq.heapify(heap)
+    while heap:
+        d, _, v, origin = heapq.heappop(heap)
+        if v in reached:
+            continue
+        if d > tau:
+            break
+        reached[v] = Match(origin, d)
+        for u, w in graph.neighbor_items(v):
+            if u not in reached and d + w <= tau:
+                counter += 1
+                heapq.heappush(heap, (d + w, counter, u, origin))
+    return reached
+
+
+def blinks_search(
+    graph: LabeledGraph,
+    keywords: Sequence[Label],
+    tau: float,
+    k: int = 10,
+    extra_origins: Optional[Dict[Label, Set[Vertex]]] = None,
+) -> List[RootedAnswer]:
+    """Top-``k`` Blinks answers for ``(keywords, tau)`` on ``graph``.
+
+    Parameters
+    ----------
+    extra_origins:
+        Additional per-keyword origin vertices admitted *as if* they
+        carried the keyword.  PEval uses this to seed portal nodes so
+        partial answers can route missing keywords through the public
+        graph; plain baseline callers leave it unset.
+
+    Returns answers sorted by total weight (ascending), at most ``k``.
+    """
+    if not keywords:
+        raise QueryError("Blinks query needs at least one keyword")
+    if tau < 0:
+        raise QueryError(f"distance bound tau must be >= 0, got {tau}")
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+
+    unique_keywords = list(dict.fromkeys(keywords))
+    per_keyword: Dict[Label, Dict[Vertex, Match]] = {}
+    for q in unique_keywords:
+        origins: Set[Vertex] = set(graph.vertices_with_label(q))
+        if extra_origins and q in extra_origins:
+            origins |= {v for v in extra_origins[q] if v in graph}
+        per_keyword[q] = keyword_expansion(graph, origins, tau) if origins else {}
+
+    # Root discovery: vertices covered by every keyword expansion.  Start
+    # from the smallest cover to keep the intersection cheap.
+    covers = sorted(per_keyword.values(), key=len)
+    if not covers or not covers[0]:
+        return []
+    candidate_roots = set(covers[0])
+    for cover in covers[1:]:
+        candidate_roots &= cover.keys()
+        if not candidate_roots:
+            return []
+
+    answers = [
+        RootedAnswer(
+            r, {q: per_keyword[q][r].copy() for q in unique_keywords}
+        )
+        for r in candidate_roots
+    ]
+    answers.sort(key=RootedAnswer.sort_key)
+    return answers[:k]

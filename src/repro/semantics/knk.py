@@ -1,0 +1,57 @@
+"""The k-nk semantic: top-k nearest keyword search (Jiang et al.,
+SIGMOD'15; paper Sec. IV-C and Appx. A).
+
+A query is a triple ``(v, q, k)``: find the ``k`` vertices nearest to the
+query vertex ``v`` that carry keyword ``q``, ranked by distance.  The
+index-free evaluation is a single Dijkstra from ``v`` that collects
+matches lazily and stops at the ``k``-th — which is also exactly what
+PEval runs on the private graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import dijkstra_ordered
+from repro.semantics.answers import KnkAnswer, Match
+
+__all__ = ["knk_search"]
+
+
+def knk_search(
+    graph: LabeledGraph,
+    source: Vertex,
+    keyword: Label,
+    k: int,
+    cutoff: Optional[float] = None,
+    extra_matches: Optional[Iterable[Vertex]] = None,
+) -> KnkAnswer:
+    """Top-``k`` nearest vertices to ``source`` carrying ``keyword``.
+
+    Parameters
+    ----------
+    cutoff:
+        Optional distance bound (matches further away are not reported).
+    extra_matches:
+        Vertices treated as matches regardless of labels — PEval admits
+        the portal nodes this way so answers can later be completed with
+        public-graph matches reached through them.
+
+    The source vertex itself is a valid match when it carries the keyword
+    (distance 0), consistent with [13].
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not keyword:
+        raise QueryError("k-nk query needs a non-empty keyword")
+
+    extras: Set[Vertex] = set(extra_matches or ())
+    answer = KnkAnswer(source, keyword, [])
+    for v, d in dijkstra_ordered(graph, source, cutoff=cutoff):
+        if graph.has_label(v, keyword) or v in extras:
+            answer.matches.append(Match(v, d))
+            if len(answer.matches) >= k:
+                break
+    return answer

@@ -1,0 +1,68 @@
+"""Multi-keyword k-nk: conjunctive and disjunctive extensions.
+
+The paper notes (Sec. II) that the k-nk semantics "have been extended to
+the conjunction and disjunction of multiple keywords".  We provide both:
+
+* **conjunction** (``mode="and"``): the k nearest vertices carrying
+  *every* query keyword;
+* **disjunction** (``mode="or"``): the k nearest vertices carrying *at
+  least one* query keyword.
+
+Both are single distance-ordered sweeps with a different match
+predicate, so they inherit k-nk's early-termination behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import dijkstra_ordered
+from repro.semantics.answers import KnkAnswer, Match
+
+__all__ = ["knk_multi_search", "match_predicate"]
+
+_MODES = ("and", "or")
+
+
+def match_predicate(
+    graph: LabeledGraph, keywords: Sequence[Label], mode: str
+):
+    """The vertex-match test for a multi-keyword k-nk query."""
+    keyword_set = frozenset(keywords)
+    if mode == "and":
+        return lambda v: keyword_set <= graph.labels(v)
+    if mode == "or":
+        return lambda v: bool(keyword_set & graph.labels(v))
+    raise QueryError(f"mode must be one of {_MODES}, got {mode!r}")
+
+
+def knk_multi_search(
+    graph: LabeledGraph,
+    source: Vertex,
+    keywords: Sequence[Label],
+    k: int,
+    mode: str = "and",
+    cutoff: Optional[float] = None,
+    extra_matches: Optional[Iterable[Vertex]] = None,
+) -> KnkAnswer:
+    """Top-``k`` nearest vertices matching ``keywords`` under ``mode``.
+
+    The answer's ``keyword`` field records the query as
+    ``"kw1&kw2"`` / ``"kw1|kw2"`` for display purposes.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not keywords:
+        raise QueryError("multi-keyword k-nk needs at least one keyword")
+    predicate = match_predicate(graph, keywords, mode)
+    extras: Set[Vertex] = set(extra_matches or ())
+    joiner = "&" if mode == "and" else "|"
+    answer = KnkAnswer(source, joiner.join(keywords), [])
+    for v, d in dijkstra_ordered(graph, source, cutoff=cutoff):
+        if predicate(v) or v in extras:
+            answer.matches.append(Match(v, d))
+            if len(answer.matches) >= k:
+                break
+    return answer

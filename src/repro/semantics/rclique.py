@@ -1,0 +1,242 @@
+"""The r-clique keyword-search semantic (Kargar & An, PVLDB'11; Sec. IV-A).
+
+A query is ``(Q, tau)``; an answer assigns one matched vertex per keyword
+so that the matches are pairwise close.  Following the paper's Algo 2 we
+use the *star* form of the approximation algorithm: each answer has a
+root ``v_i`` (itself matching one keyword) and, for every other keyword
+``q_j``, the candidate ``u_j`` nearest to the root.  Stars are enumerated
+best-first with Lawler-style search-space decomposition to produce top-k
+distinct answers; the star weight ``sum_j d(v_i, u_j)`` 2-approximates
+the clique weight and the triangle inequality bounds pairwise distances
+by ``2 tau`` (paper Thm. A.5 analyses the resulting quality).
+
+Nearest-candidate queries are answered from a per-query *neighbor index*
+(the paper builds Kargar-An's ``R = 3`` neighbor index): one multi-origin
+Dijkstra per keyword records for every vertex its ``m`` nearest candidate
+origins, so decomposition (which excludes candidates) can fall back to
+the next-nearest entry without re-searching.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import INF
+from repro.semantics.answers import Match, RootedAnswer
+
+__all__ = ["rclique_search", "NeighborLists", "build_neighbor_lists"]
+
+
+class NeighborLists:
+    """Per-vertex sorted lists of nearest candidate origins per keyword."""
+
+    __slots__ = ("lists",)
+
+    def __init__(self, lists: Dict[Label, Dict[Vertex, List[Tuple[float, Vertex]]]]):
+        self.lists = lists
+
+    def nearest(
+        self, v: Vertex, keyword: Label, excluded: FrozenSet[Vertex]
+    ) -> Optional[Tuple[float, Vertex]]:
+        """The nearest non-excluded candidate for ``keyword`` from ``v``."""
+        for d, u in self.lists.get(keyword, {}).get(v, ()):
+            if u not in excluded:
+                return d, u
+        return None
+
+
+def build_neighbor_lists(
+    graph: LabeledGraph,
+    candidates: Dict[Label, Set[Vertex]],
+    tau: float,
+    m: int,
+) -> NeighborLists:
+    """One bounded multi-origin Dijkstra per keyword, keeping ``m`` origins.
+
+    Each vertex's list holds its ``m`` nearest *distinct* origins in
+    non-decreasing distance order (entries pop off the heap in distance
+    order, so appends keep lists sorted).
+    """
+    out: Dict[Label, Dict[Vertex, List[Tuple[float, Vertex]]]] = {}
+    for keyword, origins in candidates.items():
+        lists: Dict[Vertex, List[Tuple[float, Vertex]]] = {}
+        heap: List[Tuple[float, int, Vertex, Vertex]] = []
+        counter = itertools.count()
+        for o in origins:
+            if o in graph:
+                heap.append((0.0, next(counter), o, o))
+        heapq.heapify(heap)
+        while heap:
+            d, _, v, origin = heapq.heappop(heap)
+            lst = lists.setdefault(v, [])
+            if len(lst) >= m or any(o == origin for _, o in lst):
+                continue
+            lst.append((d, origin))
+            for u, w in graph.neighbor_items(v):
+                nd = d + w
+                if nd <= tau and len(lists.get(u, ())) < m:
+                    heapq.heappush(heap, (nd, next(counter), u, origin))
+        out[keyword] = lists
+    return NeighborLists(out)
+
+
+def _find_top_answer(
+    keywords: Sequence[Label],
+    candidates: Dict[Label, Set[Vertex]],
+    exclusions: Tuple[FrozenSet[Vertex], ...],
+    index: NeighborLists,
+) -> Optional[RootedAnswer]:
+    """Algo 2's ``FindTopAnswer``: best star within the (excluded) space."""
+    best: Optional[RootedAnswer] = None
+    best_weight = INF
+    for i, qi in enumerate(keywords):
+        for root in candidates[qi]:
+            if root in exclusions[i]:
+                continue
+            matches: Dict[Label, Match] = {qi: Match(root, 0.0)}
+            weight = 0.0
+            feasible = True
+            for j, qj in enumerate(keywords):
+                if j == i:
+                    continue
+                hit = index.nearest(root, qj, exclusions[j])
+                if hit is None:
+                    feasible = False
+                    break
+                d, u = hit
+                matches[qj] = Match(u, d)
+                weight += d
+                if weight >= best_weight:
+                    feasible = False
+                    break
+            if feasible and weight < best_weight:
+                best = RootedAnswer(root, matches)
+                best_weight = weight
+    return best
+
+
+def rclique_search(
+    graph: LabeledGraph,
+    keywords: Sequence[Label],
+    tau: float,
+    k: int = 10,
+    extra_candidates: Optional[Iterable[Vertex]] = None,
+    enforce_bound: bool = True,
+    neighbor_list_size: Optional[int] = None,
+    search_cutoff: Optional[float] = None,
+) -> List[RootedAnswer]:
+    """Top-``k`` (approximate) r-clique answers for ``(keywords, tau)``.
+
+    Parameters
+    ----------
+    extra_candidates:
+        Vertices admitted as candidates for *every* keyword regardless of
+        their labels — PEval passes the portal nodes here (Algo 2 line 1),
+        leaving their keywords to be completed on the public graph.
+    enforce_bound:
+        When true (baseline behaviour) answers whose star distances
+        exceed ``tau`` are discarded during the search.  PEval disables
+        this: a partial answer over the private graph may still shrink
+        below ``tau`` once portal detours are refined in.
+    neighbor_list_size:
+        Entries kept per (vertex, keyword) in the neighbor index;
+        defaults to ``k + 1`` which suffices for ``k`` decompositions.
+    search_cutoff:
+        Radius of the neighbor index (Kargar-An's ``R``).  Defaults to
+        ``tau`` when the bound is enforced, otherwise to a bound covering
+        the whole graph.  PEval passes ``tau`` explicitly: like the
+        paper's ``R = 3`` neighbor index, matches beyond the radius are
+        not recorded even though over-``tau`` partials are kept.
+    """
+    if not keywords:
+        raise QueryError("r-clique query needs at least one keyword")
+    if tau < 0:
+        raise QueryError(f"distance bound tau must be >= 0, got {tau}")
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+
+    unique_keywords = list(dict.fromkeys(keywords))
+    extra = set(extra_candidates or ())
+    candidates: Dict[Label, Set[Vertex]] = {}
+    for q in unique_keywords:
+        cand = set(graph.vertices_with_label(q)) | {v for v in extra if v in graph}
+        if not cand:
+            return []  # some keyword is unmatchable
+        candidates[q] = cand
+
+    # The index cutoff: with the bound enforced a match beyond tau is
+    # useless; without it we cap exploration at the requested radius or,
+    # failing that, at a bound covering the whole graph.
+    if search_cutoff is not None:
+        cutoff = search_cutoff
+    elif enforce_bound:
+        cutoff = tau
+    else:
+        cutoff = max(tau, _graph_radius_bound(graph))
+    m = neighbor_list_size if neighbor_list_size is not None else k + 1
+    index = build_neighbor_lists(graph, candidates, cutoff, m)
+
+    empty = tuple(frozenset() for _ in unique_keywords)
+    first = _find_top_answer(unique_keywords, candidates, empty, index)
+    if first is None:
+        return []
+
+    results: List[RootedAnswer] = []
+    seen_answers: Set[Tuple[Tuple[Label, Vertex], ...]] = set()
+    seen_spaces: Set[Tuple[FrozenSet[Vertex], ...]] = {empty}
+    heap: List[Tuple[float, int, Tuple[FrozenSet[Vertex], ...], RootedAnswer]] = []
+    tiebreak = itertools.count()
+    heapq.heappush(heap, (first.weight(), next(tiebreak), empty, first))
+
+    # Pop budget: with remove-only decomposition the space lattice is
+    # exponential, and when fewer than k distinct answers exist an
+    # unbounded loop would enumerate all of it.  Decomposing only spaces
+    # whose top answer is fresh keeps the frontier linear in k; the
+    # budget is a belt-and-braces cap.
+    pops_remaining = max(64, 16 * k)
+    while heap and len(results) < k and pops_remaining > 0:
+        pops_remaining -= 1
+        _, _, space, answer = heapq.heappop(heap)
+        signature = tuple(
+            sorted(((q, m.vertex) for q, m in answer.matches.items()), key=repr)
+        )
+        fresh = signature not in seen_answers
+        if fresh:
+            seen_answers.add(signature)
+            if not enforce_bound or answer.within_bound(tau):
+                results.append(answer)
+        else:
+            continue
+        # Decompose (Algo 2 line 10): one subspace per keyword, excluding
+        # that keyword's matched vertex.
+        for i, qi in enumerate(unique_keywords):
+            matched = answer.matches[qi].vertex
+            if matched is None:
+                continue
+            new_space = tuple(
+                excl | {matched} if j == i else excl
+                for j, excl in enumerate(space)
+            )
+            if new_space in seen_spaces:
+                continue
+            seen_spaces.add(new_space)
+            nxt = _find_top_answer(unique_keywords, candidates, new_space, index)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt.weight(), next(tiebreak), new_space, nxt))
+
+    results.sort(key=RootedAnswer.sort_key)
+    return results
+
+
+def _graph_radius_bound(graph: LabeledGraph) -> float:
+    """A safe Dijkstra cutoff covering any shortest path in ``graph``.
+
+    Sum of all edge weights upper-bounds every simple path; used only for
+    small private graphs during PEval, where exactness matters more than
+    the cutoff's tightness.
+    """
+    return sum(w for _, _, w in graph.edges()) or 1.0

@@ -1,0 +1,198 @@
+"""An embeddable PPKWS service: dict-in / dict-out request execution.
+
+Applications embedding the library (or wrapping it behind RPC) want a
+single stable entry point rather than the full Python API.
+:class:`PPKWSService` manages named networks (public graph + per-user
+attachments + indexes) and executes plain-dict requests::
+
+    service = PPKWSService()
+    service.create_network("collab", public_graph)
+    service.attach_user("collab", "bob", private_graph)
+    response = service.execute({
+        "op": "blinks", "network": "collab", "owner": "bob",
+        "keywords": ["DB", "AI"], "tau": 4.0, "k": 5,
+    })
+
+Responses are plain dicts with ``status`` = ``"ok"`` / ``"error"`` — no
+library exception ever escapes :meth:`execute`, making the facade safe
+to expose to untrusted request producers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.framework import PPKWS, QueryOptions
+from repro.exceptions import ReproError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.semantics.answers import KnkAnswer, RootedAnswer
+
+__all__ = ["PPKWSService"]
+
+
+def _serialize_rooted(answer: RootedAnswer) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "root": answer.root,
+        "weight": answer.weight(),
+        "matches": {
+            q: {"vertex": m.vertex, "distance": m.distance}
+            for q, m in answer.matches.items()
+        },
+    }
+    edges = getattr(answer, "edges", None)
+    if edges:
+        out["tree_edges"] = [sorted(e, key=repr) for e in edges]
+    return out
+
+
+def _serialize_knk(answer: KnkAnswer) -> Dict[str, Any]:
+    return {
+        "source": answer.source,
+        "keyword": answer.keyword,
+        "matches": [
+            {"vertex": m.vertex, "distance": m.distance}
+            for m in answer.matches
+        ],
+    }
+
+
+class PPKWSService:
+    """Named-network registry plus a uniform request executor."""
+
+    def __init__(self, sketch_k: int = 2, options: Optional[QueryOptions] = None):
+        self._sketch_k = sketch_k
+        self._options = options
+        self._engines: Dict[str, PPKWS] = {}
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def create_network(self, name: str, public: LabeledGraph) -> None:
+        """Register a public graph under ``name`` and build its index."""
+        if name in self._engines:
+            raise ReproError(f"network {name!r} already exists")
+        self._engines[name] = PPKWS(
+            public, sketch_k=self._sketch_k, options=self._options
+        )
+
+    def drop_network(self, name: str) -> None:
+        """Forget a network and all its attachments."""
+        if name not in self._engines:
+            raise ReproError(f"network {name!r} does not exist")
+        del self._engines[name]
+
+    def attach_user(self, network: str, owner: str, private: LabeledGraph) -> int:
+        """Attach a user's private graph; returns the portal count."""
+        engine = self._engine(network)
+        attachment = engine.attach(owner, private)
+        return len(attachment.portals)
+
+    def detach_user(self, network: str, owner: str) -> None:
+        """Detach a user's private graph."""
+        self._engine(network).detach(owner)
+
+    def networks(self) -> List[str]:
+        """Registered network names."""
+        return sorted(self._engines)
+
+    def _engine(self, network: str) -> PPKWS:
+        try:
+            return self._engines[network]
+        except KeyError:
+            raise ReproError(f"network {network!r} does not exist") from None
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
+    def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one request dict; never raises library errors."""
+        try:
+            op = request.get("op")
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                return {
+                    "status": "error",
+                    "error": f"unknown op {op!r}; valid ops: "
+                             f"{sorted(self._HANDLERS)}",
+                }
+            return handler(self, request)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            return {"status": "error", "error": str(exc) or repr(exc)}
+
+    # -- handlers -------------------------------------------------------
+    def _rooted_query(self, request: Dict[str, Any], method: str) -> Dict[str, Any]:
+        engine = self._engine(request["network"])
+        run = getattr(engine, method)
+        result = run(
+            request["owner"],
+            list(request["keywords"]),
+            float(request.get("tau", 5.0)),
+            k=int(request.get("k", 10)),
+        )
+        return {
+            "status": "ok",
+            "answers": [_serialize_rooted(a) for a in result.answers],
+            "breakdown": {
+                "peval": result.breakdown.peval,
+                "arefine": result.breakdown.arefine,
+                "acomplete": result.breakdown.acomplete,
+            },
+        }
+
+    def _op_blinks(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._rooted_query(request, "blinks")
+
+    def _op_rclique(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._rooted_query(request, "rclique")
+
+    def _op_banks(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._rooted_query(request, "banks")
+
+    def _op_knk(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        engine = self._engine(request["network"])
+        result = engine.knk(
+            request["owner"],
+            request["source"],
+            request["keyword"],
+            int(request.get("k", 10)),
+        )
+        return {"status": "ok", "answer": _serialize_knk(result.answer)}
+
+    def _op_knk_multi(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        engine = self._engine(request["network"])
+        result = engine.knk_multi(
+            request["owner"],
+            request["source"],
+            list(request["keywords"]),
+            int(request.get("k", 10)),
+            mode=request.get("mode", "and"),
+        )
+        return {"status": "ok", "answer": _serialize_knk(result.answer)}
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        engine = self._engine(request["network"])
+        out: Dict[str, Any] = {
+            "status": "ok",
+            "public": dict(engine.public.stats()),
+            "owners": engine.owners(),
+            "index_entries": engine.index.pads.total_entries,
+        }
+        owner = request.get("owner")
+        if owner is not None:
+            attachment = engine.attachment(owner)
+            out["attachment"] = {
+                "private_vertices": attachment.private.num_vertices,
+                "private_edges": attachment.private.num_edges,
+                "portals": len(attachment.portals),
+                "refined_portal_pairs": len(attachment.refined_portal_pairs) // 2,
+            }
+        return out
+
+    _HANDLERS: Dict[str, Callable[["PPKWSService", Dict[str, Any]], Dict[str, Any]]] = {
+        "blinks": _op_blinks,
+        "rclique": _op_rclique,
+        "banks": _op_banks,
+        "knk": _op_knk,
+        "knk_multi": _op_knk_multi,
+        "stats": _op_stats,
+    }

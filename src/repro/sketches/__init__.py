@@ -1,0 +1,21 @@
+"""Distance-sketch indexes: ADS (baseline), PADS and KPADS (paper Sec. V)."""
+
+from repro.sketches.ads import build_ads, random_ranks
+from repro.sketches.base import DistanceSketch, build_sketch_from_ranks
+from repro.sketches.kpads import KeywordSketch, build_kpads
+from repro.sketches.pads import approximation_factor, build_pads
+from repro.sketches.stats import SketchQuality, measure_quality, timed_build
+
+__all__ = [
+    "DistanceSketch",
+    "KeywordSketch",
+    "SketchQuality",
+    "approximation_factor",
+    "build_ads",
+    "build_kpads",
+    "build_pads",
+    "build_sketch_from_ranks",
+    "measure_quality",
+    "random_ranks",
+    "timed_build",
+]

@@ -1,0 +1,38 @@
+"""All-Distance Sketches (ADS) — the baseline index (Cohen, TKDE'15).
+
+Each vertex is assigned a uniform random value in [0, 1]; a vertex ``u``
+enters the sketch of ``v`` when it has one of the ``k`` largest values
+among the vertices traversed from ``v`` in Dijkstra order (paper Sec. V-A).
+PADS replaces these random priorities with PageRank; everything else is
+shared via :func:`repro.sketches.base.build_sketch_from_ranks`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.sketches.base import DistanceSketch, build_sketch_from_ranks
+
+__all__ = ["build_ads", "random_ranks"]
+
+
+def random_ranks(graph: LabeledGraph, seed: Optional[int] = None) -> Dict[Vertex, float]:
+    """Uniform random priorities in [0, 1], deterministic per ``seed``."""
+    rng = random.Random(seed)
+    return {v: rng.random() for v in graph.vertices()}
+
+
+def build_ads(
+    graph: LabeledGraph,
+    k: int = 2,
+    seed: Optional[int] = None,
+) -> DistanceSketch:
+    """Build the ADS index with bottom-k parameter ``k``.
+
+    A larger ``k`` yields larger, more accurate sketches (expected size
+    ``O(k ln |V|)`` per vertex).
+    """
+    ranks = random_ranks(graph, seed)
+    return build_sketch_from_ranks(graph, ranks, k, kind="ADS")

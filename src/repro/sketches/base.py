@@ -1,0 +1,191 @@
+"""Core machinery shared by ADS and PADS (paper Sec. V-A).
+
+Both indexes are *all-distance sketches*: each vertex ``v`` stores a small
+map ``{center -> d(v, center)}``.  The two differ only in the priority
+used to decide which vertices become centers — random values for ADS,
+PageRank for PADS — so construction and estimation live here and the
+concrete builders just supply a rank function.
+
+Construction follows the paper's Algo 6: process candidate centers in
+descending priority; from each, run a *pruned* Dijkstra that inserts the
+center into the sketch of every visited vertex ``u`` unless ``u`` already
+holds ``k`` centers at distance ``<= d`` (in which case the traversal does
+not expand through ``u``).  The expected sketch size is ``O(k ln |V|)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import IndexBuildError
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import INF
+
+__all__ = ["DistanceSketch", "build_sketch_from_ranks"]
+
+
+class DistanceSketch:
+    """Per-vertex distance sketches plus the two-hop distance estimator.
+
+    ``entries[v]`` maps each center ``w`` in v's sketch to ``d(v, w)``.
+    Estimation (paper Eq. 2) takes the best common center:
+
+        d_hat(u, v) = min over w of  entries[u][w] + entries[v][w]
+
+    Sketch distances are along real paths, so ``d_hat`` is always an upper
+    bound of the true distance, and exact when ``u`` (or ``v``) is itself a
+    center of the other's sketch.
+    """
+
+    __slots__ = ("entries", "k", "kind")
+
+    def __init__(
+        self,
+        entries: Dict[Vertex, Dict[Vertex, float]],
+        k: int,
+        kind: str = "sketch",
+    ) -> None:
+        self.entries = entries
+        self.k = k
+        self.kind = kind
+
+    # ------------------------------------------------------------------
+    def sketch(self, v: Vertex) -> Mapping[Vertex, float]:
+        """The sketch of ``v`` (empty mapping for unknown vertices)."""
+        return self.entries.get(v, {})
+
+    def estimate(self, u: Vertex, v: Vertex) -> float:
+        """Estimated distance ``d_hat(u, v)`` (Eq. 2); ``inf`` if no overlap."""
+        if u == v:
+            return 0.0 if u in self.entries else INF
+        su = self.entries.get(u)
+        sv = self.entries.get(v)
+        if not su or not sv:
+            return INF
+        if len(su) > len(sv):
+            su, sv = sv, su
+        best = INF
+        for w, d1 in su.items():
+            d2 = sv.get(w)
+            if d2 is not None and d1 + d2 < best:
+                best = d1 + d2
+        return best
+
+    def estimate_to_sketch(self, v: Vertex, other: Mapping[Vertex, float]) -> float:
+        """Distance estimate between ``v`` and an externally built sketch.
+
+        KPADS keyword lookups use this: ``other`` is the merged keyword
+        sketch (Eq. 3).
+        """
+        sv = self.entries.get(v)
+        if not sv or not other:
+            return INF
+        if len(sv) > len(other):
+            small, large = other, sv
+        else:
+            small, large = sv, other
+        best = INF
+        for w, d1 in small.items():
+            d2 = large.get(w)
+            if d2 is not None and d1 + d2 < best:
+                best = d1 + d2
+        return best
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices carrying a sketch."""
+        return len(self.entries)
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of ``(center, distance)`` entries (the index size)."""
+        return sum(len(s) for s in self.entries.values())
+
+    def average_size(self) -> float:
+        """Mean sketch size — theory says ``O(k ln |V|)``."""
+        if not self.entries:
+            return 0.0
+        return self.total_entries / len(self.entries)
+
+    def centers(self) -> Iterable[Vertex]:
+        """All distinct centers used anywhere in the index."""
+        seen = set()
+        for s in self.entries.values():
+            seen.update(s)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DistanceSketch kind={self.kind} k={self.k} "
+            f"|V|={self.num_vertices} entries={self.total_entries}>"
+        )
+
+
+def build_sketch_from_ranks(
+    graph: LabeledGraph,
+    ranks: Mapping[Vertex, float],
+    k: int,
+    kind: str = "sketch",
+    tie_break: Optional[Mapping[Vertex, int]] = None,
+) -> DistanceSketch:
+    """Build an all-distance sketch given per-vertex priorities (Algo 6).
+
+    Parameters
+    ----------
+    ranks:
+        Priority of each vertex (higher = more likely to be a center);
+        PageRank for PADS, uniform random values for ADS.
+    k:
+        The bottom-k parameter: a center at distance ``d`` enters the
+        sketch of ``u`` only while fewer than ``k`` existing centers sit
+        within distance ``d`` of ``u``.
+    tie_break:
+        Optional deterministic total order used when priorities tie.
+    """
+    if k < 1:
+        raise IndexBuildError(f"sketch parameter k must be >= 1, got {k}")
+    missing = [v for v in graph.vertices() if v not in ranks]
+    if missing:
+        raise IndexBuildError(
+            f"ranks missing for {len(missing)} vertices (e.g. {missing[0]!r})"
+        )
+
+    entries: Dict[Vertex, Dict[Vertex, float]] = {v: {} for v in graph.vertices()}
+    # Per-vertex sorted list of distances already in the sketch; used for
+    # the "< k entries with distance <= d" test via binary search.
+    import bisect
+
+    loaded: Dict[Vertex, List[float]] = {v: [] for v in graph.vertices()}
+
+    if tie_break is None:
+        tie_break = {v: i for i, v in enumerate(graph.vertices())}
+    order = sorted(
+        graph.vertices(), key=lambda v: (-ranks[v], tie_break.get(v, 0))
+    )
+
+    import itertools
+
+    for center in order:
+        # Pruned Dijkstra from the candidate center.
+        settled: Dict[Vertex, float] = {}
+        counter = itertools.count()  # tie-break: vertices may be incomparable
+        heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), center)]
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            bucket = loaded[u]
+            covered = bisect.bisect_right(bucket, d)
+            if covered >= k:
+                # u already sees k higher-priority centers within d:
+                # the center is useless for u and everything behind it.
+                continue
+            entries[u][center] = d
+            bisect.insort(bucket, d)
+            for nbr, w in graph.neighbor_items(u):
+                if nbr not in settled:
+                    heapq.heappush(heap, (d + w, next(counter), nbr))
+    return DistanceSketch(entries, k, kind)

@@ -1,0 +1,172 @@
+"""Keyword-PADS (KPADS) — per-keyword distance sketches (paper Sec. V-B).
+
+For each keyword ``t`` the sketch ``KPADS(t)`` merges the PADS of every
+vertex carrying ``t``, keeping for each center the *smallest* distance.
+A vertex-to-keyword distance is then estimated (Eq. 3) as
+
+    d_hat(v, t) = min over common centers w of PADS(v)[w] + KPADS(t)[w]
+
+with the same ``(2c-1)`` guarantee as PADS (Lemma V.2).  KPADS also keeps
+an inverted map from ``(keyword, center)`` to the *witness* vertex that
+realized the minimal distance, so answer completion can report the actual
+matched vertex, not just its distance (the paper mentions this inverted
+index in Appx. A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.traversal import INF
+from repro.sketches.base import DistanceSketch
+
+__all__ = ["KeywordSketch", "build_kpads"]
+
+
+class KeywordSketch:
+    """The merged per-keyword sketches plus the vertex-keyword estimator.
+
+    Besides the minimal per-center distance (``entries``), the sketch
+    keeps a short per-center *candidate list* (``candidates``): the
+    ``per_center`` nearest keyword vertices seen through each center.
+    The single-witness estimator only needs ``entries``; the candidate
+    lists power top-k retrieval for PP-knk's answer completion, where a
+    single nearest match per portal would under-fill the top-k.
+    """
+
+    __slots__ = ("entries", "witnesses", "candidates", "k", "per_center")
+
+    def __init__(
+        self,
+        entries: Dict[Label, Dict[Vertex, float]],
+        witnesses: Dict[Label, Dict[Vertex, Vertex]],
+        k: int,
+        candidates: Optional[Dict[Label, Dict[Vertex, List[Tuple[float, Vertex]]]]] = None,
+        per_center: int = 1,
+    ) -> None:
+        self.entries = entries
+        self.witnesses = witnesses
+        self.candidates = candidates if candidates is not None else {}
+        self.k = k
+        self.per_center = per_center
+
+    def sketch(self, keyword: Label) -> Mapping[Vertex, float]:
+        """``KPADS(t)``: center -> min distance (empty if keyword unknown)."""
+        return self.entries.get(keyword, {})
+
+    def estimate(
+        self, pads: DistanceSketch, v: Vertex, keyword: Label
+    ) -> float:
+        """Estimated ``d_hat(v, t)`` per Eq. 3; ``inf`` when not estimable."""
+        return pads.estimate_to_sketch(v, self.entries.get(keyword, {}))
+
+    def estimate_with_witness(
+        self, pads: DistanceSketch, v: Vertex, keyword: Label
+    ) -> Tuple[float, Optional[Vertex]]:
+        """Like :meth:`estimate` but also return the witness vertex.
+
+        The witness is the keyword-carrying vertex whose PADS contributed
+        the winning center, i.e. the vertex AComplete should report as the
+        match for ``keyword``.
+        """
+        kw_sketch = self.entries.get(keyword)
+        sv = pads.entries.get(v)
+        if not kw_sketch or not sv:
+            return INF, None
+        best = INF
+        best_center: Optional[Vertex] = None
+        for w, d1 in sv.items():
+            d2 = kw_sketch.get(w)
+            if d2 is not None and d1 + d2 < best:
+                best = d1 + d2
+                best_center = w
+        if best_center is None:
+            return INF, None
+        witness = self.witnesses.get(keyword, {}).get(best_center)
+        return best, witness
+
+    def top_candidates(
+        self, pads: DistanceSketch, v: Vertex, keyword: Label, k: int
+    ) -> List[Tuple[Vertex, float]]:
+        """Up to ``k`` distinct keyword vertices nearest to ``v``.
+
+        Merges the per-center candidate lists reachable from ``v``'s
+        PADS; distances are sketch estimates (upper bounds), each the
+        length of a real path ``v -> center -> candidate``.
+        """
+        kw_lists = self.candidates.get(keyword)
+        sv = pads.entries.get(v)
+        if not kw_lists or not sv:
+            return []
+        best: Dict[Vertex, float] = {}
+        for w, d1 in sv.items():
+            for d2, u in kw_lists.get(w, ()):
+                total = d1 + d2
+                if total < best.get(u, INF):
+                    best[u] = total
+        ranked = sorted(best.items(), key=lambda item: (item[1], repr(item[0])))
+        return ranked[:k]
+
+    @property
+    def num_keywords(self) -> int:
+        """Number of keywords indexed."""
+        return len(self.entries)
+
+    @property
+    def total_entries(self) -> int:
+        """Total (keyword, center) entries — bounded by sum over vertices
+        of ``|L(v)| * |PADS(v)|`` (paper Sec. V-B)."""
+        return sum(len(s) for s in self.entries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<KeywordSketch k={self.k} keywords={self.num_keywords} "
+            f"entries={self.total_entries}>"
+        )
+
+
+def build_kpads(
+    graph: LabeledGraph,
+    pads: DistanceSketch,
+    keywords: Optional[Iterable[Label]] = None,
+    per_center: int = 4,
+) -> KeywordSketch:
+    """Merge vertex PADS into per-keyword KPADS sketches.
+
+    Parameters
+    ----------
+    keywords:
+        Restrict the index to these keywords (defaults to the full label
+        universe of ``graph``).
+    per_center:
+        Length of the per-center candidate list kept for top-k retrieval
+        (1 reproduces the paper's minimal merge exactly).
+    """
+    import bisect
+
+    vocab = list(keywords) if keywords is not None else list(graph.label_universe())
+    entries: Dict[Label, Dict[Vertex, float]] = {}
+    witnesses: Dict[Label, Dict[Vertex, Vertex]] = {}
+    candidates: Dict[Label, Dict[Vertex, List[Tuple[float, Vertex]]]] = {}
+    for t in vocab:
+        merged: Dict[Vertex, float] = {}
+        wit: Dict[Vertex, Vertex] = {}
+        lists: Dict[Vertex, List[Tuple[float, Vertex]]] = {}
+        for v in graph.vertices_with_label(t):
+            for center, d in pads.sketch(v).items():
+                if d < merged.get(center, INF):
+                    merged[center] = d
+                    wit[center] = v
+                lst = lists.setdefault(center, [])
+                if len(lst) < per_center or d < lst[-1][0]:
+                    # Insert keeping the (tiny) list sorted by distance;
+                    # vertices may be incomparable, so don't tuple-sort.
+                    pos = bisect.bisect_right([e[0] for e in lst], d)
+                    lst.insert(pos, (d, v))
+                    if len(lst) > per_center:
+                        lst.pop()
+        entries[t] = merged
+        witnesses[t] = wit
+        candidates[t] = lists
+    return KeywordSketch(entries, witnesses, pads.k, candidates, per_center)

@@ -1,0 +1,103 @@
+"""Measurement utilities for sketch quality (paper Tab. VI, Fig. 5).
+
+The paper evaluates ADS vs PADS along three axes: construction time,
+index size (number of centers) and estimation quality — the approximation
+ratio ``d_hat / d`` and the relative error ``(d_hat - d) / d`` averaged
+over sampled vertex pairs.  These helpers compute all three for any
+:class:`DistanceSketch`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.traversal import INF, dijkstra
+from repro.sketches.base import DistanceSketch
+
+__all__ = ["SketchQuality", "measure_quality", "timed_build"]
+
+
+@dataclass(frozen=True)
+class SketchQuality:
+    """Estimation-quality summary over sampled connected vertex pairs."""
+
+    pairs_sampled: int
+    mean_approx_ratio: float
+    mean_relative_error: float
+    max_approx_ratio: float
+    exact_fraction: float
+
+    def as_row(self) -> Tuple[float, float, float, float]:
+        """Compact tuple for table rendering."""
+        return (
+            self.mean_approx_ratio,
+            self.mean_relative_error,
+            self.max_approx_ratio,
+            self.exact_fraction,
+        )
+
+
+def measure_quality(
+    graph: LabeledGraph,
+    sketch: DistanceSketch,
+    num_pairs: int = 1000,
+    seed: Optional[int] = None,
+) -> SketchQuality:
+    """Sample vertex pairs and compare sketch estimates to exact Dijkstra.
+
+    Pairs are sampled uniformly; unreachable pairs and self-pairs are
+    skipped (the paper samples from connected pairs).  Sampling sources
+    are grouped so one Dijkstra run serves many pairs.
+    """
+    rng = random.Random(seed)
+    verts = list(graph.vertices())
+    if len(verts) < 2 or num_pairs <= 0:
+        return SketchQuality(0, 1.0, 0.0, 1.0, 1.0)
+
+    # Group samples by source so each source costs a single Dijkstra.
+    per_source = max(1, num_pairs // max(1, len(verts) // 4))
+    ratios: List[float] = []
+    exact_hits = 0
+    while len(ratios) < num_pairs:
+        s = rng.choice(verts)
+        dist = dijkstra(graph, s)
+        if len(dist) < 2:
+            continue
+        reachable = [v for v in dist if v != s]
+        if not reachable:
+            continue
+        for _ in range(min(per_source, num_pairs - len(ratios))):
+            t = rng.choice(reachable)
+            d = dist[t]
+            if d == 0:
+                continue
+            est = sketch.estimate(s, t)
+            if est is INF:
+                continue
+            ratio = est / d
+            ratios.append(ratio)
+            if est == d:
+                exact_hits += 1
+    if not ratios:
+        return SketchQuality(0, 1.0, 0.0, 1.0, 1.0)
+    mean_ratio = sum(ratios) / len(ratios)
+    return SketchQuality(
+        pairs_sampled=len(ratios),
+        mean_approx_ratio=mean_ratio,
+        mean_relative_error=mean_ratio - 1.0,
+        max_approx_ratio=max(ratios),
+        exact_fraction=exact_hits / len(ratios),
+    )
+
+
+def timed_build(
+    builder: Callable[[], DistanceSketch]
+) -> Tuple[DistanceSketch, float]:
+    """Run ``builder`` and return ``(sketch, wall_seconds)``."""
+    start = time.perf_counter()
+    sketch = builder()
+    return sketch, time.perf_counter() - start

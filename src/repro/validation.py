@@ -1,0 +1,142 @@
+"""Answer validation against exact evaluation on a materialized graph.
+
+PPKWS reports sketch-estimated distances; these helpers check any answer
+against exact Dijkstra on a given graph (typically the combined graph),
+returning a structured report instead of a bare boolean so callers and
+tests can see *why* an answer is invalid.
+
+Checks performed per semantic:
+
+* matched vertices genuinely carry their keywords;
+* every reported distance is **achievable** (>= the true shortest
+  distance — sketch estimates are upper bounds, so a reported distance
+  below the true one indicates a bug);
+* distances respect the semantic's bound ``tau`` (Blinks / r-clique);
+* the answer is public-private when required (Def. II.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.qualify import answer_sides
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.traversal import INF, dijkstra
+from repro.semantics.answers import KnkAnswer, RootedAnswer
+
+__all__ = ["ValidationReport", "validate_rooted_answer", "validate_knk_answer"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one answer."""
+
+    valid: bool
+    problems: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.valid
+
+    @classmethod
+    def ok(cls) -> "ValidationReport":
+        return cls(True, [])
+
+    def fail(self, problem: str) -> None:
+        """Record a problem (marks the report invalid)."""
+        self.valid = False
+        self.problems.append(problem)
+
+
+def validate_rooted_answer(
+    graph: LabeledGraph,
+    answer: RootedAnswer,
+    tau: float,
+    public: Optional[LabeledGraph] = None,
+    private: Optional[LabeledGraph] = None,
+) -> ValidationReport:
+    """Validate a Blinks / r-clique answer against ``graph`` (usually Gc).
+
+    Pass ``public`` and ``private`` to additionally enforce the
+    public-private qualification of Def. II.2.
+    """
+    report = ValidationReport.ok()
+    if answer.root not in graph:
+        report.fail(f"root {answer.root!r} not in the graph")
+        return report
+    exact = dijkstra(graph, answer.root)
+    for q, m in answer.matches.items():
+        if m.vertex is None:
+            report.fail(f"keyword {q!r} has no matched vertex")
+            continue
+        if m.vertex not in graph:
+            report.fail(f"match {m.vertex!r} for {q!r} not in the graph")
+            continue
+        if not graph.has_label(m.vertex, q):
+            report.fail(f"match {m.vertex!r} does not carry keyword {q!r}")
+        true = exact.get(m.vertex, INF)
+        if m.distance < true - _EPS:
+            report.fail(
+                f"reported d(root, {m.vertex!r}) = {m.distance:g} below the "
+                f"true distance {true:g} (unachievable)"
+            )
+        if m.distance > tau + _EPS:
+            report.fail(
+                f"match {m.vertex!r} at distance {m.distance:g} exceeds "
+                f"tau = {tau:g}"
+            )
+    if public is not None and private is not None:
+        touches_private, touches_public = answer_sides(
+            (m.vertex for m in answer.matches.values()), public, private
+        )
+        if not (touches_private and touches_public):
+            report.fail("answer is not public-private (Def. II.2)")
+    return report
+
+
+def validate_knk_answer(
+    graph: LabeledGraph,
+    answer: KnkAnswer,
+    conjunctive_keywords: Optional[List[str]] = None,
+) -> ValidationReport:
+    """Validate a k-nk (or multi-keyword k-nk) answer against ``graph``.
+
+    For plain k-nk the answer's ``keyword`` must appear on every match;
+    for multi-keyword answers pass ``conjunctive_keywords`` to check all
+    of them (disjunctive answers should pass the keywords one at a time
+    and accept any).
+    """
+    report = ValidationReport.ok()
+    if answer.source not in graph:
+        report.fail(f"source {answer.source!r} not in the graph")
+        return report
+    exact = dijkstra(graph, answer.source)
+    previous = 0.0
+    for m in answer.matches:
+        if m.vertex is None or m.vertex not in graph:
+            report.fail(f"match {m.vertex!r} not in the graph")
+            continue
+        if conjunctive_keywords is not None:
+            missing = [
+                q for q in conjunctive_keywords
+                if not graph.has_label(m.vertex, q)
+            ]
+            if missing:
+                report.fail(f"match {m.vertex!r} misses keywords {missing}")
+        elif "|" not in answer.keyword and "&" not in answer.keyword:
+            if not graph.has_label(m.vertex, answer.keyword):
+                report.fail(
+                    f"match {m.vertex!r} does not carry {answer.keyword!r}"
+                )
+        true = exact.get(m.vertex, INF)
+        if m.distance < true - _EPS:
+            report.fail(
+                f"reported d(source, {m.vertex!r}) = {m.distance:g} below "
+                f"the true distance {true:g}"
+            )
+        if m.distance < previous - _EPS:
+            report.fail("matches are not sorted by distance")
+        previous = m.distance
+    return report

@@ -1,0 +1,128 @@
+"""Shared fixtures: the paper's running example and small random graphs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import LabeledGraph, combine
+
+
+@pytest.fixture
+def triangle_graph() -> LabeledGraph:
+    """Three labeled vertices in a triangle with mixed weights."""
+    g = LabeledGraph("triangle")
+    g.add_vertex("a", {"red"})
+    g.add_vertex("b", {"green"})
+    g.add_vertex("c", {"blue", "red"})
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 4.0)
+    return g
+
+
+@pytest.fixture
+def paper_public_graph() -> LabeledGraph:
+    """The public graph fragment of the paper's Fig. 4 (unit weights).
+
+    Vertices/edges follow the figure's PADS/ADS tables (Tab. II/III):
+    v0-p4-v13 chain, the v1/p1/p2 cluster, the v4/v9 area and the
+    p5/p6/p7/v7/v16 fringe.
+    """
+    g = LabeledGraph("fig4")
+    labels = {
+        "v0": {"a", "b", "f"},
+        "p4": {"e"},
+        "v13": {"f"},
+        "v1": {"f", "g"},
+        "p1": {"e"},
+        "p2": {"g"},
+        "v4": {"c", "e"},
+        "v9": {"a"},
+        "p6": {"g"},
+        "v16": {"a", "e"},
+        "v7": {"e", "f"},
+        "p5": {"f"},
+        "p7": {"f", "d"},
+    }
+    for v, ls in labels.items():
+        g.add_vertex(v, ls)
+    edges = [
+        ("v0", "p4"),
+        ("p4", "v13"),
+        ("v13", "v1"),
+        ("v13", "v4"),
+        ("v1", "p1"),
+        ("v1", "p2"),
+        ("p2", "v13"),
+        ("v4", "v9"),
+        ("v4", "p6"),
+        ("v9", "v16"),
+        ("v16", "v7"),
+        ("v7", "p7"),
+        ("v7", "p6"),
+        ("p5", "v16"),
+    ]
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def small_public_private():
+    """A compact public/private pair with interesting portal structure.
+
+    Public: an 8-cycle with chords, integer vertices 0..7.
+    Private: strings 'x1'..'x4' plus portals 2 and 5.
+    """
+    pub = LabeledGraph("pub")
+    for v in range(8):
+        pub.add_vertex(v)
+    cycle = [(i, (i + 1) % 8) for i in range(8)]
+    for u, v in cycle:
+        pub.add_edge(u, v)
+    pub.add_edge(0, 4)
+    pub.add_labels(0, {"db"})
+    pub.add_labels(3, {"ai"})
+    pub.add_labels(6, {"cv"})
+    pub.add_labels(5, {"ml"})
+
+    priv = LabeledGraph("priv")
+    priv.add_vertex(2)  # portal
+    priv.add_vertex(5)  # portal
+    priv.add_vertex("x1", {"db"})
+    priv.add_vertex("x2", {"ai"})
+    priv.add_vertex("x3", {"cv"})
+    priv.add_vertex("x4")
+    priv.add_edge(2, "x1")
+    priv.add_edge("x1", "x2")
+    priv.add_edge("x2", "x4")
+    priv.add_edge("x4", 5)
+    priv.add_edge("x3", 5)
+    return pub, priv
+
+
+@pytest.fixture
+def small_combined(small_public_private) -> LabeledGraph:
+    pub, priv = small_public_private
+    return combine(pub, priv)
+
+
+def random_connected_graph(
+    n: int, extra_edges: int, seed: int, labels=("a", "b", "c")
+) -> LabeledGraph:
+    """Random tree plus chords: connected, deterministic per seed."""
+    rng = random.Random(seed)
+    g = LabeledGraph(f"rand{seed}")
+    g.add_vertex(0)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v), rng.choice([1.0, 1.0, 2.0, 3.0]))
+    for _ in range(extra_edges):
+        u, v = rng.sample(range(n), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, rng.choice([1.0, 2.0]))
+    for v in range(n):
+        if rng.random() < 0.6:
+            g.add_labels(v, rng.sample(labels, rng.randint(1, len(labels))))
+    return g

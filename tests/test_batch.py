@@ -1,0 +1,81 @@
+"""Tests for batch sessions with persistent completion caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BatchSession, PPKWS
+from repro.datasets.queries import KeywordQuery, KnkQuery
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def session(small_public_private):
+    pub, priv = small_public_private
+    engine = PPKWS(pub, sketch_k=4)
+    engine.attach("bob", priv)
+    return BatchSession(engine, "bob"), engine
+
+
+class TestBatchSession:
+    def test_answers_identical_to_individual_queries(self, session):
+        batch, engine = session
+        for keywords in (["db", "ai"], ["db", "cv"], ["db", "ai"]):
+            via_batch = batch.blinks(keywords, tau=4.0)
+            direct = engine.blinks("bob", keywords, tau=4.0)
+            assert [a.sort_key() for a in via_batch.answers] == [
+                a.sort_key() for a in direct.answers
+            ]
+
+    def test_cache_warms_across_queries(self, session):
+        batch, _ = session
+        batch.rclique(["db", "ml"], tau=5.0)
+        misses_first = batch.cache_misses
+        batch.rclique(["db", "ml"], tau=5.0)
+        # the repeat query re-hits the same portal-keyword pairs
+        assert batch.cache_hits > 0
+        assert batch.cache_misses == misses_first
+
+    def test_knk_batch(self, session):
+        batch, engine = session
+        queries = [KnkQuery("x1", "cv", 3), KnkQuery("x2", "cv", 3)]
+        results = batch.run_knk_queries(queries)
+        assert len(results) == 2
+        direct = engine.knk("bob", "x1", "cv", 3)
+        assert results[0].answer.distances() == direct.answer.distances()
+
+    def test_keyword_workload(self, session):
+        batch, _ = session
+        queries = [
+            KeywordQuery(("db", "ai"), 4.0),
+            KeywordQuery(("db", "cv"), 4.0),
+        ]
+        results = batch.run_keyword_queries("blinks", queries)
+        assert len(results) == 2
+        results = batch.run_keyword_queries("rclique", queries)
+        assert len(results) == 2
+
+    def test_unknown_semantic(self, session):
+        batch, _ = session
+        with pytest.raises(QueryError):
+            batch.run_keyword_queries("nope", [])
+
+    def test_invalidate_clears_tables(self, session):
+        batch, _ = session
+        batch.blinks(["db", "ai"], tau=4.0)
+        batch.invalidate()
+        before = batch.cache_hits
+        batch.blinks(["db", "ai"], tau=4.0)
+        # after invalidation the first lookups miss again
+        assert batch.cache_misses > 0
+        # counters can be reset independently
+        batch.cache.reset_counters()
+        assert batch.cache_hits == 0 and batch.cache_misses == 0
+
+    def test_doctest_example(self):
+        import doctest
+
+        import repro.core.batch as mod
+
+        failures, _ = doctest.testmod(mod)
+        assert failures == 0

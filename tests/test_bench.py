@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness itself (timings, selection, rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DATASET_SCALES,
+    QueryTiming,
+    build_setup,
+    dataset_names,
+    render_breakdown,
+    render_query_comparison,
+    render_series,
+    render_table,
+    run_keyword_experiment,
+    run_knk_experiment,
+    select_representative,
+    speedups,
+    write_report,
+)
+from repro.core import StepBreakdown
+from repro.datasets import generate_keyword_queries, generate_knk_queries
+
+
+def _timing(label: str, pp: float, base: float) -> QueryTiming:
+    return QueryTiming(label, pp, base, StepBreakdown(pp / 2, pp / 4, pp / 4), 3, 2)
+
+
+class TestQueryTiming:
+    def test_speedup(self):
+        assert _timing("Q1", 0.5, 1.0).speedup == 2.0
+        assert _timing("Q1", 0.0, 1.0).speedup == float("inf")
+
+    def test_speedups_aggregate(self):
+        stats = speedups([_timing("Q1", 1.0, 2.0), _timing("Q2", 1.0, 4.0)])
+        assert stats["mean"] == pytest.approx(3.0)
+        assert stats["min"] == 2.0
+        assert stats["max"] == 4.0
+        assert stats["total"] == pytest.approx(3.0)
+
+    def test_speedups_empty(self):
+        assert speedups([])["mean"] == 0.0
+
+
+class TestSelectRepresentative:
+    def test_small_sets_pass_through(self):
+        ts = [_timing(f"Q{i}", 1.0, float(i)) for i in range(5)]
+        assert select_representative(ts, 10) == ts
+
+    def test_good_medium_bad_selection(self):
+        ts = [_timing(f"orig{i}", 1.0, float(i + 1)) for i in range(20)]
+        chosen = select_representative(ts, 10)
+        assert len(chosen) == 10
+        speed = [t.speedup for t in chosen]
+        # first three are the best, last three the worst
+        assert speed[0] >= speed[1] >= speed[2]
+        assert speed[-1] <= speed[-2] <= speed[-3]
+        assert max(speed[:3]) == 20.0
+        assert min(speed[-3:]) == 1.0
+        # relabelled Q1..Q10
+        assert [t.label for t in chosen] == [f"Q{i}" for i in range(1, 11)]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table("T", ["col", "x"], [["a", 1.5], ["bbbb", 100.0]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2]
+        assert any("bbbb" in ln for ln in lines)
+
+    def test_render_query_comparison_contains_stats(self):
+        out = render_query_comparison("cmp", [_timing("Q1", 0.5, 1.0)])
+        assert "Q1" in out
+        assert "2.0x" in out
+        assert "mean" in out
+
+    def test_render_query_comparison_m1(self):
+        t = _timing("Q1", 0.5, 1.0)
+        t.m1_seconds = 0.7
+        out = render_query_comparison("cmp", [t], include_m1=True)
+        assert "M1(ms)" in out
+
+    def test_render_breakdown_shares(self):
+        out = render_breakdown("b", [_timing("Q1", 1.0, 2.0)])
+        assert "PEval" in out
+        assert "overall shares" in out
+
+    def test_render_series(self):
+        out = render_series("s", "k", [1, 2], [[1.0, 2.0], [3.0, 4.0]], ["A", "B"])
+        assert "A" in out and "B" in out
+
+    def test_write_report(self, tmp_path):
+        path = write_report("unit", "hello\n", directory=str(tmp_path))
+        assert open(path).read() == "hello\n"
+
+
+class TestExperimentRegistry:
+    def test_dataset_names(self):
+        assert dataset_names() == ["yago", "dbpedia", "ppdblp"]
+        for scale in DATASET_SCALES:
+            assert set(DATASET_SCALES[scale]) == set(dataset_names())
+
+    def test_build_setup_small(self):
+        setup = build_setup("yago", scale="small")
+        assert setup.name == "yago"
+        assert setup.engine.owners() == [setup.owner]
+        assert setup.combined.num_vertices >= setup.dataset.public.num_vertices
+        assert setup.private.num_vertices < setup.dataset.public.num_vertices
+
+
+class TestHarnessLoops:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return build_setup("ppdblp", scale="small")
+
+    def test_run_keyword_experiment(self, setup):
+        queries = generate_keyword_queries(
+            setup.dataset.public, setup.private, num_queries=2, tau=4.0, seed=9
+        )
+        timings = run_keyword_experiment(
+            setup.engine, setup.owner, "blinks", queries, setup.combined, k=5
+        )
+        assert len(timings) == 2
+        for t in timings:
+            assert t.pp_seconds > 0
+            assert t.baseline_seconds > 0
+            assert t.m1_seconds is None
+
+    def test_run_keyword_experiment_with_m1(self, setup):
+        queries = generate_keyword_queries(
+            setup.dataset.public, setup.private, num_queries=1, tau=4.0, seed=10
+        )
+        timings = run_keyword_experiment(
+            setup.engine, setup.owner, "rclique", queries, setup.combined,
+            k=5, include_m1=True,
+        )
+        assert timings[0].m1_seconds is not None
+
+    def test_run_keyword_experiment_bad_semantic(self, setup):
+        queries = generate_keyword_queries(
+            setup.dataset.public, setup.private, num_queries=1, seed=11
+        )
+        with pytest.raises(ValueError):
+            run_keyword_experiment(
+                setup.engine, setup.owner, "nope", queries, setup.combined
+            )
+
+    def test_run_knk_experiment(self, setup):
+        queries = generate_knk_queries(
+            setup.dataset.public, setup.private, num_queries=2, k=8, seed=12
+        )
+        timings = run_knk_experiment(
+            setup.engine, setup.owner, queries, setup.combined
+        )
+        assert len(timings) == 2
+        for t in timings:
+            assert t.pp_answers <= 8

@@ -1,0 +1,148 @@
+"""Tests for synthetic datasets and query workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    dataset_by_name,
+    dbpedia_like,
+    generate_keyword_queries,
+    generate_knk_queries,
+    ppdblp_like,
+    yago_like,
+)
+from repro.exceptions import DatasetError, QueryError
+from repro.graph import portal_nodes
+
+
+class TestDatasetFamilies:
+    @pytest.mark.parametrize(
+        "builder,avg_labels",
+        [(yago_like, 3.8), (dbpedia_like, 3.7)],
+    )
+    def test_knowledge_graph_label_density(self, builder, avg_labels):
+        ds = builder(num_vertices=600, num_labels=80, seed=1)
+        assert ds.public.average_labels_per_vertex() == pytest.approx(
+            avg_labels, abs=0.5
+        )
+
+    def test_yago_degree(self):
+        ds = yago_like(num_vertices=600, seed=2)
+        avg_degree = 2 * ds.public.num_edges / ds.public.num_vertices
+        assert 3.5 <= avg_degree <= 5.0
+
+    def test_ppdblp_label_density(self):
+        ds = ppdblp_like(num_communities=10, community_size=20, seed=3)
+        assert ds.public.average_labels_per_vertex() == pytest.approx(10.0, abs=1.0)
+
+    def test_private_graph_has_portals(self):
+        ds = yago_like(num_vertices=500, private_vertices=50, seed=4)
+        priv = ds.private("user0")
+        portals = portal_nodes(ds.public, priv)
+        assert portals
+        assert priv.num_vertices == pytest.approx(50, abs=10)
+
+    def test_multiple_private_graphs(self):
+        ds = yago_like(num_vertices=500, num_private=3, seed=5)
+        assert len(ds.owners()) == 3
+        for owner in ds.owners():
+            assert portal_nodes(ds.public, ds.private(owner))
+
+    def test_unknown_owner(self):
+        ds = yago_like(num_vertices=300, seed=6)
+        with pytest.raises(DatasetError):
+            ds.private("ghost")
+
+    def test_deterministic_per_seed(self):
+        d1 = yago_like(num_vertices=400, seed=7)
+        d2 = yago_like(num_vertices=400, seed=7)
+        assert d1.public.num_edges == d2.public.num_edges
+        assert sorted(map(repr, d1.private("user0").vertices())) == sorted(
+            map(repr, d2.private("user0").vertices())
+        )
+
+    def test_dataset_by_name(self):
+        ds = dataset_by_name("yago", num_vertices=300, seed=8)
+        assert ds.name == "yago"
+        with pytest.raises(DatasetError):
+            dataset_by_name("nope")
+
+    def test_hub_overlay_creates_degree_skew(self):
+        ds = yago_like(num_vertices=1000, seed=9)
+        degrees = sorted(ds.public.degree(v) for v in ds.public.vertices())
+        assert degrees[-1] >= 2.0 * (2 * ds.public.num_edges / 1000)
+
+
+class TestKeywordQueryGeneration:
+    def _ds(self):
+        return yago_like(num_vertices=500, num_labels=60, seed=10)
+
+    def test_queries_straddle_alphabets(self):
+        ds = self._ds()
+        priv = ds.private("user0")
+        queries = generate_keyword_queries(ds.public, priv, 20, seed=1)
+        priv_labels = priv.label_universe()
+        pub_labels = ds.public.label_universe()
+        for q in queries:
+            assert any(t in priv_labels for t in q.keywords)
+            assert any(t in pub_labels for t in q.keywords)
+
+    def test_keywords_distinct(self):
+        ds = self._ds()
+        queries = generate_keyword_queries(
+            ds.public, ds.private("user0"), 30, keywords_per_query=3, seed=2
+        )
+        for q in queries:
+            assert len(set(q.keywords)) == len(q.keywords)
+
+    def test_count_and_size(self):
+        ds = self._ds()
+        queries = generate_keyword_queries(
+            ds.public, ds.private("user0"), 7, keywords_per_query=4,
+            tau=6.0, seed=3,
+        )
+        assert len(queries) == 7
+        assert all(len(q.keywords) == 4 and q.tau == 6.0 for q in queries)
+
+    def test_deterministic(self):
+        ds = self._ds()
+        q1 = generate_keyword_queries(ds.public, ds.private("user0"), 5, seed=4)
+        q2 = generate_keyword_queries(ds.public, ds.private("user0"), 5, seed=4)
+        assert q1 == q2
+
+    def test_too_few_keywords_rejected(self):
+        ds = self._ds()
+        with pytest.raises(QueryError):
+            generate_keyword_queries(
+                ds.public, ds.private("user0"), 5, keywords_per_query=1
+            )
+
+    def test_unlabeled_graph_rejected(self):
+        from repro.graph import LabeledGraph
+
+        bare = LabeledGraph.from_edges([(1, 2)])
+        ds = self._ds()
+        with pytest.raises(QueryError):
+            generate_keyword_queries(ds.public, bare, 5)
+
+
+class TestKnkQueryGeneration:
+    def test_sources_are_private(self):
+        ds = yago_like(num_vertices=500, seed=11)
+        priv = ds.private("user0")
+        queries = generate_knk_queries(ds.public, priv, 20, seed=5)
+        assert len(queries) == 20
+        for q in queries:
+            assert q.source in priv
+            assert q.k == 64
+
+    def test_keywords_follow_combined_distribution(self):
+        ds = yago_like(num_vertices=800, num_labels=60, seed=12)
+        priv = ds.private("user0")
+        queries = generate_knk_queries(ds.public, priv, 200, seed=6)
+        # t0 (most frequent) should be drawn more often than t50 (rare)
+        from collections import Counter
+
+        counts = Counter(q.keyword for q in queries)
+        assert counts.get("t0", 0) > counts.get("t50", 0)

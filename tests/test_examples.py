@@ -1,0 +1,44 @@
+"""Smoke tests for the runnable examples.
+
+Only the laptop-instant examples run here (the larger ones build
+multi-thousand-vertex indexes and belong to manual runs); the goal is to
+catch API drift that would break the documented entry points.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_tells_the_fig1_story(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "answers on Bob's private graph alone : 0" in out
+    assert "public-private answers via PPKWS" in out
+    assert "root='Bob'" in out
+
+
+def test_examples_exist_and_have_docstrings():
+    expected = {
+        "quickstart.py",
+        "team_formation.py",
+        "knowledge_graph_knk.py",
+        "dynamic_private_graph.py",
+        "compare_semantics.py",
+    }
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        source = (EXAMPLES / name).read_text(encoding="utf-8")
+        assert source.lstrip().startswith('"""'), f"{name} lacks a docstring"
+        assert "def main()" in source

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    EdgeNotFoundError,
+    GraphError,
+    IndexBuildError,
+    QueryError,
+    ReproError,
+    VertexNotFoundError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, QueryError, IndexBuildError, DatasetError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_vertex_not_found_is_key_error(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(VertexNotFoundError, GraphError)
+
+    def test_edge_not_found_is_key_error(self):
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_single_except_catches_everything(self):
+        for exc in (
+            GraphError("x"),
+            QueryError("x"),
+            IndexBuildError("x"),
+            DatasetError("x"),
+            VertexNotFoundError("v"),
+            EdgeNotFoundError(1, 2),
+        ):
+            try:
+                raise exc
+            except ReproError:
+                pass
+
+
+class TestMessages:
+    def test_vertex_error_carries_vertex(self):
+        err = VertexNotFoundError("bob")
+        assert err.vertex == "bob"
+        assert "bob" in str(err)
+
+    def test_edge_error_carries_edge(self):
+        err = EdgeNotFoundError(1, "a")
+        assert err.edge == (1, "a")
+        assert "1" in str(err) and "a" in str(err)

@@ -1,0 +1,167 @@
+"""Tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DatasetError
+from repro.graph import (
+    LabeledGraph,
+    assign_zipf_labels,
+    barabasi_albert_graph,
+    community_graph,
+    erdos_renyi_graph,
+    watts_strogatz_graph,
+    zipf_weights,
+)
+
+
+class TestErdosRenyi:
+    def test_p_zero_has_no_edges(self):
+        g = erdos_renyi_graph(20, 0.0, seed=1)
+        assert g.num_edges == 0
+        assert g.num_vertices == 20
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi_graph(8, 1.0, seed=1)
+        assert g.num_edges == 8 * 7 // 2
+
+    def test_deterministic_per_seed(self):
+        g1 = erdos_renyi_graph(30, 0.2, seed=42)
+        g2 = erdos_renyi_graph(30, 0.2, seed=42)
+        assert sorted(map(repr, g1.edges())) == sorted(map(repr, g2.edges()))
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        g = erdos_renyi_graph(n, p, seed=7)
+        expected = p * n * (n - 1) / 2
+        assert expected * 0.7 < g.num_edges < expected * 1.3
+
+    def test_invalid_p(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_graph(50, 0.3, seed=3)
+        assert all(u != v for u, v, _ in g.edges())
+
+
+class TestBarabasiAlbert:
+    def test_vertex_and_edge_counts(self):
+        g = barabasi_albert_graph(100, 2, seed=1)
+        assert g.num_vertices == 100
+        # star start: m edges; then (n - m - 1) * m
+        assert g.num_edges == 2 + 97 * 2
+
+    def test_attached_vertices_have_degree_m(self):
+        # Vertices added by preferential attachment get >= m edges; the
+        # initial star's leaves may have fewer.
+        g = barabasi_albert_graph(50, 3, seed=2)
+        assert min(g.degree(v) for v in range(4, 50)) >= 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(500, 2, seed=3)
+        max_deg = max(g.degree(v) for v in g.vertices())
+        avg_deg = 2 * g.num_edges / g.num_vertices
+        assert max_deg > 4 * avg_deg
+
+    def test_connected(self):
+        assert barabasi_albert_graph(80, 2, seed=4).is_connected()
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(DatasetError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=1)
+        assert g.num_edges == 20 * 2
+        for v in g.vertices():
+            assert g.degree(v) == 4
+
+    def test_edge_count_preserved_under_rewiring(self):
+        g = watts_strogatz_graph(50, 4, 0.5, seed=2)
+        assert g.num_edges == 50 * 2
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd k
+        with pytest.raises(DatasetError):
+            watts_strogatz_graph(4, 4, 0.1)  # n <= k
+        with pytest.raises(DatasetError):
+            watts_strogatz_graph(10, 4, 2.0)  # bad beta
+
+    def test_high_diameter_vs_er(self):
+        """Low-rewire WS keeps much higher eccentricity than dense random."""
+        from repro.graph import eccentricity
+
+        ws = watts_strogatz_graph(200, 4, 0.0, seed=3)
+        assert eccentricity(ws, 0) >= 25  # ring: n / k
+
+
+class TestCommunityGraph:
+    def test_block_structure(self):
+        g = community_graph(4, 10, p_in=1.0, p_out_edges=0, seed=1)
+        assert g.num_vertices == 40
+        # complete blocks, no inter-block edges
+        assert g.num_edges == 4 * (10 * 9 // 2)
+        assert not g.is_connected()
+
+    def test_bridges_connect(self):
+        g = community_graph(3, 15, p_in=0.5, p_out_edges=60, seed=2)
+        comps = list(g.connected_components())
+        assert len(comps) <= 2  # bridges merge the blocks (allow stragglers)
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            community_graph(0, 5, 0.5, 1)
+
+
+class TestZipfLabels:
+    def test_weights_decreasing(self):
+        w = zipf_weights(10)
+        assert w == sorted(w, reverse=True)
+        assert w[0] == 1.0
+
+    def test_invalid_weights(self):
+        with pytest.raises(DatasetError):
+            zipf_weights(0)
+
+    def test_mean_labels_per_vertex(self):
+        g = erdos_renyi_graph(400, 0.01, seed=5)
+        vocab = [f"t{i}" for i in range(50)]
+        assign_zipf_labels(g, vocab, 3.5, seed=6)
+        assert g.average_labels_per_vertex() == pytest.approx(3.5, abs=0.4)
+
+    def test_skewed_frequencies(self):
+        g = erdos_renyi_graph(500, 0.01, seed=7)
+        vocab = [f"t{i}" for i in range(40)]
+        assign_zipf_labels(g, vocab, 4.0, seed=8)
+        assert g.label_frequency("t0") > 3 * g.label_frequency("t30")
+
+    def test_labels_distinct_per_vertex(self):
+        g = erdos_renyi_graph(50, 0.1, seed=9)
+        assign_zipf_labels(g, ["a", "b", "c"], 2.0, seed=10)
+        for v in g.vertices():
+            labels = g.labels(v)
+            assert len(labels) == len(set(labels))
+
+    def test_invalid_rate(self):
+        g = erdos_renyi_graph(10, 0.2, seed=11)
+        with pytest.raises(DatasetError):
+            assign_zipf_labels(g, ["a"], 0.0)
+        with pytest.raises(DatasetError):
+            assign_zipf_labels(g, ["a"], 2.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(10, 60))
+def test_er_determinism_property(seed, n):
+    g1 = erdos_renyi_graph(n, 0.15, seed=seed)
+    g2 = erdos_renyi_graph(n, 0.15, seed=seed)
+    assert g1.num_edges == g2.num_edges

@@ -1,0 +1,77 @@
+"""Tests for graph text IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import LabeledGraph, load_graph, save_graph
+from tests.conftest import random_connected_graph
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, tmp_path, triangle_graph):
+        path = tmp_path / "g.txt"
+        save_graph(triangle_graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 3
+        assert loaded.labels("c") == {"blue", "red"}
+        assert loaded.weight("b", "c") == 2.0
+
+    def test_roundtrip_int_vertices(self, tmp_path):
+        g = random_connected_graph(20, 5, seed=1)
+        path = tmp_path / "g.txt"
+        save_graph(g, path)
+        loaded = load_graph(path, vertex_type=int)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        for u, v, w in g.edges():
+            assert loaded.weight(u, v) == w
+
+    def test_unit_weights_written_compactly(self, tmp_path):
+        g = LabeledGraph.from_edges([(1, 2)])
+        path = tmp_path / "g.txt"
+        save_graph(g, path)
+        content = path.read_text()
+        assert "e 1 2\n" in content
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        save_graph(LabeledGraph(), path)
+        assert load_graph(path).num_vertices == 0
+
+    def test_isolated_labeled_vertex(self, tmp_path):
+        g = LabeledGraph()
+        g.add_vertex("solo", {"x", "y z".replace(" ", "")})
+        path = tmp_path / "g.txt"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.labels("solo") == {"x", "yz"}
+
+
+class TestMalformedInput:
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("z 1 2\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_edge_missing_endpoint(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("e 1\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_vertex_missing_id(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("v\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# hello\n\nv 1 a\ne 1 2\n")
+        g = load_graph(path)
+        assert g.num_vertices == 2
+        assert g.labels("1") == {"a"}

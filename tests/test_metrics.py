@@ -1,0 +1,108 @@
+"""Tests for structural graph metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    LabeledGraph,
+    approximate_diameter,
+    average_shortest_path_length,
+    ball_coverage,
+    clustering_coefficient,
+    degree_distribution,
+    degree_skew,
+    structural_summary,
+    watts_strogatz_graph,
+)
+
+
+@pytest.fixture
+def path5():
+    return LabeledGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+class TestDegreeMetrics:
+    def test_distribution(self, path5):
+        assert degree_distribution(path5) == {1: 2, 2: 3}
+
+    def test_skew_regular_graph(self):
+        ring = LabeledGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degree_skew(ring) == pytest.approx(1.0)
+
+    def test_skew_star(self):
+        star = LabeledGraph.from_edges([(0, i) for i in range(1, 9)])
+        assert degree_skew(star) > 3.0
+
+    def test_empty(self):
+        assert degree_skew(LabeledGraph()) == 0.0
+        assert degree_distribution(LabeledGraph()) == {}
+
+
+class TestDiameter:
+    def test_path_diameter_exact(self, path5):
+        assert approximate_diameter(path5, seed=1) == 4
+
+    def test_ring_lattice(self):
+        ws = watts_strogatz_graph(40, 4, 0.0, seed=1)
+        # ring with k=4: diameter = ceil(n / k) = 10
+        assert approximate_diameter(ws, seed=2) == 10
+
+    def test_empty(self):
+        assert approximate_diameter(LabeledGraph()) == 0
+
+
+class TestPathLength:
+    def test_path_graph(self, path5):
+        # exact mean over all ordered pairs of the path is 2.0; sources
+        # are sampled with replacement so allow estimation slack
+        est = average_shortest_path_length(path5, samples=5, seed=1)
+        assert est == pytest.approx(2.0, abs=0.6)
+
+    def test_single_vertex(self):
+        g = LabeledGraph()
+        g.add_vertex(1)
+        assert average_shortest_path_length(g) == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_one(self, triangle_graph):
+        assert clustering_coefficient(triangle_graph, seed=1) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self, path5):
+        assert clustering_coefficient(path5, seed=1) == 0.0
+
+    def test_no_eligible_vertices(self):
+        g = LabeledGraph.from_edges([(0, 1)])
+        assert clustering_coefficient(g) == 0.0
+
+
+class TestBallCoverage:
+    def test_radius_covers_all(self, path5):
+        assert ball_coverage(path5, 10.0, samples=5, seed=1) == pytest.approx(1.0)
+
+    def test_radius_zero_covers_self(self, path5):
+        assert ball_coverage(path5, 0.0, samples=5, seed=1) == pytest.approx(0.2)
+
+    def test_locality_regime_of_datasets(self):
+        """The yago stand-in must be in the paper's locality regime:
+        a tau-ball covers well under half the graph."""
+        from repro.datasets import yago_like
+
+        ds = yago_like(num_vertices=2000, seed=5)
+        coverage = ball_coverage(ds.public, 5.0, samples=10, seed=3)
+        assert coverage < 0.5
+
+    def test_empty(self):
+        assert ball_coverage(LabeledGraph(), 1.0) == 0.0
+
+
+class TestSummary:
+    def test_all_fields_present(self, path5):
+        summary = structural_summary(path5, tau=2.0)
+        assert set(summary) == {
+            "num_vertices", "num_edges", "avg_degree", "degree_skew",
+            "approx_diameter", "avg_path_length", "clustering",
+            "ball_coverage_tau",
+        }
+        assert summary["num_vertices"] == 5.0

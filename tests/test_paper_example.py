@@ -1,0 +1,119 @@
+"""Integration tests replaying the paper's own worked examples.
+
+* Example I.1 / Fig. 1: Bob's DB-AI-CV query — no private answer, a loose
+  public answer, a tight public-private answer on the combined view.
+* Fig. 4 / Tab. III: the PADS of the public-graph fragment — structural
+  properties the paper derives by hand (v13 is the dominant center).
+* Example V.2: PADS estimates d(v9, v7) exactly where ADS errs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PPKWS
+from repro.graph import LabeledGraph, combine, pagerank
+from repro.semantics import blinks_search
+from repro.sketches import build_pads
+
+
+@pytest.fixture
+def fig1_world():
+    """A faithful rendition of the paper's Fig. 1 example."""
+    public = LabeledGraph("fig1-public")
+    public.add_vertex("Bob", {"DB"})
+    public.add_vertex("Alice", {"DB"})
+    public.add_vertex("Dave", {"AI"})
+    public.add_vertex("Carol", {"CV"})
+    public.add_vertex("Mia", {"ML"})
+    # Public collaborations: Dave and Carol both reachable from Bob but
+    # far from each other (the "not close" public answer).
+    public.add_edge("Bob", "Dave", 2.0)
+    public.add_edge("Bob", "Carol", 2.0)
+    public.add_edge("Bob", "Alice", 2.0)
+    public.add_edge("Dave", "Mia", 1.0)
+
+    # Bob's private graph: close private collaborations through portals
+    # Bob, Alice and Carol.
+    private = LabeledGraph("fig1-bob")
+    private.add_vertex("Bob", {"DB"})
+    private.add_vertex("Alice")
+    private.add_vertex("Carol")
+    private.add_vertex("Grace", {"AI"})
+    private.add_edge("Bob", "Alice", 1.0)
+    private.add_edge("Bob", "Grace", 1.0)
+    private.add_edge("Bob", "Carol", 1.0)
+    return public, private
+
+
+class TestExampleI1:
+    QUERY = ["DB", "AI", "CV"]
+
+    def test_private_graph_has_no_answer(self, fig1_world):
+        _, private = fig1_world
+        assert blinks_search(private, self.QUERY, tau=2.0) == []
+
+    def test_public_answer_is_loose(self, fig1_world):
+        public, _ = fig1_world
+        answers = blinks_search(public, self.QUERY, tau=2.0)
+        assert answers
+        best = answers[0]
+        assert best.root == "Bob"
+        # public answer must use the far collaborators Dave and Carol
+        assert best.matches["AI"].vertex == "Dave"
+        assert best.matches["CV"].vertex == "Carol"
+        assert best.weight() == 4.0
+
+    def test_combined_answer_is_tight(self, fig1_world):
+        public, private = fig1_world
+        combined = combine(public, private)
+        answers = blinks_search(combined, self.QUERY, tau=2.0)
+        best = answers[0]
+        assert best.root == "Bob"
+        # the combined graph swaps in the close private AI collaborator
+        # and the now-1-hop Carol
+        assert best.matches["AI"].vertex == "Grace"
+        assert best.matches["CV"].distance == 1.0
+        assert best.weight() == 2.0
+
+    def test_ppkws_matches_combined_evaluation(self, fig1_world):
+        public, private = fig1_world
+        engine = PPKWS(public, sketch_k=8)
+        engine.attach("bob", private)
+        result = engine.blinks("bob", self.QUERY, tau=2.0, k=3)
+        assert result.answers
+        best = result.answers[0]
+        assert best.root == "Bob"
+        assert best.weight() == 2.0
+        assert best.matches["AI"].vertex == "Grace"
+
+
+class TestFig4Pads:
+    def test_v13_is_pagerank_leader(self, paper_public_graph):
+        """The paper singles out v13 (pr = 0.130) as the best center."""
+        scores = pagerank(paper_public_graph)
+        assert max(scores, key=lambda v: scores[v]) == "v13"
+
+    def test_pads_k1_prefers_v13_centers(self, paper_public_graph):
+        """With k=1, v13 appears in the sketches of its whole component
+        (Tab. III shows v13 in almost every PADS)."""
+        pads = build_pads(paper_public_graph, k=1)
+        containing = sum(
+            1 for v in paper_public_graph.vertices() if "v13" in pads.sketch(v)
+        )
+        assert containing >= paper_public_graph.num_vertices - 2
+
+    def test_pads_smaller_than_k_bound(self, paper_public_graph):
+        import math
+
+        pads = build_pads(paper_public_graph, k=1)
+        n = paper_public_graph.num_vertices
+        # expected size O(k ln n); allow a generous constant
+        assert pads.average_size() <= 3 * math.log(n) + 2
+
+
+class TestExampleV2:
+    def test_pads_estimates_v9_v7_exactly(self, paper_public_graph):
+        """Example V.2: PADS gives d(v9, v7) = 2 with 0% error."""
+        pads = build_pads(paper_public_graph, k=1)
+        assert pads.estimate("v9", "v7") == 2.0

@@ -1,0 +1,92 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    ascii_bars,
+    ascii_breakdown_bars,
+    ascii_grouped_bars,
+    render_breakdown,
+    render_query_comparison,
+)
+from repro.bench.harness import QueryTiming
+from repro.core import StepBreakdown
+
+
+class TestAsciiBars:
+    def test_basic_render(self):
+        out = ascii_bars("T", ["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[2].startswith("a  |")
+        assert lines[3].startswith("bb |")
+        # the larger value gets the longer bar
+        assert lines[3].count("#") > lines[2].count("#")
+
+    def test_log_scale_footer(self):
+        out = ascii_bars("T", ["a", "b"], [1.0, 1000.0], log=True, unit="ms")
+        assert "(log scale" in out
+        assert "1000" in out
+
+    def test_zero_values(self):
+        out = ascii_bars("T", ["a"], [0.0])
+        assert "a |" in out
+
+    def test_empty(self):
+        assert ascii_bars("T", [], []) == "T\n-\n"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bars("T", ["a"], [1.0, 2.0])
+
+
+class TestGroupedBars:
+    def test_two_series_per_group(self):
+        out = ascii_grouped_bars(
+            "cmp", ["Q1", "Q2"],
+            [("PP", [1.0, 2.0]), ("Base", [10.0, 20.0])],
+        )
+        assert out.count("PP ") == 2
+        assert out.count("Base") == 2
+
+    def test_empty_series(self):
+        out = ascii_grouped_bars("cmp", [], [("PP", [])])
+        assert out.startswith("cmp")
+
+
+class TestBreakdownBars:
+    def test_stacked_characters(self):
+        out = ascii_breakdown_bars(
+            "bd", ["Q1"], [(0.5, 0.25, 0.25)], width=20
+        )
+        line = [ln for ln in out.splitlines() if ln.startswith("Q1")][0]
+        assert line.count("P") == 10
+        assert line.count("R") == 5
+        assert line.count("C") == 5
+
+    def test_zero_total(self):
+        out = ascii_breakdown_bars("bd", ["Q1"], [(0.0, 0.0, 0.0)])
+        assert "Q1" in out
+
+    def test_legend_present(self):
+        out = ascii_breakdown_bars("bd", [], [])
+        assert "legend" in out
+
+
+class TestChartsEmbeddedInReports:
+    def _timing(self):
+        return QueryTiming(
+            "Q1", 0.01, 0.1, StepBreakdown(0.005, 0.003, 0.002), 3, 2
+        )
+
+    def test_comparison_includes_chart(self):
+        out = render_query_comparison("t", [self._timing()])
+        assert "per-query times" in out
+        assert "#" in out
+
+    def test_breakdown_includes_chart(self):
+        out = render_breakdown("t", [self._timing()])
+        assert "per-query step shares" in out
+        assert "P" in out and "R" in out and "C" in out

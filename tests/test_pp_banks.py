@@ -1,0 +1,57 @@
+"""Tests for PP-BANKS (tree answers on the framework)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PPKWS
+from repro.graph import combine, dijkstra
+from repro.semantics.banks import TreeAnswer
+
+
+@pytest.fixture
+def engine(small_public_private):
+    pub, priv = small_public_private
+    e = PPKWS(pub, sketch_k=8)
+    e.attach("bob", priv)
+    return e, pub, priv
+
+
+class TestPPBanks:
+    def test_returns_tree_answers(self, engine):
+        e, pub, priv = engine
+        result = e.banks("bob", ["db", "ai"], tau=4.0, k=5)
+        assert result.answers
+        for ans in result.answers:
+            assert isinstance(ans, TreeAnswer)
+            assert ans.edges
+
+    def test_trees_connected_on_combined_graph(self, engine):
+        e, pub, priv = engine
+        gc = combine(pub, priv)
+        result = e.banks("bob", ["db", "ai"], tau=4.0, k=5)
+        for ans in result.answers:
+            assert ans.is_connected_tree(gc)
+
+    def test_distances_exact_after_materialization(self, engine):
+        e, pub, priv = engine
+        gc = combine(pub, priv)
+        result = e.banks("bob", ["db", "cv"], tau=5.0, k=5)
+        for ans in result.answers:
+            exact = dijkstra(gc, ans.root)
+            for q, m in ans.matches.items():
+                assert m.distance == pytest.approx(exact[m.vertex])
+
+    def test_same_roots_as_pp_blinks(self, engine):
+        e, _, _ = engine
+        banks = e.banks("bob", ["db", "ai"], tau=4.0, k=5)
+        blinks = e.blinks("bob", ["db", "ai"], tau=4.0, k=5)
+        assert {a.root for a in banks.answers} == {
+            a.root for a in blinks.answers
+        }
+
+    def test_breakdown_carried_through(self, engine):
+        e, _, _ = engine
+        result = e.banks("bob", ["db", "ai"], tau=4.0)
+        assert result.breakdown.total > 0
+        assert result.counters.partial_answers > 0

@@ -1,0 +1,158 @@
+"""Tests for the public-private graph model (paper Sec. II)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    LabeledGraph,
+    PublicPrivateNetwork,
+    combine,
+    dijkstra,
+    portal_nodes,
+)
+from tests.conftest import random_connected_graph
+
+
+class TestPortalNodes:
+    def test_portals_are_intersection(self, small_public_private):
+        pub, priv = small_public_private
+        assert portal_nodes(pub, priv) == {2, 5}
+
+    def test_no_overlap_no_portals(self):
+        g1 = LabeledGraph.from_edges([(1, 2)])
+        g2 = LabeledGraph.from_edges([("a", "b")])
+        assert portal_nodes(g1, g2) == frozenset()
+
+    def test_symmetric(self, small_public_private):
+        pub, priv = small_public_private
+        assert portal_nodes(pub, priv) == portal_nodes(priv, pub)
+
+
+class TestCombine:
+    def test_vertex_and_edge_union(self, small_public_private):
+        pub, priv = small_public_private
+        gc = combine(pub, priv)
+        assert gc.num_vertices == pub.num_vertices + priv.num_vertices - 2
+        assert gc.num_edges == pub.num_edges + priv.num_edges
+
+    def test_labels_merged(self, small_public_private):
+        pub, priv = small_public_private
+        gc = combine(pub, priv)
+        assert gc.labels("x1") == {"db"}
+        assert gc.labels(0) == {"db"}
+
+    def test_combined_distances_never_longer(self, small_public_private):
+        """d_c(u, v) <= d(u, v): adding edges can only shorten paths."""
+        pub, priv = small_public_private
+        gc = combine(pub, priv)
+        pub_dist = dijkstra(pub, 2)
+        gc_dist = dijkstra(gc, 2)
+        for v, d in pub_dist.items():
+            assert gc_dist[v] <= d + 1e-9
+
+    def test_private_shortcut_changes_public_distance(self, small_public_private):
+        """The private path 2-x1-x2-x4-5 gives d_c(2,5) = 4 > d(2,5) = 3;
+        but private edges can shorten other pairs — verify the canonical
+        crossing behaviour on a custom shortcut."""
+        pub, priv = small_public_private
+        priv.add_edge(2, 5)  # direct private shortcut
+        gc = combine(pub, priv)
+        assert dijkstra(gc, 2)[5] == 1.0
+        assert dijkstra(pub, 2)[5] == 3.0
+
+
+class TestPublicPrivateNetwork:
+    def test_attach_and_query_portals(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        portals = net.add_private_graph("bob", priv)
+        assert portals == {2, 5}
+        assert net.portals("bob") == {2, 5}
+        assert net.private("bob") is priv
+
+    def test_duplicate_owner_rejected(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        net.add_private_graph("bob", priv)
+        with pytest.raises(GraphError):
+            net.add_private_graph("bob", priv)
+
+    def test_detached_private_graph_rejected_by_default(self):
+        pub = LabeledGraph.from_edges([(1, 2)])
+        priv = LabeledGraph.from_edges([("a", "b")])
+        net = PublicPrivateNetwork(pub)
+        with pytest.raises(GraphError):
+            net.add_private_graph("bob", priv)
+        net.add_private_graph("bob", priv, require_portals=False)
+        assert net.portals("bob") == frozenset()
+
+    def test_remove_private_graph(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        net.add_private_graph("bob", priv)
+        net.remove_private_graph("bob")
+        assert "bob" not in net
+        with pytest.raises(GraphError):
+            net.private("bob")
+
+    def test_unknown_owner_raises(self, small_public_private):
+        pub, _ = small_public_private
+        net = PublicPrivateNetwork(pub)
+        with pytest.raises(GraphError):
+            net.portals("nobody")
+        with pytest.raises(GraphError):
+            net.remove_private_graph("nobody")
+
+    def test_combined_matches_module_combine(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        net.add_private_graph("bob", priv)
+        gc = net.combined("bob")
+        ref = combine(pub, priv)
+        assert gc.num_vertices == ref.num_vertices
+        assert gc.num_edges == ref.num_edges
+
+    def test_classify_answer_vertices(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        net.add_private_graph("bob", priv)
+        # x1 is private-only; 0 is public-only; 2 is a portal (counts private)
+        assert net.classify_answer_vertices("bob", ["x1", 0]) == (True, True)
+        assert net.classify_answer_vertices("bob", [2]) == (True, False)
+        assert net.classify_answer_vertices("bob", [0]) == (False, True)
+
+    def test_stats(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        net.add_private_graph("bob", priv)
+        stats = net.stats("bob")
+        assert stats["portals"] == 2
+        assert stats["private_vertices"] == priv.num_vertices
+        assert net.stats()["num_owners"] == 1
+
+    def test_owner_iteration(self, small_public_private):
+        pub, priv = small_public_private
+        net = PublicPrivateNetwork(pub)
+        net.add_private_graph("bob", priv)
+        assert list(net.owners()) == ["bob"]
+        assert len(net) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_combine_distance_upper_bounds_property(seed: int):
+    """For random pairs: d_c <= min(d_public, d_private) on shared vertices."""
+    pub = random_connected_graph(25, 10, seed)
+    priv = random_connected_graph(10, 3, seed + 1)
+    # force overlap: private vertices 0..9 are also public 0..9
+    gc = combine(pub, priv)
+    d_pub = dijkstra(pub, 0)
+    d_priv = dijkstra(priv, 0)
+    d_c = dijkstra(gc, 0)
+    for v in gc.vertices():
+        bound = min(d_pub.get(v, float("inf")), d_priv.get(v, float("inf")))
+        assert d_c.get(v, float("inf")) <= bound + 1e-9

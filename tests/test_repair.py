@@ -1,0 +1,125 @@
+"""Tests for equal-distance witness repair (Def. II.2 re-qualification)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PPKWS
+from repro.core.partial import PartialAnswer
+from repro.core.pp_rclique import CompletionCache
+from repro.core.repair import try_requalify
+from repro.graph import LabeledGraph
+from repro.semantics import Match, RootedAnswer
+
+
+@pytest.fixture
+def tie_world():
+    """Portal 'p' has an equally close private and public 'kw' vertex."""
+    pub = LabeledGraph()
+    pub.add_edge("p", "pub_kw")
+    pub.add_labels("pub_kw", {"kw"})
+    pub.add_edge("p", "other")
+    pub.add_labels("other", {"aux"})
+    priv = LabeledGraph()
+    priv.add_edge("p", "priv_kw")
+    priv.add_labels("priv_kw", {"kw"})
+    engine = PPKWS(pub, sketch_k=8)
+    engine.attach("u", priv)
+    return engine, engine.attachment("u")
+
+
+class TestTryRequalify:
+    def test_already_qualified_untouched(self, tie_world):
+        engine, att = tie_world
+        partial = PartialAnswer(
+            answer=RootedAnswer("p", {
+                "kw": Match("priv_kw", 1.0),
+                "aux": Match("other", 1.0),
+            })
+        )
+        cache = CompletionCache(True)
+        assert try_requalify(engine, att, partial, ["kw", "aux"], cache)
+        assert partial.answer.matches["kw"].vertex == "priv_kw"
+
+    def test_swaps_private_to_public_on_tie(self, tie_world):
+        engine, att = tie_world
+        # kw matched privately twice over (aux is... private? no: 'aux'
+        # must stay private-side so the kw swap is safe) — use a second
+        # private keyword to anchor the private side.
+        att.private.add_labels("priv_kw", {"anchor"})
+        partial = PartialAnswer(
+            answer=RootedAnswer("p", {
+                "kw": Match("priv_kw", 1.0),
+                "anchor": Match("priv_kw", 1.0),
+            })
+        )
+        cache = CompletionCache(True)
+        assert try_requalify(engine, att, partial, ["kw", "anchor"], cache)
+        assert partial.answer.matches["kw"].vertex == "pub_kw"
+        assert partial.answer.matches["kw"].distance == 1.0
+        # the anchor keeps the private side
+        assert partial.answer.matches["anchor"].vertex == "priv_kw"
+
+    def test_single_keyword_cannot_straddle(self, tie_world):
+        engine, att = tie_world
+        # one non-portal match can satisfy only one side of Def. II.2; a
+        # swap that would trade one side for the other must be refused
+        partial = PartialAnswer(
+            answer=RootedAnswer("p", {"kw": Match("priv_kw", 1.0)})
+        )
+        cache = CompletionCache(True)
+        assert not try_requalify(engine, att, partial, ["kw"], cache)
+        # and the match was left untouched
+        assert partial.answer.matches["kw"].vertex == "priv_kw"
+
+    def test_swaps_public_to_private_on_tie(self, tie_world):
+        engine, att = tie_world
+        # all matches public: lacks the private side; priv_kw ties via p
+        partial = PartialAnswer(
+            answer=RootedAnswer("p", {
+                "kw": Match("pub_kw", 1.0),
+                "aux": Match("other", 1.0),
+            })
+        )
+        partial.answer.matches["kw"].vertex = "pub_kw"
+        cache = CompletionCache(True)
+        assert try_requalify(engine, att, partial, ["aux", "kw"], cache)
+        vertices = {m.vertex for m in partial.answer.matches.values()}
+        assert "priv_kw" in vertices
+
+    def test_fails_when_no_tie_exists(self, tie_world):
+        engine, att = tie_world
+        # 'aux' exists only publicly; an all-aux answer can't gain a
+        # private side at equal distance
+        partial = PartialAnswer(
+            answer=RootedAnswer("p", {"aux": Match("other", 1.0)})
+        )
+        cache = CompletionCache(True)
+        assert not try_requalify(engine, att, partial, ["aux"], cache)
+
+    def test_portal_with_public_label_counts_private(self):
+        """A portal carrying the keyword publicly is a valid private-side
+        witness (it belongs to G'.V)."""
+        pub = LabeledGraph()
+        pub.add_edge("p", "far")
+        pub.add_labels("p", {"kw"})  # the portal itself carries kw publicly
+        priv = LabeledGraph()
+        priv.add_edge("p", "x")
+        engine = PPKWS(pub, sketch_k=8)
+        engine.attach("u", priv)
+        att = engine.attachment("u")
+        partial = PartialAnswer(
+            answer=RootedAnswer("far", {"kw": Match("p", 1.0)})
+        )
+        cache = CompletionCache(True)
+        # match p is a portal: private AND public side simultaneously
+        assert try_requalify(engine, att, partial, ["kw"], cache)
+
+    def test_swap_preserves_distances(self, tie_world):
+        engine, att = tie_world
+        partial = PartialAnswer(
+            answer=RootedAnswer("p", {"kw": Match("priv_kw", 1.0)})
+        )
+        before = partial.answer.weight()
+        try_requalify(engine, att, partial, ["kw"], CompletionCache(True))
+        assert partial.answer.weight() == before

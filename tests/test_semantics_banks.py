@@ -1,0 +1,118 @@
+"""Tests for the BANKS tree-answer semantic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.graph import LabeledGraph, combine_lazy, dijkstra, path_weight
+from repro.semantics import banks_search, blinks_search
+from repro.semantics.banks import keyword_expansion_with_paths
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture
+def y_graph():
+    """A Y-shaped graph: center 'c' joins three labeled arms."""
+    g = LabeledGraph.from_edges(
+        [("c", "a1"), ("a1", "a2"), ("c", "b1"), ("b1", "b2"), ("c", "d1")],
+        {"a2": {"x"}, "b2": {"y"}, "d1": {"z"}},
+    )
+    return g
+
+
+class TestExpansionWithPaths:
+    def test_pred_chain_leads_to_origin(self, y_graph):
+        reached, pred = keyword_expansion_with_paths(y_graph, ["a2"], tau=10)
+        v = "b2"
+        hops = 0
+        while pred[v] is not None:
+            v = pred[v]
+            hops += 1
+        assert v == "a2"
+        assert hops == reached["b2"].distance
+
+    def test_origins_have_no_predecessor(self, y_graph):
+        _, pred = keyword_expansion_with_paths(y_graph, ["a2", "b2"], tau=10)
+        assert pred["a2"] is None
+        assert pred["b2"] is None
+
+
+class TestBanksSearch:
+    def test_center_is_best_root(self, y_graph):
+        answers = banks_search(y_graph, ["x", "y", "z"], tau=3.0)
+        assert answers
+        assert answers[0].root == "c"
+        assert answers[0].weight() == 5.0  # 2 + 2 + 1
+
+    def test_tree_edges_form_connected_tree(self, y_graph):
+        answers = banks_search(y_graph, ["x", "y", "z"], tau=3.0)
+        for ans in answers:
+            assert ans.is_connected_tree(y_graph)
+            assert ans.tree_vertices() >= {m.vertex for m in ans.matches.values()}
+
+    def test_tree_weight_at_most_answer_weight(self, y_graph):
+        # Paths may share edges, so tree weight <= sum of path lengths.
+        answers = banks_search(y_graph, ["x", "y", "z"], tau=3.0)
+        best = answers[0]
+        assert best.tree_weight(y_graph) <= best.weight() + 1e-9
+
+    def test_shared_prefix_edges_deduplicated(self):
+        # two keywords down the same arm: the shared path appears once
+        g = LabeledGraph.from_edges(
+            [("r", "m"), ("m", "k1"), ("m", "k2")],
+            {"k1": {"x"}, "k2": {"y"}},
+        )
+        answers = banks_search(g, ["x", "y"], tau=3.0)
+        root_r = next(a for a in answers if a.root == "r")
+        # r-m shared; m-k1, m-k2 distinct: exactly 3 edges
+        assert len(root_r.edges) == 3
+
+    def test_no_answer_when_keyword_missing(self, y_graph):
+        assert banks_search(y_graph, ["x", "none"], tau=5.0) == []
+
+    def test_tau_prunes(self, y_graph):
+        answers = banks_search(y_graph, ["x", "y"], tau=1.0)
+        assert answers == []
+
+    def test_invalid(self, y_graph):
+        with pytest.raises(QueryError):
+            banks_search(y_graph, [], tau=1.0)
+        with pytest.raises(QueryError):
+            banks_search(y_graph, ["x"], tau=-1)
+        with pytest.raises(QueryError):
+            banks_search(y_graph, ["x"], tau=1.0, k=0)
+
+    def test_same_roots_as_blinks(self, y_graph):
+        """BANKS and Blinks agree on roots and weights (they differ only
+        in materializing the tree)."""
+        banks = banks_search(y_graph, ["x", "y"], tau=4.0, k=100)
+        blinks = blinks_search(y_graph, ["x", "y"], tau=4.0, k=100)
+        assert {a.root for a in banks} == {a.root for a in blinks}
+        banks_w = {a.root: a.weight() for a in banks}
+        for b in blinks:
+            assert banks_w[b.root] == pytest.approx(b.weight())
+
+    def test_works_on_combined_view(self, small_public_private):
+        pub, priv = small_public_private
+        view = combine_lazy(pub, priv)
+        answers = banks_search(view, ["db", "ai"], tau=4.0)
+        assert answers
+        for ans in answers:
+            assert ans.is_connected_tree(view)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2000))
+def test_banks_tree_paths_are_shortest(seed):
+    """Each root-to-match path implied by the tree has the reported
+    (shortest) length."""
+    g = random_connected_graph(25, 8, seed)
+    answers = banks_search(g, ["a", "b"], tau=4.0, k=5)
+    for ans in answers:
+        exact = dijkstra(g, ans.root)
+        for q, m in ans.matches.items():
+            assert m.distance == pytest.approx(exact[m.vertex])
+        assert ans.is_connected_tree(g)

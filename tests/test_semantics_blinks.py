@@ -1,0 +1,133 @@
+"""Tests for the Blinks baseline semantic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.graph import LabeledGraph, dijkstra
+from repro.semantics import blinks_search, keyword_expansion
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture
+def line_graph():
+    """a(x) - b - c(y) - d - e(z), unit weights."""
+    g = LabeledGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")],
+        {"a": {"x"}, "c": {"y"}, "e": {"z"}},
+    )
+    return g
+
+
+class TestKeywordExpansion:
+    def test_witness_is_nearest_origin(self, line_graph):
+        cover = keyword_expansion(line_graph, ["a", "e"], tau=10)
+        assert cover["b"].vertex == "a"
+        assert cover["b"].distance == 1.0
+        assert cover["d"].vertex == "e"
+
+    def test_tau_bounds_cover(self, line_graph):
+        cover = keyword_expansion(line_graph, ["a"], tau=1.0)
+        assert set(cover) == {"a", "b"}
+
+    def test_empty_origins(self, line_graph):
+        assert keyword_expansion(line_graph, [], tau=3) == {}
+
+    def test_unknown_origins_skipped(self, line_graph):
+        cover = keyword_expansion(line_graph, ["ghost", "a"], tau=1)
+        assert "a" in cover
+
+
+class TestBlinksSearch:
+    def test_basic_tree_answer(self, line_graph):
+        answers = blinks_search(line_graph, ["x", "y"], tau=2.0)
+        assert answers
+        best = answers[0]
+        # "b" is the balanced root (1 + 1); "a" and "c" have weight 2 too;
+        # all valid roots must cover both keywords within tau
+        assert best.matches["x"].vertex == "a"
+        assert best.matches["y"].vertex == "c"
+        assert best.weight() == 2.0
+
+    def test_root_distance_constraint(self, line_graph):
+        # x at 'a' and z at 'e' are 4 apart: no root within tau=1
+        assert blinks_search(line_graph, ["x", "z"], tau=1.0) == []
+
+    def test_missing_keyword_no_answers(self, line_graph):
+        assert blinks_search(line_graph, ["x", "missing"], tau=5.0) == []
+
+    def test_top_k_truncation_and_order(self, line_graph):
+        answers = blinks_search(line_graph, ["x", "y"], tau=4.0, k=2)
+        assert len(answers) == 2
+        assert answers[0].weight() <= answers[1].weight()
+
+    def test_duplicate_keywords_collapse(self, line_graph):
+        answers = blinks_search(line_graph, ["x", "x", "y"], tau=3.0)
+        assert answers
+        assert set(answers[0].matches) == {"x", "y"}
+
+    def test_single_keyword(self, line_graph):
+        answers = blinks_search(line_graph, ["y"], tau=0.0)
+        assert [a.root for a in answers] == ["c"]
+        assert answers[0].weight() == 0.0
+
+    def test_extra_origins_admit_portals(self, line_graph):
+        # 'e' doesn't carry 'x' but is admitted as an origin for it.
+        answers = blinks_search(
+            line_graph, ["x", "z"], tau=1.0, extra_origins={"x": {"e"}}
+        )
+        assert answers
+        assert any(a.matches["x"].vertex == "e" for a in answers)
+
+    def test_invalid_queries(self, line_graph):
+        with pytest.raises(QueryError):
+            blinks_search(line_graph, [], tau=1.0)
+        with pytest.raises(QueryError):
+            blinks_search(line_graph, ["x"], tau=-1.0)
+        with pytest.raises(QueryError):
+            blinks_search(line_graph, ["x"], tau=1.0, k=0)
+
+    def test_answers_respect_bound(self, line_graph):
+        for a in blinks_search(line_graph, ["x", "y", "z"], tau=3.0):
+            assert a.within_bound(3.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 3000), tau=st.sampled_from([2.0, 3.0, 5.0]))
+def test_blinks_answers_verified_against_dijkstra(seed, tau):
+    """Every reported match distance equals the true shortest distance
+    from the root to the nearest vertex carrying that keyword."""
+    g = random_connected_graph(30, 10, seed)
+    keywords = ["a", "b"]
+    answers = blinks_search(g, keywords, tau=tau, k=5)
+    for ans in answers:
+        exact = dijkstra(g, ans.root)
+        for q, match in ans.matches.items():
+            assert match.distance <= tau
+            assert g.has_label(match.vertex, q)
+            true_best = min(
+                exact.get(v, float("inf")) for v in g.vertices_with_label(q)
+            )
+            assert match.distance == pytest.approx(true_best)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_blinks_root_coverage_complete(seed):
+    """Brute force: every vertex that covers all keywords within tau is
+    reported when k is large enough."""
+    g = random_connected_graph(20, 6, seed)
+    tau = 3.0
+    keywords = ["a", "c"]
+    answers = blinks_search(g, keywords, tau=tau, k=1000)
+    roots = {a.root for a in answers}
+    for v in g.vertices():
+        exact = dijkstra(g, v, cutoff=tau)
+        covered = all(
+            any(exact.get(u, float("inf")) <= tau for u in g.vertices_with_label(q))
+            for q in keywords
+        )
+        assert (v in roots) == covered

@@ -1,0 +1,80 @@
+"""Tests for the k-nk baseline semantic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.graph import LabeledGraph, dijkstra
+from repro.semantics import knk_search
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture
+def star_graph():
+    g = LabeledGraph.from_edges(
+        [(0, i) for i in range(1, 6)],
+        {1: {"t"}, 3: {"t"}, 5: {"t"}, 0: {"s"}},
+    )
+    return g
+
+
+class TestKnkSearch:
+    def test_finds_k_nearest(self, star_graph):
+        ans = knk_search(star_graph, 0, "t", k=2)
+        assert len(ans.matches) == 2
+        assert ans.distances() == [1.0, 1.0]
+        assert all(star_graph.has_label(v, "t") for v in ans.vertices())
+
+    def test_source_counts_when_labeled(self, star_graph):
+        ans = knk_search(star_graph, 0, "s", k=1)
+        assert ans.matches[0].vertex == 0
+        assert ans.matches[0].distance == 0.0
+
+    def test_fewer_matches_than_k(self, star_graph):
+        ans = knk_search(star_graph, 0, "t", k=10)
+        assert len(ans.matches) == 3
+
+    def test_cutoff(self):
+        g = LabeledGraph.from_edges([(0, 1), (1, 2)], {2: {"t"}})
+        ans = knk_search(g, 0, "t", k=1, cutoff=1.0)
+        assert len(ans.matches) == 0
+
+    def test_extra_matches_admitted(self, star_graph):
+        ans = knk_search(star_graph, 0, "none", k=2, extra_matches={2, 4})
+        assert {m.vertex for m in ans.matches} == {2, 4}
+
+    def test_distances_sorted(self):
+        g = LabeledGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3)], {1: {"t"}, 3: {"t"}}
+        )
+        ans = knk_search(g, 0, "t", k=5)
+        assert ans.distances() == sorted(ans.distances())
+
+    def test_invalid_queries(self, star_graph):
+        with pytest.raises(QueryError):
+            knk_search(star_graph, 0, "t", k=0)
+        with pytest.raises(QueryError):
+            knk_search(star_graph, 0, "", k=1)
+
+    def test_answer_helpers(self, star_graph):
+        ans = knk_search(star_graph, 0, "t", k=2)
+        assert len(ans) == 2
+        assert ans.kth_distance() == 1.0
+        empty = knk_search(star_graph, 0, "none", k=2)
+        assert empty.kth_distance() == float("inf")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 3000), k=st.integers(1, 6))
+def test_knk_matches_brute_force(seed, k):
+    """The reported distance multiset equals the brute-force k nearest."""
+    g = random_connected_graph(25, 8, seed)
+    ans = knk_search(g, 0, "a", k=k)
+    exact = dijkstra(g, 0)
+    truth = sorted(
+        exact[v] for v in g.vertices_with_label("a") if v in exact
+    )[:k]
+    assert ans.distances() == pytest.approx(truth)

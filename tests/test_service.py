@@ -1,0 +1,150 @@
+"""Tests for the embeddable service facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service import PPKWSService
+
+
+@pytest.fixture
+def service(small_public_private):
+    pub, priv = small_public_private
+    svc = PPKWSService(sketch_k=4)
+    svc.create_network("net", pub)
+    svc.attach_user("net", "bob", priv)
+    return svc
+
+
+class TestAdministration:
+    def test_create_and_list(self, small_public_private):
+        pub, _ = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("a", pub)
+        assert svc.networks() == ["a"]
+
+    def test_duplicate_network_rejected(self, small_public_private):
+        pub, _ = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("a", pub)
+        with pytest.raises(ReproError):
+            svc.create_network("a", pub)
+
+    def test_drop_network(self, small_public_private):
+        pub, _ = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("a", pub)
+        svc.drop_network("a")
+        assert svc.networks() == []
+        with pytest.raises(ReproError):
+            svc.drop_network("a")
+
+    def test_attach_returns_portal_count(self, small_public_private):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("a", pub)
+        assert svc.attach_user("a", "bob", priv) == 2
+        svc.detach_user("a", "bob")
+
+
+class TestExecute:
+    def test_blinks_request(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0, "k": 3,
+        })
+        assert resp["status"] == "ok"
+        assert resp["answers"]
+        answer = resp["answers"][0]
+        assert set(answer["matches"]) == {"db", "ai"}
+        assert "peval" in resp["breakdown"]
+
+    def test_rclique_request(self, service):
+        resp = service.execute({
+            "op": "rclique", "network": "net", "owner": "bob",
+            "keywords": ["db", "cv"], "tau": 6.0,
+        })
+        assert resp["status"] == "ok"
+
+    def test_banks_request_includes_tree(self, service):
+        resp = service.execute({
+            "op": "banks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0,
+        })
+        assert resp["status"] == "ok"
+        assert any("tree_edges" in a for a in resp["answers"])
+
+    def test_knk_request(self, service):
+        resp = service.execute({
+            "op": "knk", "network": "net", "owner": "bob",
+            "source": "x1", "keyword": "cv", "k": 3,
+        })
+        assert resp["status"] == "ok"
+        assert resp["answer"]["matches"]
+
+    def test_knk_multi_request(self, service):
+        resp = service.execute({
+            "op": "knk_multi", "network": "net", "owner": "bob",
+            "source": "x1", "keywords": ["db", "ai"], "mode": "or", "k": 4,
+        })
+        assert resp["status"] == "ok"
+        assert resp["answer"]["keyword"] == "db|ai"
+
+    def test_stats_request(self, service):
+        resp = service.execute({"op": "stats", "network": "net", "owner": "bob"})
+        assert resp["status"] == "ok"
+        assert resp["attachment"]["portals"] == 2
+        assert resp["owners"] == ["bob"]
+
+    def test_stats_without_owner(self, service):
+        resp = service.execute({"op": "stats", "network": "net"})
+        assert resp["status"] == "ok"
+        assert "attachment" not in resp
+
+
+class TestErrorHandling:
+    def test_unknown_op(self, service):
+        resp = service.execute({"op": "frobnicate"})
+        assert resp["status"] == "error"
+        assert "unknown op" in resp["error"]
+
+    def test_unknown_network(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "nope", "owner": "bob",
+            "keywords": ["db"], "tau": 1.0,
+        })
+        assert resp["status"] == "error"
+
+    def test_unknown_owner(self, service):
+        resp = service.execute({
+            "op": "knk", "network": "net", "owner": "nobody",
+            "source": "x1", "keyword": "db",
+        })
+        assert resp["status"] == "error"
+
+    def test_missing_fields(self, service):
+        resp = service.execute({"op": "blinks", "network": "net"})
+        assert resp["status"] == "error"
+
+    def test_invalid_query_parameters(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": [], "tau": 4.0,
+        })
+        assert resp["status"] == "error"
+
+    def test_no_exception_escapes(self, service):
+        # a fuzz-ish batch of malformed requests
+        bad_requests = [
+            {},
+            {"op": None},
+            {"op": "knk", "network": "net", "owner": "bob"},
+            {"op": "rclique", "network": "net", "owner": "bob",
+             "keywords": ["db"], "tau": "not-a-number"},
+            {"op": "knk", "network": "net", "owner": "bob",
+             "source": "ghost", "keyword": "db"},
+        ]
+        for request in bad_requests:
+            resp = service.execute(request)
+            assert resp["status"] == "error", request

@@ -1,0 +1,110 @@
+"""Tests for the answer-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import validate_knk_answer, validate_rooted_answer
+from repro.core import PPKWS
+from repro.graph import LabeledGraph, combine
+from repro.semantics import KnkAnswer, Match, RootedAnswer
+
+
+@pytest.fixture
+def world(small_public_private):
+    pub, priv = small_public_private
+    return pub, priv, combine(pub, priv)
+
+
+class TestRootedValidation:
+    def test_valid_answer_passes(self, world):
+        pub, priv, gc = world
+        answer = RootedAnswer(2, {"db": Match("x1", 1.0), "ai": Match(3, 1.0)})
+        report = validate_rooted_answer(gc, answer, tau=2.0)
+        assert report.valid, report.problems
+
+    def test_wrong_keyword_detected(self, world):
+        _, _, gc = world
+        answer = RootedAnswer(2, {"db": Match("x2", 1.0)})  # x2 carries ai
+        report = validate_rooted_answer(gc, answer, tau=5.0)
+        assert not report.valid
+        assert any("does not carry" in p for p in report.problems)
+
+    def test_unachievable_distance_detected(self, world):
+        _, _, gc = world
+        answer = RootedAnswer(2, {"db": Match("x1", 0.1)})  # true = 1.0
+        report = validate_rooted_answer(gc, answer, tau=5.0)
+        assert not report.valid
+        assert any("unachievable" in p for p in report.problems)
+
+    def test_tau_violation_detected(self, world):
+        _, _, gc = world
+        answer = RootedAnswer(2, {"db": Match("x1", 1.0)})
+        report = validate_rooted_answer(gc, answer, tau=0.5)
+        assert not report.valid
+
+    def test_unknown_root(self, world):
+        _, _, gc = world
+        report = validate_rooted_answer(gc, RootedAnswer("ghost", {}), tau=1.0)
+        assert not report.valid
+
+    def test_unresolved_match(self, world):
+        _, _, gc = world
+        answer = RootedAnswer(2, {"db": Match(None, 1.0)})
+        assert not validate_rooted_answer(gc, answer, tau=5.0).valid
+
+    def test_public_private_qualification(self, world):
+        pub, priv, gc = world
+        private_only = RootedAnswer("x1", {"db": Match("x1", 0.0),
+                                           "ai": Match("x2", 1.0)})
+        report = validate_rooted_answer(
+            gc, private_only, tau=5.0, public=pub, private=priv
+        )
+        assert not report.valid
+        mixed = RootedAnswer(2, {"db": Match("x1", 1.0), "ai": Match(3, 1.0)})
+        assert validate_rooted_answer(
+            gc, mixed, tau=5.0, public=pub, private=priv
+        ).valid
+
+    def test_engine_output_validates(self, world):
+        pub, priv, gc = world
+        engine = PPKWS(pub, sketch_k=8)
+        engine.attach("bob", priv)
+        result = engine.blinks("bob", ["db", "ai"], tau=4.0)
+        for ans in result.answers:
+            report = validate_rooted_answer(
+                gc, ans, tau=4.0, public=pub, private=priv
+            )
+            assert report.valid, report.problems
+
+
+class TestKnkValidation:
+    def test_valid_answer(self, world):
+        _, _, gc = world
+        ans = KnkAnswer("x1", "db", [Match("x1", 0.0), Match(0, 3.0)])
+        assert validate_knk_answer(gc, ans).valid
+
+    def test_unsorted_detected(self, world):
+        _, _, gc = world
+        ans = KnkAnswer("x1", "db", [Match(0, 3.0), Match("x1", 0.0)])
+        report = validate_knk_answer(gc, ans)
+        assert not report.valid
+        assert any("not sorted" in p for p in report.problems)
+
+    def test_conjunctive_keywords(self, world):
+        pub, priv, gc = world
+        ans = KnkAnswer("x1", "db&ai", [Match("x1", 0.0)])
+        report = validate_knk_answer(gc, ans, conjunctive_keywords=["db", "ai"])
+        assert not report.valid  # x1 carries only db
+
+    def test_engine_knk_validates(self, world):
+        pub, priv, gc = world
+        engine = PPKWS(pub, sketch_k=8)
+        engine.attach("bob", priv)
+        result = engine.knk("bob", "x1", "cv", k=4)
+        report = validate_knk_answer(gc, result.answer)
+        assert report.valid, report.problems
+
+    def test_unknown_source(self, world):
+        _, _, gc = world
+        assert not validate_knk_answer(gc, KnkAnswer("ghost", "db")).valid

@@ -1,0 +1,147 @@
+"""Tests for the lazy combined-graph view."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EdgeNotFoundError, VertexNotFoundError
+from repro.graph import LabeledGraph, combine, combine_lazy, dijkstra
+from repro.semantics import blinks_search, knk_search, rclique_search
+from tests.conftest import random_connected_graph
+
+
+@pytest.fixture
+def view(small_public_private):
+    pub, priv = small_public_private
+    return combine_lazy(pub, priv), combine(pub, priv)
+
+
+class TestViewStructure:
+    def test_vertex_counts_match_materialized(self, view):
+        lazy, solid = view
+        assert lazy.num_vertices == solid.num_vertices
+        assert lazy.num_edges == solid.num_edges
+        assert lazy.size == solid.size
+        assert len(lazy) == solid.num_vertices
+
+    def test_vertices_each_once(self, view):
+        lazy, solid = view
+        vs = list(lazy.vertices())
+        assert len(vs) == len(set(vs))
+        assert set(vs) == set(solid.vertices())
+
+    def test_contains(self, view):
+        lazy, _ = view
+        assert 2 in lazy          # portal
+        assert "x1" in lazy       # private-only
+        assert 0 in lazy          # public-only
+        assert "ghost" not in lazy
+
+    def test_edges_match(self, view):
+        lazy, solid = view
+        lazy_edges = {frozenset((u, v)): w for u, v, w in lazy.edges()}
+        solid_edges = {frozenset((u, v)): w for u, v, w in solid.edges()}
+        assert lazy_edges == solid_edges
+
+    def test_neighbor_items_merge(self, view):
+        lazy, solid = view
+        for v in lazy.vertices():
+            assert dict(lazy.neighbor_items(v)) == {
+                u: solid.weight(v, u) for u in solid.neighbors(v)
+            }
+            assert lazy.degree(v) == solid.degree(v)
+
+    def test_unknown_vertex_raises(self, view):
+        lazy, _ = view
+        with pytest.raises(VertexNotFoundError):
+            list(lazy.neighbor_items("ghost"))
+        with pytest.raises(VertexNotFoundError):
+            lazy.labels("ghost")
+
+    def test_weight_min_and_missing(self):
+        pub = LabeledGraph()
+        pub.add_edge(1, 2, 5.0)
+        priv = LabeledGraph()
+        priv.add_edge(1, 2, 2.0)
+        lazy = combine_lazy(pub, priv)
+        assert lazy.weight(1, 2) == 2.0
+        with pytest.raises(EdgeNotFoundError):
+            lazy.weight(1, 99)
+
+
+class TestViewLabels:
+    def test_label_union_on_portals(self):
+        pub = LabeledGraph()
+        pub.add_vertex(1, {"pub"})
+        priv = LabeledGraph()
+        priv.add_vertex(1, {"priv"})
+        priv.add_edge(1, "x")
+        pub.add_edge(1, 2)
+        lazy = combine_lazy(pub, priv)
+        assert lazy.labels(1) == {"pub", "priv"}
+        assert lazy.has_label(1, "pub") and lazy.has_label(1, "priv")
+
+    def test_inverted_index_union(self, view):
+        lazy, solid = view
+        for label in lazy.label_universe():
+            assert lazy.vertices_with_label(label) == (
+                solid.vertices_with_label(label)
+            )
+            assert lazy.label_frequency(label) == solid.label_frequency(label)
+
+    def test_stats(self, view):
+        lazy, solid = view
+        assert lazy.stats()["num_vertices"] == solid.num_vertices
+
+
+class TestAlgorithmsOnView:
+    def test_dijkstra_identical(self, view):
+        lazy, solid = view
+        for source in (2, "x1", 0):
+            assert dijkstra(lazy, source) == dijkstra(solid, source)
+
+    def test_blinks_identical(self, view):
+        lazy, solid = view
+        a1 = blinks_search(lazy, ["db", "ai"], tau=4.0)
+        a2 = blinks_search(solid, ["db", "ai"], tau=4.0)
+        assert [a.sort_key() for a in a1] == [a.sort_key() for a in a2]
+
+    def test_rclique_identical(self, view):
+        lazy, solid = view
+        a1 = rclique_search(lazy, ["db", "cv"], tau=5.0, k=5)
+        a2 = rclique_search(solid, ["db", "cv"], tau=5.0, k=5)
+        assert [a.sort_key() for a in a1] == [a.sort_key() for a in a2]
+
+    def test_knk_identical(self, view):
+        lazy, solid = view
+        a1 = knk_search(lazy, "x1", "cv", k=3)
+        a2 = knk_search(solid, "x1", "cv", k=3)
+        assert a1.distances() == a2.distances()
+
+    def test_materialize_roundtrip(self, view):
+        lazy, solid = view
+        mat = lazy.materialize()
+        assert mat.num_vertices == solid.num_vertices
+        assert mat.num_edges == solid.num_edges
+
+    def test_view_reflects_mutations(self, small_public_private):
+        pub, priv = small_public_private
+        lazy = combine_lazy(pub, priv)
+        before = lazy.num_vertices
+        priv.add_edge("x1", "brand-new")
+        assert lazy.num_vertices == before + 1
+        assert "brand-new" in lazy
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2000))
+def test_view_equals_materialized_property(seed):
+    pub = random_connected_graph(20, 6, seed)
+    priv = random_connected_graph(8, 2, seed + 1)  # overlaps on 0..7
+    lazy = combine_lazy(pub, priv)
+    solid = combine(pub, priv)
+    assert lazy.num_vertices == solid.num_vertices
+    assert lazy.num_edges == solid.num_edges
+    assert dijkstra(lazy, 0) == dijkstra(solid, 0)
