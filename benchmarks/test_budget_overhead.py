@@ -1,0 +1,83 @@
+"""Budget fast-path micro-benchmark.
+
+The budget checkpoint threading (``repro.core.budget``) must be free when
+unused: with ``deadline_ms=None`` every hot loop takes a single
+``budget is None`` branch per heap pop.  This benchmark runs the Fig.-6
+Blinks workload twice — unbudgeted vs a budget generous enough to never
+expire (which pays the full checkpoint accounting) — and asserts the
+*unbudgeted* path does not regress against the effectively-unlimited
+budgeted one by more than the allowed overhead margin.
+
+The check is deliberately one-sided: the no-budget median must stay
+within 5% of itself-with-checkpoints, i.e. the checkpoint machinery may
+cost something, but opting out must remain (close to) free.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+
+from benchmarks.conftest import STRICT, emit
+from repro.bench.reporting import write_report
+from repro.datasets.queries import generate_keyword_queries
+
+TAU = 5.0
+NUM_QUERIES = 8
+ROUNDS = 5
+# no-budget median must stay within 5% of the generous-budget median
+MAX_OVERHEAD = 1.05
+
+
+def _run_workload(engine, owner, queries, **budget_kwargs) -> float:
+    start = time.perf_counter()
+    for q in queries:
+        engine.blinks(owner, list(q.keywords), q.tau, k=10, **budget_kwargs)
+    return time.perf_counter() - start
+
+
+def test_budget_fast_path_overhead(setups, benchmark):
+    setup = setups("ppdblp")
+    queries = generate_keyword_queries(
+        setup.dataset.public, setup.private,
+        num_queries=NUM_QUERIES, tau=TAU, seed=77,
+    )
+    # interleave variants so drift (caches, frequency scaling) hits both
+    plain_times, budgeted_times = [], []
+    _run_workload(setup.engine, setup.owner, queries)  # warm-up
+    for _ in range(ROUNDS):
+        plain_times.append(_run_workload(setup.engine, setup.owner, queries))
+        budgeted_times.append(
+            _run_workload(
+                setup.engine, setup.owner, queries,
+                deadline_ms=1e12, max_expansions=10**15,
+            )
+        )
+    plain, budgeted = median(plain_times), median(budgeted_times)
+    ratio = plain / budgeted if budgeted else 1.0
+
+    report = (
+        "Budget fast-path overhead (Blinks, ppdblp)\n"
+        f"  deadline_ms=None  median: {plain * 1000:8.2f} ms\n"
+        f"  generous budget   median: {budgeted * 1000:8.2f} ms\n"
+        f"  none/budgeted ratio: {ratio:.3f} (must be < {MAX_OVERHEAD})\n"
+    )
+    emit(report)
+    write_report("budget_overhead", report)
+
+    benchmark.pedantic(
+        lambda: _run_workload(setup.engine, setup.owner, queries),
+        rounds=1, iterations=1,
+    )
+    if STRICT:
+        assert ratio < MAX_OVERHEAD, report
+
+    # results must be identical either way (fast path changes nothing)
+    q = queries[0]
+    plain_result = setup.engine.blinks(setup.owner, list(q.keywords), q.tau, k=10)
+    budgeted_result = setup.engine.blinks(
+        setup.owner, list(q.keywords), q.tau, k=10, deadline_ms=1e12
+    )
+    assert [a.sort_key() for a in plain_result.answers] == [
+        a.sort_key() for a in budgeted_result.answers
+    ]

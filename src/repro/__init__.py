@@ -28,6 +28,7 @@ from repro.core import (
     Attachment,
     KnkQueryResult,
     PPKWS,
+    QueryBudget,
     PublicIndex,
     QueryCounters,
     QueryOptions,
@@ -38,11 +39,16 @@ from repro.core import (
     query_model_m2,
 )
 from repro.exceptions import (
+    BudgetError,
+    BudgetExhaustedError,
     DatasetError,
+    DeadlineExceededError,
     GraphError,
     IndexBuildError,
+    QueryCancelledError,
     QueryError,
     ReproError,
+    ServiceOverloadedError,
     VertexNotFoundError,
 )
 from repro.graph import (
@@ -77,7 +83,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attachment",
+    "BudgetError",
+    "BudgetExhaustedError",
     "DatasetError",
+    "DeadlineExceededError",
     "DistanceSketch",
     "GraphError",
     "IndexBuildError",
@@ -90,12 +99,15 @@ __all__ = [
     "PPKWSService",
     "PublicIndex",
     "PublicPrivateNetwork",
+    "QueryBudget",
+    "QueryCancelledError",
     "QueryCounters",
     "QueryError",
     "QueryOptions",
     "QueryResult",
     "ReproError",
     "RootedAnswer",
+    "ServiceOverloadedError",
     "StepBreakdown",
     "ValidationReport",
     "VertexNotFoundError",

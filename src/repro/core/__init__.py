@@ -1,8 +1,10 @@
 """The PPKWS framework: PEval / ARefine / AComplete (paper Sec. III-IV)."""
 
+from repro.core.budget import DEFAULT_CHECK_INTERVAL, QueryBudget
 from repro.core.framework import (
     Attachment,
     KnkQueryResult,
+    PIPELINE_STEPS,
     PPKWS,
     PublicIndex,
     QueryCounters,
@@ -17,8 +19,9 @@ from repro.core.partial import (
     PairIndicator,
     PartialAnswer,
     PartialKnkAnswer,
+    salvage_rooted_answers,
 )
-from repro.core.batch import BatchSession, PersistentCompletionCache
+from repro.core.batch import BatchBudget, BatchSession, PersistentCompletionCache
 from repro.core.dynamic import DynamicPrivateGraph
 from repro.core.persist import load_index, save_index
 from repro.core.pp_rclique import CompletionCache
@@ -26,17 +29,21 @@ from repro.core.qualify import answer_sides, is_public_private_answer
 
 __all__ = [
     "Attachment",
+    "BatchBudget",
     "BatchSession",
+    "DEFAULT_CHECK_INTERVAL",
     "PersistentCompletionCache",
     "CompletionCache",
     "DynamicPrivateGraph",
     "KeywordIndicator",
     "KnkQueryResult",
+    "PIPELINE_STEPS",
     "PPKWS",
     "PairIndicator",
     "PartialAnswer",
     "PartialKnkAnswer",
     "PublicIndex",
+    "QueryBudget",
     "QueryCounters",
     "QueryOptions",
     "QueryResult",
@@ -46,5 +53,6 @@ __all__ = [
     "load_index",
     "query_model_m1",
     "query_model_m2",
+    "salvage_rooted_answers",
     "save_index",
 ]

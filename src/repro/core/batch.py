@@ -13,12 +13,22 @@ public index, so they never go stale while the attachment lives; after
 mutating the private graph (new portals) call :meth:`BatchSession.invalidate`.
 Answers are bit-identical to individually evaluated queries — the cache
 memoizes pure lookups — which the test suite asserts.
+
+Batches can carry a *whole-batch budget*: ``run_keyword_queries`` /
+``run_knk_queries`` accept ``deadline_ms`` (and ``max_expansions``) for
+the entire workload.  The remaining allowance is divided evenly across
+the remaining queries before each query starts, so an early query that
+overruns shrinks the slices of later ones, and a batch whose budget is
+already spent degrades every remaining query immediately instead of
+running unbounded.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import time
+from typing import List, Optional, Sequence
 
+from repro.core.budget import QueryBudget
 from repro.core.framework import KnkQueryResult, PPKWS, QueryResult
 from repro.core.pp_blinks import pp_blinks_query
 from repro.core.pp_knk import pp_knk_query
@@ -27,7 +37,53 @@ from repro.datasets.queries import KeywordQuery, KnkQuery
 from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, Vertex
 
-__all__ = ["PersistentCompletionCache", "BatchSession"]
+__all__ = ["PersistentCompletionCache", "BatchSession", "BatchBudget"]
+
+
+class BatchBudget:
+    """Divides a whole-batch allowance across the batch's queries.
+
+    ``slice_for(queries_left)`` returns a per-query
+    :class:`QueryBudget` covering an even share of whatever time and
+    expansions remain, or ``None`` when the batch is unbudgeted.
+    The wall-clock share is never negative: once the batch deadline has
+    passed, later queries get a zero-time budget and degrade at their
+    first checkpoint.
+    """
+
+    def __init__(
+        self,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+    ) -> None:
+        self.deadline_ms = deadline_ms
+        self.max_expansions = max_expansions
+        self._started = time.monotonic()
+        self._expansions_used = 0
+
+    @property
+    def unbudgeted(self) -> bool:
+        """Whether no limit at all was configured."""
+        return self.deadline_ms is None and self.max_expansions is None
+
+    def charge(self, budget: Optional[QueryBudget]) -> None:
+        """Record a finished query's expansion usage."""
+        if budget is not None:
+            self._expansions_used += budget.expansions
+
+    def slice_for(self, queries_left: int) -> Optional[QueryBudget]:
+        """A per-query budget for the next of ``queries_left`` queries."""
+        if self.unbudgeted:
+            return None
+        share_ms: Optional[float] = None
+        if self.deadline_ms is not None:
+            elapsed_ms = (time.monotonic() - self._started) * 1000.0
+            share_ms = max(self.deadline_ms - elapsed_ms, 0.0) / max(queries_left, 1)
+        share_exp: Optional[int] = None
+        if self.max_expansions is not None:
+            left = max(self.max_expansions - self._expansions_used, 0)
+            share_exp = left // max(queries_left, 1)
+        return QueryBudget(deadline_ms=share_ms, max_expansions=share_exp)
 
 
 class PersistentCompletionCache(CompletionCache):
@@ -73,27 +129,33 @@ class BatchSession:
     def blinks(
         self, keywords: Sequence[Label], tau: float, k: int = 10,
         require_public_private: bool = True,
+        budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """One Blinks query through the shared cache."""
         return pp_blinks_query(
             self.engine, self.attachment, list(keywords), tau, k,
-            require_public_private, cache=self.cache,
+            require_public_private, cache=self.cache, budget=budget,
         )
 
     def rclique(
         self, keywords: Sequence[Label], tau: float, k: int = 10,
         require_public_private: bool = True,
+        budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """One r-clique query through the shared cache."""
         return pp_rclique_query(
             self.engine, self.attachment, list(keywords), tau, k,
-            require_public_private, cache=self.cache,
+            require_public_private, cache=self.cache, budget=budget,
         )
 
-    def knk(self, source: Vertex, keyword: Label, k: int) -> KnkQueryResult:
+    def knk(
+        self, source: Vertex, keyword: Label, k: int,
+        budget: Optional[QueryBudget] = None,
+    ) -> KnkQueryResult:
         """One k-nk query through the shared cache."""
         return pp_knk_query(
-            self.engine, self.attachment, source, keyword, k, cache=self.cache
+            self.engine, self.attachment, source, keyword, k,
+            cache=self.cache, budget=budget,
         )
 
     # ------------------------------------------------------------------
@@ -102,21 +164,43 @@ class BatchSession:
         semantic: str,
         queries: Sequence[KeywordQuery],
         k: int = 10,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
     ) -> List[QueryResult]:
-        """Run a workload of Blinks or r-clique queries."""
+        """Run a workload of Blinks or r-clique queries.
+
+        ``deadline_ms`` / ``max_expansions`` bound the *whole batch*: the
+        remaining allowance is split evenly across the remaining queries,
+        so an exhausted batch degrades its tail instead of overrunning.
+        """
         if semantic == "blinks":
             runner = self.blinks
         elif semantic == "rclique":
             runner = self.rclique
         else:
             raise QueryError(f"unknown batch semantic {semantic!r}")
-        return [runner(list(q.keywords), q.tau, k) for q in queries]
+        batch = BatchBudget(deadline_ms, max_expansions)
+        results: List[QueryResult] = []
+        for i, q in enumerate(queries):
+            slice_budget = batch.slice_for(len(queries) - i)
+            results.append(runner(list(q.keywords), q.tau, k, budget=slice_budget))
+            batch.charge(slice_budget)
+        return results
 
     def run_knk_queries(
-        self, queries: Sequence[KnkQuery]
+        self,
+        queries: Sequence[KnkQuery],
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
     ) -> List[KnkQueryResult]:
-        """Run a workload of k-nk queries."""
-        return [self.knk(q.source, q.keyword, q.k) for q in queries]
+        """Run a workload of k-nk queries, optionally batch-budgeted."""
+        batch = BatchBudget(deadline_ms, max_expansions)
+        results: List[KnkQueryResult] = []
+        for i, q in enumerate(queries):
+            slice_budget = batch.slice_for(len(queries) - i)
+            results.append(self.knk(q.source, q.keyword, q.k, budget=slice_budget))
+            batch.charge(slice_budget)
+        return results
 
     # ------------------------------------------------------------------
     @property

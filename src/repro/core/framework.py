@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.core.budget import QueryBudget
 from repro.core.qualify import is_public_private_answer as _is_public_private_answer
 from repro.exceptions import GraphError, QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
@@ -53,6 +54,7 @@ __all__ = [
     "QueryCounters",
     "QueryResult",
     "KnkQueryResult",
+    "PIPELINE_STEPS",
     "PPKWS",
     "QueryOptions",
     "query_model_m1",
@@ -171,22 +173,44 @@ class QueryCounters:
     final_answers: int = 0
 
 
+#: The three pipeline steps, in execution order.
+PIPELINE_STEPS: Tuple[str, str, str] = ("peval", "arefine", "acomplete")
+
+
 @dataclass
 class QueryResult:
-    """Answers plus instrumentation for a Blinks / r-clique query."""
+    """Answers plus instrumentation for a Blinks / r-clique query.
+
+    ``degraded`` is true when a query budget (deadline / expansion cap /
+    cancellation) expired mid-pipeline: ``answers`` then holds the best
+    answers completed before the budget ran out, ``completed_steps``
+    names the steps that finished, and ``interrupted_step`` the one cut
+    short.  Degraded answer sets are best-effort: the public-private
+    qualification may not have run and answers completed by later steps
+    are absent.
+    """
 
     answers: List[RootedAnswer]
     breakdown: StepBreakdown
     counters: QueryCounters
+    degraded: bool = False
+    completed_steps: Tuple[str, ...] = PIPELINE_STEPS
+    interrupted_step: Optional[str] = None
 
 
 @dataclass
 class KnkQueryResult:
-    """Answer plus instrumentation for a k-nk query."""
+    """Answer plus instrumentation for a k-nk query.
+
+    See :class:`QueryResult` for the degradation fields.
+    """
 
     answer: KnkAnswer
     breakdown: StepBreakdown
     counters: QueryCounters
+    degraded: bool = False
+    completed_steps: Tuple[str, ...] = PIPELINE_STEPS
+    interrupted_step: Optional[str] = None
 
 
 @dataclass
@@ -198,11 +222,20 @@ class QueryOptions:
     them).  ``peval_answers`` bounds how many partial answers PEval may
     emit — the paper enumerates r-clique spaces until exhaustion, which
     is safe on small private graphs but still worth capping.
+
+    ``deadline_ms`` / ``max_expansions`` give every query a default
+    :class:`~repro.core.budget.QueryBudget` (wall-clock budget in
+    milliseconds / node-expansion cap).  Both default to ``None`` — no
+    budget object is created and the hot paths skip all budget checks,
+    keeping results bit-identical to the unbudgeted code.  Per-call
+    arguments on the :class:`PPKWS` entry points override these.
     """
 
     reduced_refinement: bool = True
     dp_completion: bool = True
     peval_answers: int = 32
+    deadline_ms: Optional[float] = None
+    max_expansions: Optional[int] = None
 
 
 class _Timer:
@@ -306,6 +339,29 @@ class PPKWS:
         return list(self._attachments)
 
     # ------------------------------------------------------------------
+    def make_budget(
+        self,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
+    ) -> Optional[QueryBudget]:
+        """The effective budget for one query.
+
+        An explicit ``budget`` wins; otherwise per-call limits override
+        the :class:`QueryOptions` defaults.  Returns ``None`` when no
+        limit applies — the hot paths then skip all budget checks, so
+        unbudgeted queries behave bit-identically to the pre-budget code.
+        """
+        if budget is not None:
+            return budget
+        if deadline_ms is None:
+            deadline_ms = self.options.deadline_ms
+        if max_expansions is None:
+            max_expansions = self.options.max_expansions
+        if deadline_ms is None and max_expansions is None:
+            return None
+        return QueryBudget(deadline_ms=deadline_ms, max_expansions=max_expansions)
+
     def rclique(
         self,
         owner: str,
@@ -313,13 +369,20 @@ class PPKWS:
         tau: float,
         k: int = 10,
         require_public_private: bool = True,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
-        """PP-r-clique (Sec. IV-A): top-``k`` star answers on ``Gc``."""
+        """PP-r-clique (Sec. IV-A): top-``k`` star answers on ``Gc``.
+
+        Budget expiry degrades gracefully: see :class:`QueryResult`.
+        """
         from repro.core.pp_rclique import pp_rclique_query
 
         return pp_rclique_query(
             self, self.attachment(owner), list(keywords), tau, k,
             require_public_private,
+            budget=self.make_budget(deadline_ms, max_expansions, budget),
         )
 
     def blinks(
@@ -329,13 +392,20 @@ class PPKWS:
         tau: float,
         k: int = 10,
         require_public_private: bool = True,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
-        """PP-Blinks (Sec. IV-B): top-``k`` rooted-tree answers on ``Gc``."""
+        """PP-Blinks (Sec. IV-B): top-``k`` rooted-tree answers on ``Gc``.
+
+        Budget expiry degrades gracefully: see :class:`QueryResult`.
+        """
         from repro.core.pp_blinks import pp_blinks_query
 
         return pp_blinks_query(
             self, self.attachment(owner), list(keywords), tau, k,
             require_public_private,
+            budget=self.make_budget(deadline_ms, max_expansions, budget),
         )
 
     def banks(
@@ -345,17 +415,22 @@ class PPKWS:
         tau: float,
         k: int = 10,
         require_public_private: bool = True,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """PP-BANKS: Blinks answers with materialized answer trees.
 
         Runs the PP-Blinks pipeline, then reconstructs each answer's tree
         lazily over the combined view (exact paths, no materialization).
+        Budget expiry degrades gracefully: see :class:`QueryResult`.
         """
         from repro.core.pp_banks import pp_banks_query
 
         return pp_banks_query(
             self, self.attachment(owner), list(keywords), tau, k,
             require_public_private,
+            budget=self.make_budget(deadline_ms, max_expansions, budget),
         )
 
     def knk(
@@ -364,11 +439,20 @@ class PPKWS:
         source: Vertex,
         keyword: Label,
         k: int,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> KnkQueryResult:
-        """PP-knk (Sec. IV-C / Appx. A): top-``k`` nearest keyword on ``Gc``."""
+        """PP-knk (Sec. IV-C / Appx. A): top-``k`` nearest keyword on ``Gc``.
+
+        Budget expiry degrades gracefully: see :class:`KnkQueryResult`.
+        """
         from repro.core.pp_knk import pp_knk_query
 
-        return pp_knk_query(self, self.attachment(owner), source, keyword, k)
+        return pp_knk_query(
+            self, self.attachment(owner), source, keyword, k,
+            budget=self.make_budget(deadline_ms, max_expansions, budget),
+        )
 
     def knk_multi(
         self,
@@ -377,13 +461,20 @@ class PPKWS:
         keywords: Sequence[Label],
         k: int,
         mode: str = "and",
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> KnkQueryResult:
         """Multi-keyword PP-knk: conjunctive (``"and"``) or disjunctive
-        (``"or"``) nearest-keyword search (the Sec.-II extension)."""
+        (``"or"``) nearest-keyword search (the Sec.-II extension).
+
+        Budget expiry degrades gracefully: see :class:`KnkQueryResult`.
+        """
         from repro.core.pp_knk_multi import pp_knk_multi_query
 
         return pp_knk_multi_query(
-            self, self.attachment(owner), source, list(keywords), k, mode
+            self, self.attachment(owner), source, list(keywords), k, mode,
+            budget=self.make_budget(deadline_ms, max_expansions, budget),
         )
 
 

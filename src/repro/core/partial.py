@@ -14,7 +14,7 @@ and emits :class:`PartialAnswer` objects: an ordinary rooted answer plus
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graph.labeled_graph import Label, Vertex
 from repro.semantics.answers import KnkAnswer, Match, RootedAnswer
@@ -24,6 +24,7 @@ __all__ = [
     "KeywordIndicator",
     "PartialAnswer",
     "PartialKnkAnswer",
+    "salvage_rooted_answers",
 ]
 
 
@@ -98,6 +99,39 @@ class PartialAnswer:
             missing=set(self.missing),
             public_matched=set(self.public_matched),
         )
+
+
+def salvage_rooted_answers(
+    partials: Iterable[PartialAnswer],
+    tau: float,
+    k: int,
+) -> List[RootedAnswer]:
+    """Best already-complete answers among ``partials`` (degraded mode).
+
+    When a query budget expires mid-pipeline the interrupted step's work
+    is lost, but partial answers whose every keyword is matched by a
+    *genuine* vertex within ``tau`` are already structurally valid — the
+    recorded distances are realized by actual paths, so they satisfy the
+    achievability checks of :func:`repro.validation.validate_rooted_answer`.
+    Keywords still routed through a portal or missing entirely disqualify
+    an answer (the portal is not a real match).  The public-private
+    qualification of Def. II.2 is *not* enforced here; degraded results
+    are marked so callers know the answer set is best-effort.
+
+    Bounded work: one pass plus a sort — safe to run after expiry.
+    """
+    out: List[RootedAnswer] = []
+    for partial in partials:
+        answer = partial.answer
+        if partial.missing or partial.portal_routed or not answer.matches:
+            continue
+        if any(not m.is_resolved() for m in answer.matches.values()):
+            continue
+        if not answer.within_bound(tau):
+            continue
+        out.append(answer)
+    out.sort(key=RootedAnswer.sort_key)
+    return out[:k]
 
 
 @dataclass

@@ -18,8 +18,9 @@ on the sketch estimates that ranked the answers).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.core.budget import QueryBudget
 from repro.core.framework import Attachment, PPKWS, QueryResult
 from repro.graph.labeled_graph import Label
 from repro.graph.traversal import shortest_path
@@ -37,13 +38,21 @@ def pp_banks_query(
     tau: float,
     k: int,
     require_public_private: bool,
+    budget: Optional[QueryBudget] = None,
 ) -> QueryResult:
     """PP-Blinks followed by lazy tree materialization."""
     from repro.core.pp_blinks import pp_blinks_query
 
     result = pp_blinks_query(
-        engine, attachment, keywords, tau, k, require_public_private
+        engine, attachment, keywords, tau, k, require_public_private,
+        budget=budget,
     )
+    if result.degraded:
+        # The budget expired during the Blinks pipeline: return the
+        # salvaged rooted answers as-is.  Tree materialization runs
+        # point-to-point searches on the combined view — exactly the
+        # work a spent budget no longer pays for.
+        return result
     view = combine_lazy(engine.public, attachment.private)
     trees: List[RootedAnswer] = []
     for answer in result.answers:

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.budget import QueryBudget
 from repro.core.framework import (
     Attachment,
     PPKWS,
@@ -31,11 +32,11 @@ from repro.core.framework import (
     StepBreakdown,
     _Timer,
 )
-from repro.core.partial import KeywordIndicator, PartialAnswer
+from repro.core.partial import KeywordIndicator, PartialAnswer, salvage_rooted_answers
 from repro.core.pp_rclique import CompletionCache
 from repro.core.qualify import answer_sides
 from repro.core.repair import try_requalify
-from repro.exceptions import QueryError
+from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 from repro.graph.traversal import INF
 from repro.semantics.answers import Match, RootedAnswer
@@ -48,6 +49,7 @@ def peval_blinks(
     attachment: Attachment,
     keywords: Sequence[Label],
     tau: float,
+    budget: Optional[QueryBudget] = None,
 ) -> Dict[Vertex, PartialAnswer]:
     """Step 1: backward expansion on the private graph, keyed by root."""
     private = attachment.private
@@ -55,7 +57,7 @@ def peval_blinks(
     roots: Set[Vertex] = set(p for p in attachment.portals if p in private)
     for q in keywords:
         origins = private.vertices_with_label(q)
-        cover = keyword_expansion(private, origins, tau) if origins else {}
+        cover = keyword_expansion(private, origins, tau, budget=budget) if origins else {}
         per_keyword[q] = cover
         roots.update(cover)
     # The paper seeds the portals as search origins for every keyword, so
@@ -64,6 +66,8 @@ def peval_blinks(
     # The vertex-portal map already holds those distances.
     vpm = attachment.oracle.vertex_portal
     for v in private.vertices():
+        if budget is not None:
+            budget.checkpoint()
         if v in roots:
             continue
         portal_d = vpm.portal_distances(v)
@@ -72,6 +76,8 @@ def peval_blinks(
 
     partials: Dict[Vertex, PartialAnswer] = {}
     for r in roots:
+        if budget is not None:
+            budget.checkpoint()
         partial = PartialAnswer(answer=RootedAnswer(r, {}))
         for q in keywords:
             hit = per_keyword[q].get(r)
@@ -91,6 +97,7 @@ def arefine_keywords(
     partials: Dict[Vertex, PartialAnswer],
     counters: QueryCounters,
     reduced: bool,
+    budget: Optional[QueryBudget] = None,
 ) -> None:
     """Step 2: Algo 4 — refine (root, keyword) distances via portal pairs."""
     if reduced and not attachment.has_refined_portals:
@@ -102,6 +109,8 @@ def arefine_keywords(
     pairs = attachment.refined_by_source if reduced else None
     for partial in partials.values():
         for ind in partial.keyword_indicators:
+            if budget is not None:
+                budget.checkpoint()
             counters.refinement_checks += 1
             match = partial.match(ind.keyword)
             if match is None:
@@ -126,11 +135,17 @@ def pp_blinks_query(
     k: int,
     require_public_private: bool,
     cache: "CompletionCache | None" = None,
+    budget: Optional[QueryBudget] = None,
 ) -> QueryResult:
     """Run the full PEval -> ARefine -> AComplete pipeline for Blinks.
 
     ``cache`` lets batch sessions share one completion cache across
     queries; by default each query gets a fresh one (the paper's PKA).
+
+    ``budget`` enables cooperative cancellation: expiry mid-step degrades
+    the query to the best answers completed so far (salvaged from the
+    partial answers) instead of raising, with ``QueryResult.degraded``,
+    ``completed_steps`` and ``interrupted_step`` recording what ran.
     """
     if not keywords:
         raise QueryError("Blinks query needs at least one keyword")
@@ -139,25 +154,53 @@ def pp_blinks_query(
     breakdown = StepBreakdown()
     options = engine.options
 
-    with _Timer() as t:
-        partials = peval_blinks(attachment, unique_keywords, tau)
-    breakdown.peval = t.elapsed
-    counters.partial_answers = len(partials)
+    partials: Dict[Vertex, PartialAnswer] = {}
+    answers: List[RootedAnswer] = []
+    completed: List[str] = []
+    step = "peval"
+    t = _Timer()
+    try:
+        with _Timer() as t:
+            partials = peval_blinks(attachment, unique_keywords, tau, budget)
+        breakdown.peval = t.elapsed
+        completed.append("peval")
+        counters.partial_answers = len(partials)
 
-    with _Timer() as t:
-        arefine_keywords(attachment, partials, counters, options.reduced_refinement)
-    breakdown.arefine = t.elapsed
+        step = "arefine"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            arefine_keywords(
+                attachment, partials, counters, options.reduced_refinement, budget
+            )
+        breakdown.arefine = t.elapsed
+        completed.append("arefine")
 
-    with _Timer() as t:
-        if cache is None:
-            cache = CompletionCache(options.dp_completion)
-        answers = _acomplete(
-            engine, attachment, partials, unique_keywords, tau, k, counters,
-            cache, require_public_private,
+        step = "acomplete"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            if cache is None:
+                cache = CompletionCache(options.dp_completion)
+            answers = _acomplete(
+                engine, attachment, partials, unique_keywords, tau, k, counters,
+                cache, require_public_private, budget,
+            )
+            counters.completion_lookups = cache.misses + cache.hits
+            counters.completion_cache_hits = cache.hits
+        breakdown.acomplete = t.elapsed
+        completed.append("acomplete")
+    except BudgetError:
+        # Graceful degradation: keep the answers that are already
+        # complete and within bound.  AComplete mutates partials in
+        # place, so improvements it made before expiry are kept too.
+        setattr(breakdown, step, t.elapsed)
+        answers = salvage_rooted_answers(partials.values(), tau, k)
+        counters.final_answers = len(answers)
+        return QueryResult(
+            answers, breakdown, counters,
+            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
         )
-        counters.completion_lookups = cache.misses + cache.hits
-        counters.completion_cache_hits = cache.hits
-    breakdown.acomplete = t.elapsed
 
     answers.sort(key=RootedAnswer.sort_key)
     top = answers[:k]
@@ -169,6 +212,7 @@ def _offset_sweep(
     public: "LabeledGraph",
     seeds: List[Tuple[float, Vertex, Vertex]],
     tau: float,
+    budget: Optional[QueryBudget] = None,
 ) -> Dict[Vertex, Match]:
     """Multi-source Dijkstra with per-source starting offsets.
 
@@ -185,6 +229,8 @@ def _offset_sweep(
     heapq.heapify(heap)
     reached: Dict[Vertex, Match] = {}
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v, witness = heapq.heappop(heap)
         if v in reached:
             continue
@@ -206,6 +252,7 @@ def _acomplete(
     counters: QueryCounters,
     cache: CompletionCache,
     require_public_private: bool,
+    budget: Optional[QueryBudget] = None,
 ) -> List[RootedAnswer]:
     """Step 3: Algo 5 — expand, retrieve missing keywords, qualify."""
     public = engine.public
@@ -233,11 +280,13 @@ def _acomplete(
             for p, seed in portal_seeds
             if seed.answer.matches[q].distance < INF
         ]
-        swept[q] = _offset_sweep(public, seeds, tau) if seeds else {}
+        swept[q] = _offset_sweep(public, seeds, tau, budget) if seeds else {}
     touched: Set[Vertex] = set()
     for cover in swept.values():
         touched.update(cover)
     for u in touched:
+        if budget is not None:
+            budget.checkpoint()
         if u in answers:
             existing = answers[u]
             for q in keywords:
@@ -260,6 +309,8 @@ def _acomplete(
     # (b) Retrieve missing keywords / improve via the public graph
     # (CompleteAns, lines 20-23).
     for root, partial in answers.items():
+        if budget is not None:
+            budget.checkpoint()
         root_is_public = root in public
         root_is_private = root in private
         for q in keywords:
@@ -287,6 +338,8 @@ def _acomplete(
     final: List[RootedAnswer] = []
     candidates = sorted(answers.values(), key=lambda p: p.answer.sort_key())
     for partial in candidates:
+        if budget is not None:
+            budget.checkpoint()
         if len(final) >= k:
             break
         if partial.missing or not partial.answer.within_bound(tau):

@@ -18,8 +18,9 @@ over-estimates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.budget import QueryBudget
 from repro.core.framework import (
     Attachment,
     KnkQueryResult,
@@ -30,12 +31,27 @@ from repro.core.framework import (
 )
 from repro.core.partial import PairIndicator, PartialKnkAnswer
 from repro.core.pp_rclique import CompletionCache
-from repro.exceptions import QueryError
+from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.graph.traversal import INF, dijkstra_ordered
 from repro.semantics.answers import KnkAnswer, Match
 
-__all__ = ["pp_knk_query", "peval_knk"]
+__all__ = ["pp_knk_query", "peval_knk", "salvage_knk_answer"]
+
+
+def salvage_knk_answer(partial: PartialKnkAnswer, k: int) -> KnkAnswer:
+    """Best-effort k-nk answer from the private matches found so far.
+
+    Private-sweep matches carry exact private-graph distances (only ever
+    *tightened* by refinement towards the combined-graph distance), so
+    every salvaged distance is achievable on ``Gc``.  Refinement may have
+    unsorted the list, hence the re-sort.  Bounded work — safe after
+    budget expiry.
+    """
+    source = partial.answer
+    matches = [m.copy() for m in source.matches if m.is_resolved()]
+    matches.sort(key=lambda m: (m.distance, repr(m.vertex)))
+    return KnkAnswer(source.source, source.keyword, matches[:k])
 
 
 def peval_knk(
@@ -43,13 +59,21 @@ def peval_knk(
     source: Vertex,
     keyword: Label,
     k: int,
+    budget: Optional[QueryBudget] = None,
+    partial: Optional[PartialKnkAnswer] = None,
 ) -> PartialKnkAnswer:
-    """Step 1: exact k-nk sweep on the private graph, recording portals."""
+    """Step 1: exact k-nk sweep on the private graph, recording portals.
+
+    Pass a pre-built ``partial`` to accumulate matches in place — the
+    pipeline does this so that a budget expiring mid-sweep still leaves
+    the matches found so far available for the degraded result.
+    """
     private = attachment.private
     portals = attachment.portals
-    answer = KnkAnswer(source, keyword, [])
-    partial = PartialKnkAnswer(answer=answer)
-    for v, d in dijkstra_ordered(private, source):
+    if partial is None:
+        partial = PartialKnkAnswer(answer=KnkAnswer(source, keyword, []))
+    answer = partial.answer
+    for v, d in dijkstra_ordered(private, source, budget=budget):
         if v in portals:
             partial.portal_entries.append((v, d))
         if private.has_label(v, keyword):
@@ -67,11 +91,16 @@ def pp_knk_query(
     keyword: Label,
     k: int,
     cache: "CompletionCache | None" = None,
+    budget: Optional[QueryBudget] = None,
 ) -> KnkQueryResult:
     """Run the full PEval -> ARefine -> AComplete pipeline for k-nk.
 
     ``cache`` lets batch sessions share one completion cache across
     queries; by default each query gets a fresh one (the paper's PKA).
+
+    ``budget`` enables cooperative cancellation: expiry mid-step degrades
+    the query to the private matches found so far (see
+    :class:`~repro.core.framework.KnkQueryResult`).
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -83,22 +112,44 @@ def pp_knk_query(
     breakdown = StepBreakdown()
     options = engine.options
 
-    with _Timer() as t:
-        partial = peval_knk(attachment, source, keyword, k)
-    breakdown.peval = t.elapsed
-    counters.partial_answers = len(partial.answer.matches)
+    partial = PartialKnkAnswer(answer=KnkAnswer(source, keyword, []))
+    completed: List[str] = []
+    step = "peval"
+    t = _Timer()
+    try:
+        with _Timer() as t:
+            partial = peval_knk(attachment, source, keyword, k, budget, partial)
+        breakdown.peval = t.elapsed
+        completed.append("peval")
+        counters.partial_answers = len(partial.answer.matches)
 
-    with _Timer() as t:
-        _arefine(attachment, partial, counters, options.reduced_refinement)
-    breakdown.arefine = t.elapsed
+        step = "arefine"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            _arefine(attachment, partial, counters, options.reduced_refinement, budget)
+        breakdown.arefine = t.elapsed
+        completed.append("arefine")
 
-    with _Timer() as t:
-        if cache is None:
-            cache = CompletionCache(options.dp_completion)
-        final = _acomplete(engine, attachment, partial, keyword, k, cache)
-        counters.completion_lookups = cache.misses + cache.hits
-        counters.completion_cache_hits = cache.hits
-    breakdown.acomplete = t.elapsed
+        step = "acomplete"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            if cache is None:
+                cache = CompletionCache(options.dp_completion)
+            final = _acomplete(engine, attachment, partial, keyword, k, cache, budget)
+            counters.completion_lookups = cache.misses + cache.hits
+            counters.completion_cache_hits = cache.hits
+        breakdown.acomplete = t.elapsed
+        completed.append("acomplete")
+    except BudgetError:
+        setattr(breakdown, step, t.elapsed)
+        final = salvage_knk_answer(partial, k)
+        counters.final_answers = len(final.matches)
+        return KnkQueryResult(
+            final, breakdown, counters,
+            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
+        )
 
     counters.final_answers = len(final.matches)
     return KnkQueryResult(final, breakdown, counters)
@@ -109,6 +160,7 @@ def _arefine(
     partial: PartialKnkAnswer,
     counters: QueryCounters,
     reduced: bool,
+    budget: Optional[QueryBudget] = None,
 ) -> None:
     """Step 2: refine match and portal distances with portal detours."""
     if reduced and not attachment.has_refined_portals:
@@ -120,6 +172,8 @@ def _arefine(
     pairs = attachment.refined_by_source if reduced else None
     source = partial.answer.source
     for match in partial.answer.matches:
+        if budget is not None:
+            budget.checkpoint()
         counters.refinement_checks += 1
         if match.vertex is None:
             continue
@@ -131,6 +185,8 @@ def _arefine(
             counters.refinements_applied += 1
     refined_portals: List[Tuple[Vertex, float]] = []
     for portal, d in partial.portal_entries:
+        if budget is not None:
+            budget.checkpoint()
         counters.refinement_checks += 1
         nd = oracle.refine_pair(source, portal, d, pairs_by_source=pairs)
         if nd < d:
@@ -146,6 +202,7 @@ def _acomplete(
     keyword: Label,
     k: int,
     cache: CompletionCache,
+    budget: Optional[QueryBudget] = None,
 ) -> KnkAnswer:
     """Step 3: merge public candidates reached through portals (Appx. A)."""
     best: Dict[Vertex, float] = {}
@@ -153,6 +210,8 @@ def _acomplete(
         if m.vertex is not None and m.distance < best.get(m.vertex, INF):
             best[m.vertex] = m.distance
     for portal, d in partial.portal_entries:
+        if budget is not None:
+            budget.checkpoint()
         for witness, pub_d in cache.lookup_candidates(engine, portal, keyword, k):
             total = d + pub_d
             if total < best.get(witness, INF):

@@ -17,8 +17,9 @@ Extends :mod:`repro.core.pp_knk` to the multi-keyword k-nk semantics
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.budget import QueryBudget
 from repro.core.framework import (
     Attachment,
     KnkQueryResult,
@@ -28,9 +29,9 @@ from repro.core.framework import (
     _Timer,
 )
 from repro.core.partial import PairIndicator, PartialKnkAnswer
-from repro.core.pp_knk import _arefine
+from repro.core.pp_knk import _arefine, salvage_knk_answer
 from repro.core.pp_rclique import CompletionCache
-from repro.exceptions import QueryError
+from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.graph.traversal import INF, dijkstra_ordered
 from repro.semantics.answers import KnkAnswer, Match
@@ -45,15 +46,22 @@ def _peval_multi(
     keywords: Sequence[Label],
     mode: str,
     k: int,
+    budget: Optional[QueryBudget] = None,
+    partial: Optional[PartialKnkAnswer] = None,
 ) -> PartialKnkAnswer:
-    """Private-graph sweep with the multi-keyword predicate."""
+    """Private-graph sweep with the multi-keyword predicate.
+
+    Like :func:`repro.core.pp_knk.peval_knk`, accepts a pre-built
+    ``partial`` so budget expiry mid-sweep keeps the matches found.
+    """
     private = attachment.private
     predicate = match_predicate(private, keywords, mode)
     portals = attachment.portals
     joiner = "&" if mode == "and" else "|"
-    answer = KnkAnswer(source, joiner.join(keywords), [])
-    partial = PartialKnkAnswer(answer=answer)
-    for v, d in dijkstra_ordered(private, source):
+    if partial is None:
+        partial = PartialKnkAnswer(answer=KnkAnswer(source, joiner.join(keywords), []))
+    answer = partial.answer
+    for v, d in dijkstra_ordered(private, source, budget=budget):
         if v in portals:
             partial.portal_entries.append((v, d))
         if predicate(v):
@@ -73,8 +81,13 @@ def pp_knk_multi_query(
     keywords: Sequence[Label],
     k: int,
     mode: str = "and",
+    budget: Optional[QueryBudget] = None,
 ) -> KnkQueryResult:
-    """PEval -> ARefine -> AComplete for multi-keyword k-nk."""
+    """PEval -> ARefine -> AComplete for multi-keyword k-nk.
+
+    ``budget`` enables cooperative cancellation with graceful
+    degradation, as in :func:`repro.core.pp_knk.pp_knk_query`.
+    """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
     if not keywords:
@@ -88,23 +101,50 @@ def pp_knk_multi_query(
     breakdown = StepBreakdown()
     options = engine.options
 
-    with _Timer() as t:
-        partial = _peval_multi(attachment, source, unique_keywords, mode, k)
-    breakdown.peval = t.elapsed
-    counters.partial_answers = len(partial.answer.matches)
+    joiner = "&" if mode == "and" else "|"
+    partial = PartialKnkAnswer(
+        answer=KnkAnswer(source, joiner.join(unique_keywords), [])
+    )
+    completed: List[str] = []
+    step = "peval"
+    t = _Timer()
+    try:
+        with _Timer() as t:
+            partial = _peval_multi(
+                attachment, source, unique_keywords, mode, k, budget, partial
+            )
+        breakdown.peval = t.elapsed
+        completed.append("peval")
+        counters.partial_answers = len(partial.answer.matches)
 
-    with _Timer() as t:
-        _arefine(attachment, partial, counters, options.reduced_refinement)
-    breakdown.arefine = t.elapsed
+        step = "arefine"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            _arefine(attachment, partial, counters, options.reduced_refinement, budget)
+        breakdown.arefine = t.elapsed
+        completed.append("arefine")
 
-    with _Timer() as t:
-        cache = CompletionCache(options.dp_completion)
-        final = _acomplete_multi(
-            engine, attachment, partial, unique_keywords, mode, k, cache
+        step = "acomplete"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            cache = CompletionCache(options.dp_completion)
+            final = _acomplete_multi(
+                engine, attachment, partial, unique_keywords, mode, k, cache, budget
+            )
+            counters.completion_lookups = cache.misses + cache.hits
+            counters.completion_cache_hits = cache.hits
+        breakdown.acomplete = t.elapsed
+        completed.append("acomplete")
+    except BudgetError:
+        setattr(breakdown, step, t.elapsed)
+        final = salvage_knk_answer(partial, k)
+        counters.final_answers = len(final.matches)
+        return KnkQueryResult(
+            final, breakdown, counters,
+            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
         )
-        counters.completion_lookups = cache.misses + cache.hits
-        counters.completion_cache_hits = cache.hits
-    breakdown.acomplete = t.elapsed
 
     counters.final_answers = len(final.matches)
     return KnkQueryResult(final, breakdown, counters)
@@ -124,6 +164,7 @@ def _acomplete_multi(
     mode: str,
     k: int,
     cache: CompletionCache,
+    budget: Optional[QueryBudget] = None,
 ) -> KnkAnswer:
     """Merge public candidates reached through portals."""
     public = engine.public
@@ -139,6 +180,8 @@ def _acomplete_multi(
     keyword_set = frozenset(keywords)
 
     for portal, d in partial.portal_entries:
+        if budget is not None:
+            budget.checkpoint()
         for q in probe_keywords:
             for witness, pub_d in cache.lookup_candidates(engine, portal, q, k):
                 if mode == "and" and not keyword_set <= public.labels(witness):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.budget import QueryBudget
 from repro.core.framework import (
     Attachment,
     PPKWS,
@@ -26,10 +27,10 @@ from repro.core.framework import (
     StepBreakdown,
     _Timer,
 )
-from repro.core.partial import PairIndicator, PartialAnswer
+from repro.core.partial import PairIndicator, PartialAnswer, salvage_rooted_answers
 from repro.core.qualify import answer_sides
 from repro.core.repair import try_requalify
-from repro.exceptions import QueryError
+from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.graph.traversal import INF
 from repro.semantics.answers import RootedAnswer
@@ -104,6 +105,7 @@ def peval_rclique(
     keywords: Sequence[Label],
     tau: float,
     max_answers: int,
+    budget: Optional[QueryBudget] = None,
 ) -> List[PartialAnswer]:
     """Step 1: partial evaluation on the private graph (Algo 2)."""
     raw = rclique_search(
@@ -114,6 +116,7 @@ def peval_rclique(
         extra_candidates=attachment.portals,
         enforce_bound=False,
         search_cutoff=tau,
+        budget=budget,
     )
     partials: List[PartialAnswer] = []
     private = attachment.private
@@ -142,6 +145,7 @@ def arefine_pairs(
     partials: List[PartialAnswer],
     counters: QueryCounters,
     reduced: bool,
+    budget: Optional[QueryBudget] = None,
 ) -> None:
     """Step 2: Algo 3 — tighten every indicated pair through the portals."""
     if reduced and not attachment.has_refined_portals:
@@ -155,6 +159,8 @@ def arefine_pairs(
     pairs = attachment.refined_by_source if reduced else None
     for partial in partials:
         for ind in partial.pair_indicators:
+            if budget is not None:
+                budget.checkpoint()
             counters.refinement_checks += 1
             match = partial.match(ind.keyword)
             if match is None or match.vertex != ind.u:
@@ -173,11 +179,16 @@ def pp_rclique_query(
     k: int,
     require_public_private: bool,
     cache: Optional[CompletionCache] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> QueryResult:
     """Run the full PEval -> ARefine -> AComplete pipeline for r-clique.
 
     ``cache`` lets batch sessions share one completion cache across
     queries; by default each query gets a fresh one (the paper's PKA).
+
+    ``budget`` enables cooperative cancellation: expiry mid-step degrades
+    the query to the best answers completed so far (see
+    :class:`~repro.core.framework.QueryResult`).
     """
     if not keywords:
         raise QueryError("r-clique query needs at least one keyword")
@@ -186,27 +197,52 @@ def pp_rclique_query(
     breakdown = StepBreakdown()
     options = engine.options
 
-    with _Timer() as t:
-        partials = peval_rclique(
-            attachment, unique_keywords, tau, options.peval_answers
-        )
-    breakdown.peval = t.elapsed
-    counters.partial_answers = len(partials)
+    partials: List[PartialAnswer] = []
+    final: List[RootedAnswer] = []
+    completed: List[str] = []
+    step = "peval"
+    t = _Timer()
+    try:
+        with _Timer() as t:
+            partials = peval_rclique(
+                attachment, unique_keywords, tau, options.peval_answers, budget
+            )
+        breakdown.peval = t.elapsed
+        completed.append("peval")
+        counters.partial_answers = len(partials)
 
-    with _Timer() as t:
-        arefine_pairs(attachment, partials, counters, options.reduced_refinement)
-    breakdown.arefine = t.elapsed
+        step = "arefine"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            arefine_pairs(
+                attachment, partials, counters, options.reduced_refinement, budget
+            )
+        breakdown.arefine = t.elapsed
+        completed.append("arefine")
 
-    with _Timer() as t:
-        if cache is None:
-            cache = CompletionCache(options.dp_completion)
-        final = _acomplete(
-            engine, attachment, partials, unique_keywords, tau, counters,
-            cache, require_public_private,
+        step = "acomplete"
+        if budget is not None:
+            budget.recheck()
+        with _Timer() as t:
+            if cache is None:
+                cache = CompletionCache(options.dp_completion)
+            final = _acomplete(
+                engine, attachment, partials, unique_keywords, tau, counters,
+                cache, require_public_private, budget,
+            )
+            counters.completion_lookups = cache.misses + cache.hits
+            counters.completion_cache_hits = cache.hits
+        breakdown.acomplete = t.elapsed
+        completed.append("acomplete")
+    except BudgetError:
+        setattr(breakdown, step, t.elapsed)
+        answers = salvage_rooted_answers(partials, tau, k)
+        counters.final_answers = len(answers)
+        return QueryResult(
+            answers, breakdown, counters,
+            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
         )
-        counters.completion_lookups = cache.misses + cache.hits
-        counters.completion_cache_hits = cache.hits
-    breakdown.acomplete = t.elapsed
 
     final.sort(key=RootedAnswer.sort_key)
     answers = final[:k]
@@ -223,12 +259,15 @@ def _acomplete(
     counters: QueryCounters,
     cache: CompletionCache,
     require_public_private: bool,
+    budget: Optional[QueryBudget] = None,
 ) -> List[RootedAnswer]:
     """Step 3: complete portal-routed keywords and qualify (Sec. IV-A (3))."""
     public = engine.public
     private = attachment.private
     completed: List[RootedAnswer] = []
     for partial in partials:
+        if budget is not None:
+            budget.checkpoint()
         if partial.missing:
             counters.answers_pruned += 1
             continue

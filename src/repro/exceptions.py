@@ -4,6 +4,26 @@ All errors raised by the library derive from :class:`ReproError` so that
 callers can catch every library failure with a single ``except`` clause
 while still being able to distinguish graph-construction problems from
 query-time and index-time problems.
+
+Budget / robustness errors
+--------------------------
+
+Bounded-latency queries (see :mod:`repro.core.budget`) raise members of
+the :class:`BudgetError` family when a query exceeds its budget:
+
+* :class:`DeadlineExceededError` — the wall-clock deadline passed;
+* :class:`BudgetExhaustedError` — the node-expansion cap was hit;
+* :class:`QueryCancelledError` — the budget's cancellation flag was set
+  (cooperative cancellation from another thread).
+
+The PPKWS pipeline entry points catch all three and degrade gracefully
+(returning the answers completed so far with ``degraded=True``), so
+these errors normally only escape when calling the traversal or
+semantics layers directly with a budget.
+
+:class:`ServiceOverloadedError` is raised by the service facade's
+admission control when too many requests are in flight; it is always
+*retryable* — the caller should back off and resubmit.
 """
 
 from __future__ import annotations
@@ -43,3 +63,60 @@ class IndexBuildError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset specification is inconsistent."""
+
+
+class BudgetError(ReproError):
+    """Base class for query-budget expiry (deadline / expansions / cancel).
+
+    The PPKWS pipelines catch this to degrade gracefully; it only
+    propagates out of lower layers called directly with a budget.
+    """
+
+
+class DeadlineExceededError(BudgetError):
+    """Raised when a query's wall-clock deadline passes mid-evaluation."""
+
+    def __init__(self, elapsed_ms: float, deadline_ms: float) -> None:
+        super().__init__(
+            f"query deadline of {deadline_ms:g} ms exceeded "
+            f"({elapsed_ms:g} ms elapsed)"
+        )
+        self.elapsed_ms = elapsed_ms
+        self.deadline_ms = deadline_ms
+
+
+class BudgetExhaustedError(BudgetError):
+    """Raised when a query exceeds its node-expansion cap."""
+
+    def __init__(self, expansions: int, max_expansions: int) -> None:
+        super().__init__(
+            f"query expansion budget of {max_expansions} exhausted "
+            f"({expansions} expansions performed)"
+        )
+        self.expansions = expansions
+        self.max_expansions = max_expansions
+
+
+class QueryCancelledError(BudgetError):
+    """Raised at the next checkpoint after a budget was cancelled."""
+
+    def __init__(self) -> None:
+        super().__init__("query was cancelled")
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised by service admission control when too many requests run.
+
+    Always retryable: the request was rejected *before* any work started,
+    so resubmitting after a back-off is safe.
+    """
+
+    retryable = True
+
+    def __init__(self, in_flight: int, max_in_flight: int) -> None:
+        super().__init__(
+            f"service overloaded: {in_flight} requests in flight "
+            f"(limit {max_in_flight}); retry later"
+        )
+        self.in_flight = in_flight
+        self.max_in_flight = max_in_flight

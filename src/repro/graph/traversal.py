@@ -6,16 +6,38 @@ of the answer"), so these routines are the hot path of both the baseline
 algorithms and the framework itself.  They are implemented with plain
 binary heaps (``heapq``) and lazy deletion, which in CPython outperforms
 fancier decrease-key structures for the graph sizes we target.
+
+The sweeps accept an optional ``budget`` (any object with a
+``checkpoint()`` method, canonically
+:class:`repro.core.budget.QueryBudget`) charged one expansion per heap
+pop; the budget raises a :class:`~repro.exceptions.BudgetError` when the
+query's deadline or expansion cap is exceeded.  ``budget=None`` (the
+default) costs one ``is not None`` test per pop.  The type is only
+imported for checking to keep this layer free of :mod:`repro.core`
+imports.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import VertexNotFoundError
 from repro.graph.labeled_graph import LabeledGraph, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.budget import QueryBudget
 
 __all__ = [
     "INF",
@@ -44,6 +66,7 @@ def dijkstra(
     source: Vertex,
     cutoff: Optional[float] = None,
     targets: Optional[Set[Vertex]] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> Dict[Vertex, float]:
     """Single-source shortest distances from ``source``.
 
@@ -55,6 +78,9 @@ def dijkstra(
     targets:
         If given, stop as soon as every target is settled.  The returned
         map still contains every settled vertex (callers often reuse it).
+    budget:
+        Optional query budget charged one expansion per heap pop; raises
+        a :class:`~repro.exceptions.BudgetError` on expiry.
     """
     _check_source(graph, source)
     dist: Dict[Vertex, float] = {}
@@ -62,6 +88,8 @@ def dijkstra(
     counter = itertools.count()  # heap tie-break: vertices may not be comparable
     heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v = heapq.heappop(heap)
         if v in dist:
             continue
@@ -114,18 +142,22 @@ def dijkstra_ordered(
     graph: LabeledGraph,
     source: Vertex,
     cutoff: Optional[float] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> Iterator[Tuple[Vertex, float]]:
     """Yield ``(vertex, distance)`` in non-decreasing distance order.
 
     This is the *Dijkstra order* used to define Dijkstra ranks in the
     sketch construction (paper Sec. V-A); it is also the workhorse of the
     k-nk semantic, which consumes vertices lazily until k matches appear.
+    ``budget`` (if given) is charged one expansion per heap pop.
     """
     _check_source(graph, source)
     settled: Set[Vertex] = set()
     counter = itertools.count()
     heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v = heapq.heappop(heap)
         if v in settled:
             continue
@@ -144,12 +176,14 @@ def multi_source_dijkstra(
     graph: LabeledGraph,
     sources: Iterable[Vertex],
     cutoff: Optional[float] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> Dict[Vertex, float]:
     """Shortest distance from the *nearest* of ``sources`` to each vertex.
 
     Used for keyword-to-vertex distances: ``d(v, t) = min over u with
     t in L(u) of d(v, u)`` is a multi-source search seeded at the
-    keyword's inverted-index bucket.
+    keyword's inverted-index bucket.  ``budget`` (if given) is charged
+    one expansion per heap pop.
     """
     dist: Dict[Vertex, float] = {}
     counter = itertools.count()
@@ -158,6 +192,8 @@ def multi_source_dijkstra(
         _check_source(graph, s)
         heapq.heappush(heap, (0.0, next(counter), s))
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v = heapq.heappop(heap)
         if v in dist:
             continue
@@ -264,6 +300,7 @@ def nearest_vertices_with_label(
     k: int = 1,
     cutoff: Optional[float] = None,
     accept: Optional[Callable[[Vertex], bool]] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> List[Tuple[Vertex, float]]:
     """The ``k`` nearest vertices to ``source`` carrying ``label``.
 
@@ -272,7 +309,7 @@ def nearest_vertices_with_label(
     candidates (used by PEval to also admit portal nodes).
     """
     matches: List[Tuple[Vertex, float]] = []
-    for v, d in dijkstra_ordered(graph, source, cutoff=cutoff):
+    for v, d in dijkstra_ordered(graph, source, cutoff=cutoff, budget=budget):
         is_match = graph.has_label(v, label)
         if accept is not None:
             is_match = is_match or accept(v)

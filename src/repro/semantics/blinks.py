@@ -17,11 +17,14 @@ baselines pay on the combined graph.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 from repro.semantics.answers import Match, RootedAnswer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.budget import QueryBudget
 
 __all__ = ["blinks_search", "keyword_expansion"]
 
@@ -30,11 +33,13 @@ def keyword_expansion(
     graph: LabeledGraph,
     origins: Iterable[Vertex],
     tau: float,
+    budget: Optional["QueryBudget"] = None,
 ) -> Dict[Vertex, Match]:
     """Multi-origin Dijkstra with witness tracking, cut off at ``tau``.
 
     Returns, for every vertex within distance ``tau`` of some origin, a
     :class:`Match` holding the nearest origin and its distance.
+    ``budget`` (if given) is charged one expansion per heap pop.
     """
     reached: Dict[Vertex, Match] = {}
     heap: List[Tuple[float, int, Vertex, Vertex]] = []
@@ -45,6 +50,8 @@ def keyword_expansion(
             counter += 1
     heapq.heapify(heap)
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v, origin = heapq.heappop(heap)
         if v in reached:
             continue
@@ -64,6 +71,7 @@ def blinks_search(
     tau: float,
     k: int = 10,
     extra_origins: Optional[Dict[Label, Set[Vertex]]] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> List[RootedAnswer]:
     """Top-``k`` Blinks answers for ``(keywords, tau)`` on ``graph``.
 
@@ -74,6 +82,10 @@ def blinks_search(
         carried the keyword.  PEval uses this to seed portal nodes so
         partial answers can route missing keywords through the public
         graph; plain baseline callers leave it unset.
+    budget:
+        Optional :class:`~repro.core.budget.QueryBudget` charged during
+        the keyword expansions; expiry raises a
+        :class:`~repro.exceptions.BudgetError`.
 
     Returns answers sorted by total weight (ascending), at most ``k``.
     """
@@ -90,7 +102,9 @@ def blinks_search(
         origins: Set[Vertex] = set(graph.vertices_with_label(q))
         if extra_origins and q in extra_origins:
             origins |= {v for v in extra_origins[q] if v in graph}
-        per_keyword[q] = keyword_expansion(graph, origins, tau) if origins else {}
+        per_keyword[q] = (
+            keyword_expansion(graph, origins, tau, budget=budget) if origins else {}
+        )
 
     # Root discovery: vertices covered by every keyword expansion.  Start
     # from the smallest cover to keep the intersection cheap.

@@ -21,12 +21,25 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 from repro.graph.traversal import INF
 from repro.semantics.answers import Match, RootedAnswer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.budget import QueryBudget
 
 __all__ = ["rclique_search", "NeighborLists", "build_neighbor_lists"]
 
@@ -54,12 +67,14 @@ def build_neighbor_lists(
     candidates: Dict[Label, Set[Vertex]],
     tau: float,
     m: int,
+    budget: Optional["QueryBudget"] = None,
 ) -> NeighborLists:
     """One bounded multi-origin Dijkstra per keyword, keeping ``m`` origins.
 
     Each vertex's list holds its ``m`` nearest *distinct* origins in
     non-decreasing distance order (entries pop off the heap in distance
-    order, so appends keep lists sorted).
+    order, so appends keep lists sorted).  ``budget`` (if given) is
+    charged one expansion per heap pop.
     """
     out: Dict[Label, Dict[Vertex, List[Tuple[float, Vertex]]]] = {}
     for keyword, origins in candidates.items():
@@ -71,6 +86,8 @@ def build_neighbor_lists(
                 heap.append((0.0, next(counter), o, o))
         heapq.heapify(heap)
         while heap:
+            if budget is not None:
+                budget.checkpoint()
             d, _, v, origin = heapq.heappop(heap)
             lst = lists.setdefault(v, [])
             if len(lst) >= m or any(o == origin for _, o in lst):
@@ -89,12 +106,15 @@ def _find_top_answer(
     candidates: Dict[Label, Set[Vertex]],
     exclusions: Tuple[FrozenSet[Vertex], ...],
     index: NeighborLists,
+    budget: Optional["QueryBudget"] = None,
 ) -> Optional[RootedAnswer]:
     """Algo 2's ``FindTopAnswer``: best star within the (excluded) space."""
     best: Optional[RootedAnswer] = None
     best_weight = INF
     for i, qi in enumerate(keywords):
         for root in candidates[qi]:
+            if budget is not None:
+                budget.checkpoint()
             if root in exclusions[i]:
                 continue
             matches: Dict[Label, Match] = {qi: Match(root, 0.0)}
@@ -128,6 +148,7 @@ def rclique_search(
     enforce_bound: bool = True,
     neighbor_list_size: Optional[int] = None,
     search_cutoff: Optional[float] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> List[RootedAnswer]:
     """Top-``k`` (approximate) r-clique answers for ``(keywords, tau)``.
 
@@ -151,6 +172,10 @@ def rclique_search(
         the whole graph.  PEval passes ``tau`` explicitly: like the
         paper's ``R = 3`` neighbor index, matches beyond the radius are
         not recorded even though over-``tau`` partials are kept.
+    budget:
+        Optional :class:`~repro.core.budget.QueryBudget` charged during
+        index construction and star enumeration; expiry raises a
+        :class:`~repro.exceptions.BudgetError`.
     """
     if not keywords:
         raise QueryError("r-clique query needs at least one keyword")
@@ -178,10 +203,10 @@ def rclique_search(
     else:
         cutoff = max(tau, _graph_radius_bound(graph))
     m = neighbor_list_size if neighbor_list_size is not None else k + 1
-    index = build_neighbor_lists(graph, candidates, cutoff, m)
+    index = build_neighbor_lists(graph, candidates, cutoff, m, budget=budget)
 
     empty = tuple(frozenset() for _ in unique_keywords)
-    first = _find_top_answer(unique_keywords, candidates, empty, index)
+    first = _find_top_answer(unique_keywords, candidates, empty, index, budget)
     if first is None:
         return []
 
@@ -224,7 +249,9 @@ def rclique_search(
             if new_space in seen_spaces:
                 continue
             seen_spaces.add(new_space)
-            nxt = _find_top_answer(unique_keywords, candidates, new_space, index)
+            nxt = _find_top_answer(
+                unique_keywords, candidates, new_space, index, budget
+            )
             if nxt is not None:
                 heapq.heappush(heap, (nxt.weight(), next(tiebreak), new_space, nxt))
 

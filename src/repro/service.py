@@ -13,17 +13,36 @@ attachments + indexes) and executes plain-dict requests::
         "keywords": ["DB", "AI"], "tau": 4.0, "k": 5,
     })
 
-Responses are plain dicts with ``status`` = ``"ok"`` / ``"error"`` — no
-library exception ever escapes :meth:`execute`, making the facade safe
-to expose to untrusted request producers.
+Responses are plain dicts with ``status`` = ``"ok"`` / ``"degraded"`` /
+``"error"`` — no library exception ever escapes :meth:`execute`, making
+the facade safe to expose to untrusted request producers.  Malformed
+requests get explicit ``"missing field 'keywords'"``-style messages
+rather than leaked engine internals.
+
+Robustness contract:
+
+* Query requests may carry ``deadline_ms`` / ``max_expansions``.  A
+  query whose budget expires returns ``status: "degraded"`` with the
+  answers completed so far plus ``completed_steps`` /
+  ``interrupted_step`` describing how far the pipeline got.
+* The service admits at most ``max_in_flight`` concurrent requests
+  (default: unlimited).  Requests beyond the cap fail fast with
+  ``status: "error"`` and ``retryable: true`` — callers should back off
+  and retry — while malformed/failed requests carry
+  ``retryable: false``.
+* Administration (``create_network`` / ``attach`` / ``detach`` /
+  ``drop``) is reachable through :meth:`execute` too, so an RPC wrapper
+  only needs the one entry point.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.core.framework import PPKWS, QueryOptions
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceOverloadedError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.semantics.answers import KnkAnswer, RootedAnswer
 
@@ -56,13 +75,83 @@ def _serialize_knk(answer: KnkAnswer) -> Dict[str, Any]:
     }
 
 
-class PPKWSService:
-    """Named-network registry plus a uniform request executor."""
+def _require(request: Dict[str, Any], *fields: str) -> None:
+    """Raise a clear error for the first missing request field."""
+    for field in fields:
+        if field not in request:
+            raise ReproError(f"missing field {field!r}")
 
-    def __init__(self, sketch_k: int = 2, options: Optional[QueryOptions] = None):
+
+def _graph_from_request(request: Dict[str, Any], field: str) -> LabeledGraph:
+    """Build a graph from a request payload.
+
+    Accepts either a ready :class:`LabeledGraph` under ``field`` or the
+    wire-friendly pair ``<field>_edges`` (list of ``[u, v]`` or
+    ``[u, v, weight]``) and optional ``<field>_labels``
+    (vertex -> label list).
+    """
+    graph = request.get(field)
+    if isinstance(graph, LabeledGraph):
+        return graph
+    if graph is not None:
+        raise ReproError(
+            f"field {field!r} must be a LabeledGraph "
+            f"(or send {field + '_edges'!r} instead)"
+        )
+    edges_field = f"{field}_edges"
+    _require(request, edges_field)
+    out = LabeledGraph()
+    for edge in request[edges_field]:
+        if not isinstance(edge, (list, tuple)) or len(edge) not in (2, 3):
+            raise ReproError(
+                f"field {edges_field!r} entries must be [u, v] or [u, v, weight]"
+            )
+        out.add_edge(*edge)
+    for v, ls in (request.get(f"{field}_labels") or {}).items():
+        out.add_vertex(v, ls)
+    return out
+
+
+def _budget_args(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-request budget keywords for the engine entry points."""
+    out: Dict[str, Any] = {}
+    if request.get("deadline_ms") is not None:
+        out["deadline_ms"] = float(request["deadline_ms"])
+    if request.get("max_expansions") is not None:
+        out["max_expansions"] = int(request["max_expansions"])
+    return out
+
+
+def _degradation_fields(result: Any) -> Dict[str, Any]:
+    """Status plus pipeline-progress fields for a query result."""
+    if not result.degraded:
+        return {"status": "ok"}
+    return {
+        "status": "degraded",
+        "completed_steps": list(result.completed_steps),
+        "interrupted_step": result.interrupted_step,
+    }
+
+
+class PPKWSService:
+    """Named-network registry plus a uniform request executor.
+
+    ``max_in_flight`` caps concurrently executing requests; ``None``
+    (the default) disables admission control.
+    """
+
+    def __init__(
+        self,
+        sketch_k: int = 2,
+        options: Optional[QueryOptions] = None,
+        max_in_flight: Optional[int] = None,
+    ):
         self._sketch_k = sketch_k
         self._options = options
         self._engines: Dict[str, PPKWS] = {}
+        self._max_in_flight = max_in_flight
+        self._in_flight = 0
+        self._admission_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # administration
@@ -104,23 +193,48 @@ class PPKWSService:
     # ------------------------------------------------------------------
     # request execution
     # ------------------------------------------------------------------
+    @contextmanager
+    def _admit(self) -> Iterator[None]:
+        """Reserve an execution slot, or fail fast when saturated."""
+        if self._max_in_flight is None:
+            yield
+            return
+        with self._admission_lock:
+            if self._in_flight >= self._max_in_flight:
+                raise ServiceOverloadedError(self._in_flight, self._max_in_flight)
+            self._in_flight += 1
+        try:
+            yield
+        finally:
+            with self._admission_lock:
+                self._in_flight -= 1
+
     def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one request dict; never raises library errors."""
         try:
-            op = request.get("op")
-            handler = self._HANDLERS.get(op)
-            if handler is None:
-                return {
-                    "status": "error",
-                    "error": f"unknown op {op!r}; valid ops: "
-                             f"{sorted(self._HANDLERS)}",
-                }
-            return handler(self, request)
+            with self._admit():
+                op = request.get("op")
+                handler = self._HANDLERS.get(op)
+                if handler is None:
+                    return {
+                        "status": "error",
+                        "error": f"unknown op {op!r}; valid ops: "
+                                 f"{sorted(self._HANDLERS)}",
+                        "retryable": False,
+                    }
+                return handler(self, request)
+        except ServiceOverloadedError as exc:
+            return {"status": "error", "error": str(exc), "retryable": True}
         except (ReproError, KeyError, TypeError, ValueError) as exc:
-            return {"status": "error", "error": str(exc) or repr(exc)}
+            return {
+                "status": "error",
+                "error": str(exc) or repr(exc),
+                "retryable": False,
+            }
 
     # -- handlers -------------------------------------------------------
     def _rooted_query(self, request: Dict[str, Any], method: str) -> Dict[str, Any]:
+        _require(request, "network", "owner", "keywords")
         engine = self._engine(request["network"])
         run = getattr(engine, method)
         result = run(
@@ -128,16 +242,16 @@ class PPKWSService:
             list(request["keywords"]),
             float(request.get("tau", 5.0)),
             k=int(request.get("k", 10)),
+            **_budget_args(request),
         )
-        return {
-            "status": "ok",
-            "answers": [_serialize_rooted(a) for a in result.answers],
-            "breakdown": {
-                "peval": result.breakdown.peval,
-                "arefine": result.breakdown.arefine,
-                "acomplete": result.breakdown.acomplete,
-            },
+        out = _degradation_fields(result)
+        out["answers"] = [_serialize_rooted(a) for a in result.answers]
+        out["breakdown"] = {
+            "peval": result.breakdown.peval,
+            "arefine": result.breakdown.arefine,
+            "acomplete": result.breakdown.acomplete,
         }
+        return out
 
     def _op_blinks(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return self._rooted_query(request, "blinks")
@@ -149,16 +263,21 @@ class PPKWSService:
         return self._rooted_query(request, "banks")
 
     def _op_knk(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network", "owner", "source", "keyword")
         engine = self._engine(request["network"])
         result = engine.knk(
             request["owner"],
             request["source"],
             request["keyword"],
             int(request.get("k", 10)),
+            **_budget_args(request),
         )
-        return {"status": "ok", "answer": _serialize_knk(result.answer)}
+        out = _degradation_fields(result)
+        out["answer"] = _serialize_knk(result.answer)
+        return out
 
     def _op_knk_multi(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network", "owner", "source", "keywords")
         engine = self._engine(request["network"])
         result = engine.knk_multi(
             request["owner"],
@@ -166,10 +285,14 @@ class PPKWSService:
             list(request["keywords"]),
             int(request.get("k", 10)),
             mode=request.get("mode", "and"),
+            **_budget_args(request),
         )
-        return {"status": "ok", "answer": _serialize_knk(result.answer)}
+        out = _degradation_fields(result)
+        out["answer"] = _serialize_knk(result.answer)
+        return out
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network")
         engine = self._engine(request["network"])
         out: Dict[str, Any] = {
             "status": "ok",
@@ -188,6 +311,29 @@ class PPKWSService:
             }
         return out
 
+    # -- admin handlers -------------------------------------------------
+    def _op_create_network(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network")
+        public = _graph_from_request(request, "public")
+        self.create_network(request["network"], public)
+        return {"status": "ok", "network": request["network"]}
+
+    def _op_attach(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network", "owner")
+        private = _graph_from_request(request, "private")
+        portals = self.attach_user(request["network"], request["owner"], private)
+        return {"status": "ok", "owner": request["owner"], "portals": portals}
+
+    def _op_detach(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network", "owner")
+        self.detach_user(request["network"], request["owner"])
+        return {"status": "ok", "owner": request["owner"]}
+
+    def _op_drop(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        _require(request, "network")
+        self.drop_network(request["network"])
+        return {"status": "ok", "network": request["network"]}
+
     _HANDLERS: Dict[str, Callable[["PPKWSService", Dict[str, Any]], Dict[str, Any]]] = {
         "blinks": _op_blinks,
         "rclique": _op_rclique,
@@ -195,4 +341,8 @@ class PPKWSService:
         "knk": _op_knk,
         "knk_multi": _op_knk_multi,
         "stats": _op_stats,
+        "create_network": _op_create_network,
+        "attach": _op_attach,
+        "detach": _op_detach,
+        "drop": _op_drop,
     }

@@ -72,6 +72,42 @@ class TestBatchSession:
         batch.cache.reset_counters()
         assert batch.cache_hits == 0 and batch.cache_misses == 0
 
+    def test_spent_batch_budget_degrades_tail(self, session):
+        batch, _ = session
+        queries = [
+            KeywordQuery(("db", "ai"), 4.0),
+            KeywordQuery(("db", "cv"), 4.0),
+            KeywordQuery(("db", "ml"), 4.0),
+        ]
+        results = batch.run_keyword_queries("blinks", queries, deadline_ms=0.0)
+        assert len(results) == 3
+        assert all(r.degraded for r in results)
+
+    def test_generous_batch_budget_matches_unbudgeted(self, session):
+        batch, _ = session
+        queries = [
+            KeywordQuery(("db", "ai"), 4.0),
+            KeywordQuery(("db", "cv"), 4.0),
+        ]
+        plain = batch.run_keyword_queries("blinks", queries)
+        budgeted = batch.run_keyword_queries(
+            "blinks", queries, deadline_ms=1e9, max_expansions=10**9
+        )
+        assert all(not r.degraded for r in budgeted)
+        for a, b in zip(plain, budgeted):
+            assert [x.sort_key() for x in a.answers] == [
+                x.sort_key() for x in b.answers
+            ]
+
+    def test_knk_batch_expansion_budget(self, session):
+        batch, _ = session
+        queries = [KnkQuery("x1", "cv", 3), KnkQuery("x2", "cv", 3)]
+        # two expansions across the whole batch: both queries degrade
+        results = batch.run_knk_queries(queries, max_expansions=2)
+        assert all(r.degraded for r in results)
+        full = batch.run_knk_queries(queries, max_expansions=10**9)
+        assert all(not r.degraded for r in full)
+
     def test_doctest_example(self):
         import doctest
 

@@ -1,0 +1,207 @@
+"""Unit tests for query budgets and their traversal/batch integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BatchBudget, QueryBudget
+from repro.exceptions import (
+    BudgetError,
+    BudgetExhaustedError,
+    DeadlineExceededError,
+    QueryCancelledError,
+    ReproError,
+)
+from repro.graph import LabeledGraph, dijkstra, multi_source_dijkstra
+from repro.graph.traversal import dijkstra_ordered
+
+from .conftest import random_connected_graph
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return self.t
+
+
+class TestQueryBudget:
+    def test_unlimited_budget_never_raises(self):
+        budget = QueryBudget()
+        for _ in range(10_000):
+            budget.checkpoint()
+        assert budget.expansions == 10_000
+        assert not budget.expired()
+
+    def test_expansion_cap(self):
+        budget = QueryBudget(max_expansions=3)
+        budget.checkpoint()
+        budget.checkpoint()
+        budget.checkpoint()
+        with pytest.raises(BudgetExhaustedError) as exc_info:
+            budget.checkpoint()
+        assert "4" in str(exc_info.value) and "3" in str(exc_info.value)
+
+    def test_cost_parameter(self):
+        budget = QueryBudget(max_expansions=10)
+        budget.checkpoint(cost=10)
+        with pytest.raises(BudgetExhaustedError):
+            budget.checkpoint()
+
+    def test_deadline_with_fake_clock(self):
+        clock = FakeClock()
+        budget = QueryBudget(deadline_ms=10.0, check_interval=1, clock=clock)
+        budget.checkpoint()  # clock at 0ms: fine
+        clock.t = 0.02  # 20ms > 10ms deadline
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            budget.checkpoint()
+        assert exc_info.value.deadline_ms == 10.0
+        assert exc_info.value.elapsed_ms == pytest.approx(20.0)
+
+    def test_already_expired_budget_fails_on_first_checkpoint(self):
+        budget = QueryBudget(deadline_ms=0.0)
+        with pytest.raises(DeadlineExceededError):
+            budget.checkpoint()
+
+    def test_clock_reads_are_amortized(self):
+        clock = FakeClock()
+        budget = QueryBudget(deadline_ms=1000.0, check_interval=100, clock=clock)
+        reads_after_init = clock.reads
+        for _ in range(1000):
+            budget.checkpoint()
+        # the interval grows to check_interval within a few cheap reads,
+        # so clock reads stay a tiny fraction of the checkpoints
+        assert clock.reads - reads_after_init <= 15
+
+    def test_interval_shrinks_for_heavy_loops(self):
+        clock = FakeClock()
+        budget = QueryBudget(deadline_ms=10_000.0, check_interval=256, clock=clock)
+        for _ in range(10):
+            clock.t += 0.002  # each checkpoint guards 2ms of work
+            budget.checkpoint()
+        # gaps above the ~1ms target collapse the interval to 1: every
+        # further checkpoint reads the clock, bounding overshoot in time
+        assert budget._interval == 1
+
+    def test_recheck_is_unamortized(self):
+        clock = FakeClock()
+        budget = QueryBudget(deadline_ms=10.0, check_interval=256, clock=clock)
+        budget.checkpoint()
+        clock.t = 0.02  # deadline passed, but next amortized read is far away
+        budget.checkpoint()
+        with pytest.raises(DeadlineExceededError):
+            budget.recheck()
+
+    def test_no_clock_reads_without_deadline(self):
+        clock = FakeClock()
+        budget = QueryBudget(max_expansions=10**6, check_interval=1, clock=clock)
+        reads_after_init = clock.reads
+        for _ in range(1000):
+            budget.checkpoint()
+        assert clock.reads == reads_after_init
+
+    def test_cancellation(self):
+        budget = QueryBudget()
+        assert not budget.cancelled
+        budget.cancel()
+        assert budget.cancelled
+        with pytest.raises(QueryCancelledError):
+            budget.checkpoint()
+
+    def test_expired_probe_does_not_raise(self):
+        clock = FakeClock()
+        budget = QueryBudget(deadline_ms=10.0, clock=clock)
+        assert not budget.expired()
+        clock.t = 1.0
+        assert budget.expired()
+        capped = QueryBudget(max_expansions=1)
+        capped.checkpoint()
+        assert capped.expired()
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        budget = QueryBudget(deadline_ms=100.0, clock=clock)
+        clock.t = 0.03
+        assert budget.elapsed_ms() == pytest.approx(30.0)
+        assert budget.remaining_ms() == pytest.approx(70.0)
+        assert QueryBudget(clock=clock).remaining_ms() is None
+
+    def test_budget_errors_are_repro_errors(self):
+        for exc in (
+            DeadlineExceededError(10.0, 5.0),
+            BudgetExhaustedError(4, 3),
+            QueryCancelledError(),
+        ):
+            assert isinstance(exc, BudgetError)
+            assert isinstance(exc, ReproError)
+
+
+class TestTraversalBudgets:
+    def test_dijkstra_raises_on_tiny_cap(self):
+        g = random_connected_graph(200, 100, seed=7)
+        with pytest.raises(BudgetExhaustedError):
+            dijkstra(g, 0, budget=QueryBudget(max_expansions=5))
+
+    def test_dijkstra_identical_with_generous_budget(self):
+        g = random_connected_graph(200, 100, seed=7)
+        plain = dijkstra(g, 0)
+        budgeted = dijkstra(g, 0, budget=QueryBudget(max_expansions=10**9))
+        assert plain == budgeted
+
+    def test_multi_source_budget(self):
+        g = random_connected_graph(100, 50, seed=3)
+        plain = multi_source_dijkstra(g, [0, 1])
+        budgeted = multi_source_dijkstra(g, [0, 1], budget=QueryBudget())
+        assert plain == budgeted
+        with pytest.raises(BudgetExhaustedError):
+            multi_source_dijkstra(g, [0, 1], budget=QueryBudget(max_expansions=2))
+
+    def test_dijkstra_ordered_charges_per_pop(self):
+        g = LabeledGraph()
+        for i in range(10):
+            g.add_edge(i, i + 1)
+        budget = QueryBudget(max_expansions=4)
+        seen = []
+        with pytest.raises(BudgetExhaustedError):
+            for v, _ in dijkstra_ordered(g, 0, budget=budget):
+                seen.append(v)
+        assert 0 < len(seen) <= 4
+
+
+class TestBatchBudget:
+    def test_unbudgeted_yields_none(self):
+        batch = BatchBudget()
+        assert batch.unbudgeted
+        assert batch.slice_for(5) is None
+
+    def test_expansions_split_evenly(self):
+        batch = BatchBudget(max_expansions=100)
+        first = batch.slice_for(4)
+        assert first.max_expansions == 25
+        with pytest.raises(BudgetExhaustedError):
+            first.checkpoint(cost=40)  # overruns its slice...
+        batch.charge(first)  # ...and the overrun still counts against the batch
+        second = batch.slice_for(3)
+        assert second.max_expansions == 20  # (100 - 40) // 3
+
+    def test_spent_batch_gives_zero_budgets(self):
+        batch = BatchBudget(max_expansions=10)
+        spent = batch.slice_for(1)
+        spent.checkpoint(cost=10)
+        batch.charge(spent)
+        tail = batch.slice_for(1)
+        assert tail.max_expansions == 0
+        with pytest.raises(BudgetExhaustedError):
+            tail.checkpoint()
+
+    def test_deadline_share_is_non_negative(self):
+        batch = BatchBudget(deadline_ms=0.0)
+        tail = batch.slice_for(3)
+        assert tail.deadline_ms == 0.0
+        with pytest.raises(DeadlineExceededError):
+            tail.checkpoint()

@@ -8,12 +8,22 @@ work correctly, never silently corrupt results.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.core import PPKWS, PublicIndex, load_index, save_index
-from repro.exceptions import GraphError, IndexBuildError, QueryError
+from repro import validate_knk_answer, validate_rooted_answer
+from repro.core import PPKWS, PublicIndex, QueryOptions, load_index, save_index
+from repro.exceptions import (
+    DeadlineExceededError,
+    GraphError,
+    IndexBuildError,
+    QueryError,
+)
 from repro.graph import LabeledGraph, combine, dijkstra, load_graph, save_graph
 from repro.semantics import blinks_search, knk_search
+
+from .conftest import random_connected_graph
 
 
 class TestUnicodeAndOddLabels:
@@ -147,6 +157,127 @@ class TestCorruptedArtifacts:
         path.write_text("e 1 2 -3\n")
         with pytest.raises(GraphError):
             load_graph(path)
+
+
+@pytest.fixture
+def engine(small_public_private):
+    pub, priv = small_public_private
+    eng = PPKWS(pub, sketch_k=4)
+    eng.attach("u", priv)
+    return eng
+
+
+class TestBudgetDegradation:
+    """A budget expiring in any pipeline step degrades, never corrupts."""
+
+    def _assert_valid_degraded(self, engine, result, tau):
+        gc = combine(engine.public, engine.attachment("u").private)
+        assert result.degraded
+        for answer in result.answers:
+            report = validate_rooted_answer(gc, answer, tau)
+            assert report.valid, report.problems
+
+    def test_zero_deadline_degrades_in_peval(self, engine):
+        for method in (engine.blinks, engine.rclique, engine.banks):
+            result = method("u", ["db", "ai"], 4.0, deadline_ms=0.0)
+            assert result.degraded
+            assert result.completed_steps == ()
+            assert result.interrupted_step == "peval"
+            self._assert_valid_degraded(engine, result, tau=4.0)
+
+    def test_expiry_during_arefine_salvages_partials(self, engine, monkeypatch):
+        import repro.core.pp_blinks as mod
+
+        def expiring_arefine(*args, **kwargs):
+            raise DeadlineExceededError(11.0, 10.0)
+
+        monkeypatch.setattr(mod, "arefine_keywords", expiring_arefine)
+        result = engine.blinks("u", ["db", "ai"], 4.0, deadline_ms=10_000.0)
+        assert result.completed_steps == ("peval",)
+        assert result.interrupted_step == "arefine"
+        self._assert_valid_degraded(engine, result, tau=4.0)
+
+    def test_expiry_during_acomplete_salvages_partials(self, engine, monkeypatch):
+        import repro.core.pp_blinks as mod
+
+        real_acomplete = mod._acomplete
+
+        def expiring_acomplete(*args, **kwargs):
+            real_acomplete(*args, **kwargs)  # improvements made first survive
+            raise DeadlineExceededError(11.0, 10.0)
+
+        monkeypatch.setattr(mod, "_acomplete", expiring_acomplete)
+        result = engine.blinks("u", ["db", "ai"], 4.0, deadline_ms=10_000.0)
+        assert result.completed_steps == ("peval", "arefine")
+        assert result.interrupted_step == "acomplete"
+        self._assert_valid_degraded(engine, result, tau=4.0)
+
+    def test_rclique_acomplete_expiry(self, engine, monkeypatch):
+        import repro.core.pp_rclique as mod
+
+        def expiring_acomplete(*args, **kwargs):
+            raise DeadlineExceededError(11.0, 10.0)
+
+        monkeypatch.setattr(mod, "_acomplete", expiring_acomplete)
+        result = engine.rclique("u", ["db", "ai"], 4.0, deadline_ms=10_000.0)
+        assert result.completed_steps == ("peval", "arefine")
+        assert result.interrupted_step == "acomplete"
+        self._assert_valid_degraded(engine, result, tau=4.0)
+
+    def test_knk_degrades_to_private_matches(self, engine):
+        gc = combine(engine.public, engine.attachment("u").private)
+        result = engine.knk("u", "x1", "cv", k=3, deadline_ms=0.0)
+        assert result.degraded
+        assert result.interrupted_step == "peval"
+        report = validate_knk_answer(gc, result.answer)
+        assert report.valid, report.problems
+        multi = engine.knk_multi("u", "x1", ["cv", "db"], k=3, mode="or",
+                                 deadline_ms=0.0)
+        assert multi.degraded
+
+    def test_expansion_cap_degrades_mid_sweep(self, engine):
+        # a small cap lands inside the PEval sweep; matches found before
+        # the cap are kept and carry achievable distances
+        gc = combine(engine.public, engine.attachment("u").private)
+        result = engine.knk("u", "x1", "db", k=5, max_expansions=2)
+        assert result.degraded
+        report = validate_knk_answer(gc, result.answer)
+        assert report.valid, report.problems
+
+    def test_no_deadline_is_identical_to_unbudgeted(self, engine):
+        plain = engine.blinks("u", ["db", "ai"], 4.0)
+        explicit_none = engine.blinks("u", ["db", "ai"], 4.0, deadline_ms=None)
+        generous = engine.blinks("u", ["db", "ai"], 4.0, deadline_ms=1e9,
+                                 max_expansions=10**9)
+        keys = [a.sort_key() for a in plain.answers]
+        assert keys == [a.sort_key() for a in explicit_none.answers]
+        assert keys == [a.sort_key() for a in generous.answers]
+        assert not plain.degraded and not generous.degraded
+        assert plain.completed_steps == ("peval", "arefine", "acomplete")
+
+    def test_options_level_default_budget(self, small_public_private):
+        pub, priv = small_public_private
+        eng = PPKWS(pub, sketch_k=2, options=QueryOptions(deadline_ms=0.0))
+        eng.attach("u", priv)
+        result = eng.blinks("u", ["db", "ai"], 4.0)
+        assert result.degraded
+        # a per-call budget overrides the engine default
+        ok = eng.blinks("u", ["db", "ai"], 4.0, deadline_ms=1e9)
+        assert not ok.degraded
+
+    def test_deadline_bounds_wall_clock_on_large_graph(self):
+        # acceptance: a tight deadline returns promptly on a graph where
+        # the unbounded query takes far longer; bound kept deliberately
+        # loose (scheduler noise) — CI enforces the hard 300s timeout
+        pub = random_connected_graph(1500, 800, seed=11, labels=("t0", "t1", "t2"))
+        priv = random_connected_graph(400, 200, seed=12, labels=("s0",))
+        eng = PPKWS(pub, sketch_k=2)
+        eng.attach("u", priv)
+        start = time.perf_counter()
+        result = eng.blinks("u", ["t0", "s0"], tau=50.0, deadline_ms=10.0)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        assert result.degraded
+        assert elapsed_ms < 2000.0
 
 
 class TestBaselineRobustness:

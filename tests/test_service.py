@@ -103,11 +103,135 @@ class TestExecute:
         assert "attachment" not in resp
 
 
+class TestExecuteAdminOps:
+    def test_full_lifecycle_through_execute(self, small_public_private):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        resp = svc.execute({"op": "create_network", "network": "n", "public": pub})
+        assert resp["status"] == "ok"
+        resp = svc.execute({"op": "attach", "network": "n", "owner": "bob",
+                            "private": priv})
+        assert resp == {"status": "ok", "owner": "bob", "portals": 2}
+        resp = svc.execute({"op": "blinks", "network": "n", "owner": "bob",
+                            "keywords": ["db", "ai"], "tau": 4.0})
+        assert resp["status"] == "ok" and resp["answers"]
+        assert svc.execute({"op": "detach", "network": "n",
+                            "owner": "bob"})["status"] == "ok"
+        assert svc.execute({"op": "drop", "network": "n"})["status"] == "ok"
+        assert svc.networks() == []
+
+    def test_create_network_from_wire_edges(self):
+        svc = PPKWSService(sketch_k=2)
+        resp = svc.execute({
+            "op": "create_network", "network": "n",
+            "public_edges": [[0, 1], [1, 2, 2.5]],
+            "public_labels": {2: ["t"]},
+        })
+        assert resp["status"] == "ok"
+        resp = svc.execute({"op": "attach", "network": "n", "owner": "u",
+                            "private_edges": [[0, "x"]],
+                            "private_labels": {"x": ["s"]}})
+        assert resp["status"] == "ok" and resp["portals"] == 1
+        resp = svc.execute({"op": "knk", "network": "n", "owner": "u",
+                            "source": "x", "keyword": "t", "k": 1})
+        assert resp["status"] == "ok"
+        assert resp["answer"]["matches"][0]["vertex"] == 2
+
+    def test_malformed_edge_payload(self):
+        svc = PPKWSService(sketch_k=2)
+        resp = svc.execute({"op": "create_network", "network": "n",
+                            "public_edges": [[0, 1, 2, 3]]})
+        assert resp["status"] == "error"
+        assert "public_edges" in resp["error"]
+        resp = svc.execute({"op": "create_network", "network": "n",
+                            "public": "not a graph"})
+        assert resp["status"] == "error"
+
+    def test_duplicate_create_via_execute(self, small_public_private):
+        pub, _ = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.execute({"op": "create_network", "network": "n", "public": pub})
+        resp = svc.execute({"op": "create_network", "network": "n", "public": pub})
+        assert resp["status"] == "error"
+        assert resp["retryable"] is False
+
+
+class TestDeadlinesAndDegradation:
+    def test_degraded_response_shape(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0, "deadline_ms": 0,
+        })
+        assert resp["status"] == "degraded"
+        assert resp["completed_steps"] == []
+        assert resp["interrupted_step"] == "peval"
+        assert "answers" in resp and "breakdown" in resp
+
+    def test_degraded_knk(self, service):
+        resp = service.execute({
+            "op": "knk", "network": "net", "owner": "bob",
+            "source": "x1", "keyword": "cv", "deadline_ms": 0,
+        })
+        assert resp["status"] == "degraded"
+        assert "answer" in resp
+
+    def test_generous_deadline_is_ok(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0,
+            "deadline_ms": 1e9, "max_expansions": 10**9,
+        })
+        assert resp["status"] == "ok"
+        assert "completed_steps" not in resp
+
+    def test_max_expansions_degrades(self, service):
+        resp = service.execute({
+            "op": "rclique", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0, "max_expansions": 1,
+        })
+        assert resp["status"] == "degraded"
+
+
+class TestAdmissionControl:
+    def test_saturated_service_is_retryable(self, service):
+        service._max_in_flight = 0
+        resp = service.execute({"op": "stats", "network": "net"})
+        assert resp["status"] == "error"
+        assert resp["retryable"] is True
+        assert "overloaded" in resp["error"]
+
+    def test_slot_released_after_request(self, small_public_private):
+        pub, _ = small_public_private
+        svc = PPKWSService(sketch_k=2, max_in_flight=1)
+        svc.create_network("n", pub)
+        for _ in range(3):  # sequential requests all fit in the one slot
+            assert svc.execute({"op": "stats", "network": "n"})["status"] == "ok"
+
+    def test_slot_released_after_error(self, small_public_private):
+        pub, _ = small_public_private
+        svc = PPKWSService(sketch_k=2, max_in_flight=1)
+        svc.create_network("n", pub)
+        assert svc.execute({"op": "stats"})["status"] == "error"
+        assert svc._in_flight == 0
+        assert svc.execute({"op": "stats", "network": "n"})["status"] == "ok"
+
+
 class TestErrorHandling:
     def test_unknown_op(self, service):
         resp = service.execute({"op": "frobnicate"})
         assert resp["status"] == "error"
         assert "unknown op" in resp["error"]
+        assert resp["retryable"] is False
+
+    def test_missing_field_messages(self, service):
+        resp = service.execute({"op": "blinks", "network": "net", "owner": "bob"})
+        assert resp["error"] == "missing field 'keywords'"
+        resp = service.execute({"op": "knk", "network": "net", "owner": "bob"})
+        assert resp["error"] == "missing field 'source'"
+        resp = service.execute({"op": "stats"})
+        assert resp["error"] == "missing field 'network'"
+        resp = service.execute({"op": "attach", "network": "net"})
+        assert resp["error"] == "missing field 'owner'"
 
     def test_unknown_network(self, service):
         resp = service.execute({
