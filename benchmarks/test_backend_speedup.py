@@ -1,0 +1,179 @@
+"""Frozen-backend speed/memory micro-benchmark.
+
+The frozen CSR backend exists for two measurable reasons: interning the
+public graph must not slow index construction down (the sketch builder
+gets an id-specialized fast path), and the flat ``array`` buffers must
+be strictly smaller than the dict-of-dicts adjacency they replace.  This
+benchmark builds the same public index over both backends, times a
+query workload on both engines, deep-measures the adjacency payloads
+with ``sys.getsizeof``, and persists everything to
+``bench_results/backend_speedup.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from array import array
+from statistics import median
+
+from benchmarks.conftest import SCALE, STRICT, emit
+from repro.bench.reporting import write_report
+from repro.core.framework import PPKWS, PublicIndex
+from repro.graph import LabeledGraph, freeze
+from repro.graph.generators import assign_zipf_labels, barabasi_albert_graph
+
+N_VERTICES = 1200 if SCALE == "small" else 4000
+ROUNDS = 9
+VOCABULARY = [f"kw{i}" for i in range(24)]
+QUERIES = [["kw0", "kw1"], ["kw1", "kw3"], ["kw0", "kw5"], ["kw2", "kw4"]]
+TAU = 5.0
+
+
+def _public_graph() -> LabeledGraph:
+    g = barabasi_albert_graph(N_VERTICES, m=3, seed=41, name="speedup-pub")
+    assign_zipf_labels(g, VOCABULARY, labels_per_vertex=1.6, seed=41)
+    return g
+
+
+def _private_graph(public: LabeledGraph) -> LabeledGraph:
+    priv = LabeledGraph("speedup-priv")
+    # Two portals into the public graph plus a small private tail.
+    priv.add_edge(0, "m1")
+    priv.add_edge("m1", "m2")
+    priv.add_edge("m2", "m3")
+    priv.add_edge("m3", 17)
+    priv.add_labels("m1", {"kw0"})
+    priv.add_labels("m2", {"kw1"})
+    priv.add_labels("m3", {"kw2"})
+    return priv
+
+
+def _deep_sizeof(obj, seen=None) -> int:
+    """Recursive ``sys.getsizeof`` over containers (shared objects once)."""
+    if seen is None:
+        seen = set()
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            size += _deep_sizeof(k, seen) + _deep_sizeof(v, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += _deep_sizeof(item, seen)
+    elif isinstance(obj, array):
+        pass  # getsizeof already covers the flat buffer
+    return size
+
+
+def _adjacency_bytes_dict(graph: LabeledGraph) -> int:
+    """Deep size of the dict backend's adjacency storage."""
+    return _deep_sizeof({v: dict(graph.neighbor_items(v)) for v in graph.vertices()})
+
+
+def _adjacency_bytes_frozen(frozen) -> int:
+    indptr, indices, weights = frozen.csr()
+    return (
+        _deep_sizeof(indptr)
+        + _deep_sizeof(indices)
+        + _deep_sizeof(weights)
+        + _deep_sizeof(frozen.vertex_table)
+        + _deep_sizeof(dict(frozen._id_of))
+    )
+
+
+def _one_build(graph, freeze_flag: bool) -> float:
+    start = time.perf_counter()
+    PublicIndex.build(graph, k=2, freeze=freeze_flag)
+    return time.perf_counter() - start
+
+
+def _time_queries(engine, owner: str) -> float:
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for keywords in QUERIES:
+            engine.blinks(owner, keywords, TAU, k=10)
+            engine.rclique(owner, keywords, TAU, k=10)
+        engine.knk(owner, "m1", "kw3", k=5)
+        times.append(time.perf_counter() - start)
+    return median(times)
+
+
+def test_backend_speedup(benchmark):
+    pub = _public_graph()
+    priv = _private_graph(pub)
+    frozen_pub = freeze(pub)
+
+    # Interleave rounds, alternating which backend goes first, so drift
+    # (caches, frequency scaling, GC pauses) hits both sides evenly; the
+    # min over rounds is the contention-free estimate.
+    _one_build(pub, False), _one_build(frozen_pub, True)  # warm-up
+    build_dict = build_frozen = float("inf")
+    for r in range(ROUNDS):
+        if r % 2 == 0:
+            build_dict = min(build_dict, _one_build(pub, False))
+            build_frozen = min(build_frozen, _one_build(frozen_pub, True))
+        else:
+            build_frozen = min(build_frozen, _one_build(frozen_pub, True))
+            build_dict = min(build_dict, _one_build(pub, False))
+
+    engine_dict = PPKWS(pub, sketch_k=2, freeze=False)
+    engine_frozen = PPKWS(frozen_pub, sketch_k=2)
+    engine_dict.attach("u", priv)
+    engine_frozen.attach("u", priv)
+    engine_dict.blinks("u", QUERIES[0], TAU, k=10)  # warm-up
+    engine_frozen.blinks("u", QUERIES[0], TAU, k=10)
+    query_dict = _time_queries(engine_dict, "u")
+    query_frozen = _time_queries(engine_frozen, "u")
+
+    mem_dict = _adjacency_bytes_dict(pub)
+    mem_frozen = _adjacency_bytes_frozen(engine_frozen.public)
+
+    results = {
+        "scale": SCALE,
+        "num_vertices": pub.num_vertices,
+        "num_edges": pub.num_edges,
+        "index_build_s": {"dict": build_dict, "frozen": build_frozen},
+        "query_workload_s": {"dict": query_dict, "frozen": query_frozen},
+        "adjacency_bytes": {"dict": mem_dict, "frozen": mem_frozen},
+        "build_speedup": build_dict / build_frozen if build_frozen else 1.0,
+        "query_speedup": query_dict / query_frozen if query_frozen else 1.0,
+        "memory_ratio": mem_frozen / mem_dict if mem_dict else 1.0,
+    }
+    out_dir = os.environ.get(
+        "REPRO_BENCH_DIR", os.path.join(os.getcwd(), "bench_results")
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "backend_speedup.json"), "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    report = (
+        f"Frozen vs dict backend ({pub.num_vertices} vertices, "
+        f"{pub.num_edges} edges)\n"
+        f"  index build : dict {build_dict:7.3f}s  frozen {build_frozen:7.3f}s "
+        f"({results['build_speedup']:.2f}x)\n"
+        f"  query work  : dict {query_dict * 1e3:7.1f}ms  "
+        f"frozen {query_frozen * 1e3:7.1f}ms "
+        f"({results['query_speedup']:.2f}x)\n"
+        f"  adjacency   : dict {mem_dict / 1024:.0f}KiB  "
+        f"frozen {mem_frozen / 1024:.0f}KiB "
+        f"({results['memory_ratio']:.2f}x)\n"
+    )
+    emit(report)
+    write_report("backend_speedup", report)
+
+    benchmark.pedantic(
+        lambda: PublicIndex.build(frozen_pub, k=2), rounds=1, iterations=1
+    )
+
+    # Equal answers are covered by tests/test_backend_equivalence.py; here
+    # we hold the performance contract of the refactor.
+    assert mem_frozen < mem_dict, report
+    if STRICT:
+        assert build_frozen <= build_dict * 1.05, report

@@ -10,8 +10,8 @@ provides that loop; :mod:`repro.bench.reporting` renders the results.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.core.framework import PPKWS, StepBreakdown, query_model_m1, query_model_m2
 from repro.datasets.queries import KeywordQuery, KnkQuery

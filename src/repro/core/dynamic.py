@@ -25,17 +25,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.framework import Attachment, PPKWS
 from repro.exceptions import GraphError
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import LabeledGraph, Vertex
 from repro.graph.traversal import INF
 from repro.portals.distance_map import (
     all_pairs_portal_distances,
     refine_portal_distances,
 )
-from repro.portals.keyword_map import build_private_maps
 from repro.portals.oracle import CombinedDistanceOracle
 
 __all__ = ["DynamicPrivateGraph"]

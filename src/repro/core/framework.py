@@ -23,13 +23,17 @@ M3 (= PPKWS).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.budget import QueryBudget
 from repro.core.qualify import is_public_private_answer as _is_public_private_answer
 from repro.exceptions import GraphError, QueryError
+from repro.graph.frozen import freeze as _freeze
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.protocol import GraphLike
 from repro.graph.pagerank import pagerank
 from repro.graph.public_private import combine, portal_nodes
 from repro.portals.distance_map import (
@@ -41,7 +45,6 @@ from repro.portals.keyword_map import build_private_maps
 from repro.portals.oracle import CombinedDistanceOracle, SketchPublicDistance
 from repro.semantics.answers import KnkAnswer, RootedAnswer
 from repro.semantics.blinks import blinks_search
-from repro.semantics.knk import knk_search
 from repro.semantics.rclique import rclique_search
 from repro.sketches.base import DistanceSketch
 from repro.sketches.kpads import KeywordSketch, build_kpads
@@ -69,7 +72,7 @@ __all__ = [
 class PublicIndex:
     """The user-independent indexes over the public graph (Sec. V-A/B)."""
 
-    graph: LabeledGraph
+    graph: "GraphLike"
     pads: DistanceSketch
     kpads: KeywordSketch
     pagerank_scores: Dict[Vertex, float]
@@ -77,16 +80,26 @@ class PublicIndex:
     @classmethod
     def build(
         cls,
-        graph: LabeledGraph,
+        graph: "GraphLike",
         k: int = 2,
         alpha: float = 0.85,
         kpads_per_center: int = 4,
+        freeze: bool = True,
     ) -> "PublicIndex":
         """PageRank, then PADS with bottom-``k`` parameter, then KPADS.
 
         ``kpads_per_center`` controls the depth of KPADS candidate lists
         (used by PP-knk completion; 1 = the paper's minimal merge).
+
+        With ``freeze=True`` (the default) the public graph is first
+        interned into a :class:`~repro.graph.frozen.FrozenGraph`; index
+        construction then runs over flat CSR arrays and the returned
+        index carries the frozen graph as :attr:`graph`.  Pass
+        ``freeze=False`` to index the mutable graph as-is (the dynamic
+        public-update workflows do this).
         """
+        if freeze:
+            graph = _freeze(graph)
         scores = pagerank(graph, alpha=alpha)
         pads = build_pads(graph, k=k, ranks=scores)
         kpads = build_kpads(graph, pads, per_center=kpads_per_center)
@@ -275,19 +288,29 @@ class PPKWS:
 
     def __init__(
         self,
-        public: LabeledGraph,
+        public: "GraphLike",
         sketch_k: int = 2,
         alpha: float = 0.85,
         options: Optional[QueryOptions] = None,
         index: Optional[PublicIndex] = None,
+        freeze: bool = True,
     ) -> None:
-        self.public = public
         self.options = options or QueryOptions()
         self.index = index if index is not None else PublicIndex.build(
-            public, k=sketch_k, alpha=alpha
+            public, k=sketch_k, alpha=alpha, freeze=freeze
         )
-        if self.index.graph is not public:
+        if (
+            self.index.graph is not public
+            and (
+                self.index.graph.num_vertices != public.num_vertices
+                or self.index.graph.num_edges != public.num_edges
+            )
+        ):
             raise GraphError("provided index was built over a different graph")
+        # The index's graph is authoritative: PublicIndex.build freezes
+        # the public graph by default, so queries run over the same
+        # (possibly frozen) backend the sketches were built from.
+        self.public = self.index.graph
         self._provider = self.index.provider()
         self._attachments: Dict[str, Attachment] = {}
 

@@ -15,11 +15,14 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
 
 from repro.core.framework import PublicIndex
 from repro.exceptions import IndexBuildError
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.labeled_graph import Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.protocol import GraphLike
 from repro.sketches.base import DistanceSketch
 from repro.sketches.kpads import KeywordSketch
 
@@ -87,12 +90,14 @@ def save_index(index: PublicIndex, path: PathLike) -> None:
             }) + "\n")
 
 
-def load_index(graph: LabeledGraph, path: PathLike) -> PublicIndex:
+def load_index(graph: "GraphLike", path: PathLike) -> PublicIndex:
     """Read a :class:`PublicIndex` previously written by :func:`save_index`.
 
     ``graph`` must be the same public graph the index was built over
     (checked by vertex count; deeper consistency is the caller's
-    responsibility, exactly as with any on-disk index).
+    responsibility, exactly as with any on-disk index).  Either backend
+    works; pass a :class:`~repro.graph.frozen.FrozenGraph` to get a
+    frozen engine from a loaded index.
     """
     pagerank_scores: Dict[Vertex, float] = {}
     pads_entries: Dict[Vertex, Dict[Vertex, float]] = {}

@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.budget import QueryBudget
-from repro.core.framework import Attachment, PPKWS, QueryResult
+from repro.core.framework import PIPELINE_STEPS, Attachment, PPKWS, QueryResult
+from repro.exceptions import BudgetError
 from repro.graph.labeled_graph import Label
 from repro.graph.traversal import shortest_path
 from repro.graph.views import combine_lazy
@@ -55,22 +56,35 @@ def pp_banks_query(
         return result
     view = combine_lazy(engine.public, attachment.private)
     trees: List[RootedAnswer] = []
-    for answer in result.answers:
+    for idx, answer in enumerate(result.answers):
         tree = TreeAnswer(answer.root, {})
-        for q, m in answer.matches.items():
-            tree.matches[q] = m.copy()
-            if m.vertex is None or m.vertex == answer.root:
-                continue
-            path = shortest_path(view, answer.root, m.vertex)
-            if path is None:  # pragma: no cover - answers are connected
-                continue
-            total = 0.0
-            for u, v in zip(path, path[1:]):
-                tree.edges.add(frozenset((u, v)))
-                total += view.weight(u, v)
-            # Exact path length can only improve on the sketch estimate.
-            if total < tree.matches[q].distance:
-                tree.matches[q].distance = total
+        try:
+            for q, m in answer.matches.items():
+                tree.matches[q] = m.copy()
+                if m.vertex is None or m.vertex == answer.root:
+                    continue
+                path = shortest_path(view, answer.root, m.vertex, budget=budget)
+                if path is None:  # pragma: no cover - answers are connected
+                    continue
+                total = 0.0
+                for u, v in zip(path, path[1:]):
+                    tree.edges.add(frozenset((u, v)))
+                    total += view.weight(u, v)
+                # Exact path length can only improve on the sketch estimate.
+                if total < tree.matches[q].distance:
+                    tree.matches[q].distance = total
+        except BudgetError:
+            # The budget expired mid-materialization.  Salvage what we
+            # have: trees already materialized plus the remaining rooted
+            # answers as-is (ranked, but without edges / exact paths).
+            salvaged = trees + list(result.answers[idx:])
+            salvaged.sort(key=RootedAnswer.sort_key)
+            return QueryResult(
+                salvaged, result.breakdown, result.counters,
+                degraded=True,
+                completed_steps=PIPELINE_STEPS,
+                interrupted_step="materialize",
+            )
         trees.append(tree)
     trees.sort(key=RootedAnswer.sort_key)
     return QueryResult(trees, result.breakdown, result.counters)

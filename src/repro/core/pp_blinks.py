@@ -34,7 +34,6 @@ from repro.core.framework import (
 )
 from repro.core.partial import KeywordIndicator, PartialAnswer, salvage_rooted_answers
 from repro.core.pp_rclique import CompletionCache
-from repro.core.qualify import answer_sides
 from repro.core.repair import try_requalify
 from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex

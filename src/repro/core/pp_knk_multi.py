@@ -17,7 +17,7 @@ Extends :mod:`repro.core.pp_knk` to the multi-keyword k-nk semantics
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.budget import QueryBudget
 from repro.core.framework import (

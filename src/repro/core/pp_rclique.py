@@ -28,11 +28,9 @@ from repro.core.framework import (
     _Timer,
 )
 from repro.core.partial import PairIndicator, PartialAnswer, salvage_rooted_answers
-from repro.core.qualify import answer_sides
 from repro.core.repair import try_requalify
 from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, Vertex
-from repro.graph.traversal import INF
 from repro.semantics.answers import RootedAnswer
 from repro.semantics.rclique import rclique_search
 

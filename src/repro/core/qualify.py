@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.protocol import GraphLike
 from repro.semantics.answers import RootedAnswer
 
 __all__ = ["answer_sides", "is_public_private_answer"]
@@ -20,7 +21,7 @@ __all__ = ["answer_sides", "is_public_private_answer"]
 
 def answer_sides(
     match_vertices: Iterable[Vertex],
-    public: LabeledGraph,
+    public: "GraphLike",
     private: LabeledGraph,
 ) -> Tuple[bool, bool]:
     """``(touches_private, touches_public)`` over keyword-match vertices."""
@@ -40,7 +41,7 @@ def answer_sides(
 
 def is_public_private_answer(
     answer: RootedAnswer,
-    public: LabeledGraph,
+    public: "GraphLike",
     private: LabeledGraph,
 ) -> bool:
     """Def. II.2 for a rooted answer (only match vertices carry keywords)."""

@@ -32,10 +32,21 @@ _EPS = 1e-12
 
 
 def _reach_portal(engine, attachment, root: Vertex, portal: Vertex) -> float:
-    """Best known root-to-portal distance (private map and/or public)."""
+    """Best known root-to-portal distance (private map and/or public).
+
+    Besides the private-only map and the public sketch, Eq.-4 detours
+    ``d'(root, p_i) + dc(p_i, portal)`` through the Algo-7 combined
+    portal map are considered: the combined distance between two portals
+    can beat both single-graph routes (a mixed path alternating sides),
+    and ``dc`` is the only structure that records it.
+    """
     reach = attachment.oracle.vertex_portal.get(root, portal)
     if root in engine.public:
         reach = min(reach, engine.index.provider().vertex_distance(root, portal))
+    pmap = attachment.portal_map
+    for pi, d1 in attachment.oracle.vertex_portal.portal_distances(root).items():
+        if d1 < reach:
+            reach = min(reach, d1 + pmap.get(pi, portal))
     return reach
 
 

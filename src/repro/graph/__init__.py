@@ -13,9 +13,11 @@ from repro.graph.generators import (
     watts_strogatz_graph,
     zipf_weights,
 )
+from repro.graph.frozen import FrozenGraph, freeze
 from repro.graph.io import load_graph, save_graph
 from repro.graph.labeled_graph import Edge, Label, LabeledGraph, Vertex, path_weight
-from repro.graph.pagerank import pagerank, pagerank_numpy, pagerank_pure
+from repro.graph.pagerank import pagerank, pagerank_csr, pagerank_numpy, pagerank_pure
+from repro.graph.protocol import GraphLike
 from repro.graph.public_private import PublicPrivateNetwork, combine, portal_nodes
 from repro.graph.metrics import (
     approximate_diameter,
@@ -44,6 +46,8 @@ from repro.graph.traversal import (
 __all__ = [
     "CombinedView",
     "Edge",
+    "FrozenGraph",
+    "GraphLike",
     "approximate_diameter",
     "average_shortest_path_length",
     "ball_coverage",
@@ -67,10 +71,12 @@ __all__ = [
     "dijkstra_with_paths",
     "eccentricity",
     "erdos_renyi_graph",
+    "freeze",
     "load_graph",
     "multi_source_dijkstra",
     "nearest_vertices_with_label",
     "pagerank",
+    "pagerank_csr",
     "pagerank_numpy",
     "pagerank_pure",
     "path_weight",

@@ -1,0 +1,349 @@
+"""Frozen compact-graph backend: CSR arrays over interned integer ids.
+
+The paper's deployment story is asymmetric: one huge *immutable* public
+graph ``G`` shared by everyone, many tiny *mutable* private graphs
+``G'``.  The dict-of-dicts :class:`~repro.graph.labeled_graph.LabeledGraph`
+is the right shape for the private side (O(1) edits, arbitrary hashable
+vertices) but pays for that flexibility on every public-graph traversal:
+boxed floats, per-vertex hash tables, and incomparable vertices that
+force an ``itertools.count`` tie-breaker into every heap entry.
+
+:class:`FrozenGraph` is the public-side counterpart: vertices are
+*interned* to dense ``int`` ids (in source iteration order, so traversal
+tie-breaking stays aligned with the dict backend) and adjacency lives in
+three flat ``array`` buffers in CSR layout:
+
+* ``indptr``  — ``array('q')`` of length ``n + 1``; vertex ``i``'s
+  neighbors occupy positions ``indptr[i]:indptr[i+1]``,
+* ``indices`` — ``array('q')`` of neighbor ids (each undirected edge
+  appears twice, once per endpoint),
+* ``weights`` — ``array('d')`` of the matching edge weights.
+
+Labels are kept per-id (sharing the source's frozensets) and the
+inverted label index stores interned-id arrays.  An id↔vertex table
+translates at the API boundary, so the *public interface is still
+vertex-keyed* — a ``FrozenGraph`` satisfies the read-only
+:class:`~repro.graph.protocol.GraphLike` protocol and drops into the
+traversal, sketch, portal and semantics layers unchanged.  The int-
+specialized fast paths in :mod:`repro.graph.traversal`,
+:mod:`repro.graph.pagerank` and :mod:`repro.sketches.base` additionally
+consume the raw arrays via :meth:`FrozenGraph.csr` / :meth:`intern` /
+:attr:`vertex_table`.
+
+Mutating methods are deliberately absent: accidental writes fail loudly
+with ``AttributeError``.  To edit, :meth:`thaw` back to a
+:class:`LabeledGraph`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+
+__all__ = ["FrozenGraph", "freeze"]
+
+
+class FrozenGraph:
+    """Immutable CSR-backed labeled graph (see module docstring).
+
+    Example
+    -------
+    >>> g = LabeledGraph.from_edges([(0, 1), (1, 2)], {0: {"a"}, 2: {"b"}})
+    >>> fg = FrozenGraph(g)
+    >>> fg.num_vertices, fg.num_edges
+    (3, 2)
+    >>> sorted(fg.vertices_with_label("b"))
+    [2]
+    >>> fg.weight(0, 1)
+    1.0
+    """
+
+    __slots__ = (
+        "name",
+        "_indptr",
+        "_indices",
+        "_weights",
+        "_id_of",
+        "_vertex_of",
+        "_labels_by_id",
+        "_label_ids",
+        "_num_edges",
+    )
+
+    def __init__(self, source, name: Optional[str] = None) -> None:
+        """Intern ``source`` (any readable graph) into CSR arrays."""
+        vertex_of: List[Vertex] = list(source.vertices())
+        id_of: Dict[Vertex, int] = {v: i for i, v in enumerate(vertex_of)}
+        if len(id_of) != len(vertex_of):
+            raise GraphError("source graph yielded duplicate vertices")
+
+        indptr = array("q", [0])
+        indices = array("q")
+        weights = array("d")
+        for v in vertex_of:
+            for u, w in source.neighbor_items(v):
+                indices.append(id_of[u])
+                weights.append(w)
+            indptr.append(len(indices))
+
+        labels_by_id: Tuple[FrozenSet[Label], ...] = tuple(
+            frozenset(source.labels(v)) for v in vertex_of
+        )
+        label_ids: Dict[Label, array] = {}
+        for i, ls in enumerate(labels_by_id):
+            for t in ls:
+                label_ids.setdefault(t, array("q")).append(i)
+
+        self.name = name if name is not None else getattr(source, "name", "")
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self._id_of = id_of
+        self._vertex_of = vertex_of
+        self._labels_by_id = labels_by_id
+        self._label_ids = label_ids
+        self._num_edges = len(indices) // 2
+
+    # ------------------------------------------------------------------
+    # interned-id surface (the fast-path API)
+    # ------------------------------------------------------------------
+    def csr(self) -> Tuple[array, array, array]:
+        """The raw ``(indptr, indices, weights)`` CSR arrays."""
+        return self._indptr, self._indices, self._weights
+
+    def intern(self, v: Vertex) -> int:
+        """The dense id of ``v``; raises :class:`VertexNotFoundError`."""
+        try:
+            return self._id_of[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    @property
+    def vertex_table(self) -> List[Vertex]:
+        """The id -> vertex table (do not mutate)."""
+        return self._vertex_of
+
+    @property
+    def label_table(self) -> Tuple[FrozenSet[Label], ...]:
+        """The id -> label-set table."""
+        return self._labels_by_id
+
+    def label_ids(self, label: Label) -> array:
+        """Interned ids carrying ``label`` (empty array when unused)."""
+        bucket = self._label_ids.get(label)
+        return bucket if bucket is not None else array("q")
+
+    # ------------------------------------------------------------------
+    # vertex set
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._id_of
+
+    def __len__(self) -> int:
+        return len(self._vertex_of)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertex_of)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices (interning order)."""
+        return iter(self._vertex_of)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._vertex_of)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V| + |E|`` as defined in the paper (Sec. II)."""
+        return self.num_vertices + self.num_edges
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate over the neighbors of ``v``."""
+        i = self.intern(v)
+        indices, vx = self._indices, self._vertex_of
+        return (
+            vx[indices[pos]]
+            for pos in range(self._indptr[i], self._indptr[i + 1])
+        )
+
+    def neighbor_items(self, v: Vertex) -> Iterable[Tuple[Vertex, float]]:
+        """Iterate ``(neighbor, weight)`` pairs of ``v``."""
+        i = self.intern(v)
+        indices, weights, vx = self._indices, self._weights, self._vertex_of
+        return (
+            (vx[indices[pos]], weights[pos])
+            for pos in range(self._indptr[i], self._indptr[i + 1])
+        )
+
+    def degree(self, v: Vertex) -> int:
+        """Number of neighbors of ``v``."""
+        i = self.intern(v)
+        return self._indptr[i + 1] - self._indptr[i]
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists (O(deg) scan)."""
+        i = self._id_of.get(u)
+        j = self._id_of.get(v)
+        if i is None or j is None:
+            return False
+        indices = self._indices
+        for pos in range(self._indptr[i], self._indptr[i + 1]):
+            if indices[pos] == j:
+                return True
+        return False
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Weight of edge ``(u, v)``; raises :class:`EdgeNotFoundError`."""
+        i = self._id_of.get(u)
+        j = self._id_of.get(v)
+        if i is not None and j is not None:
+            indices = self._indices
+            for pos in range(self._indptr[i], self._indptr[i + 1]):
+                if indices[pos] == j:
+                    return self._weights[pos]
+        raise EdgeNotFoundError(u, v)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Iterate each undirected edge once as ``(u, v, weight)``."""
+        indptr, indices, weights, vx = (
+            self._indptr, self._indices, self._weights, self._vertex_of,
+        )
+        for i in range(len(vx)):
+            for pos in range(indptr[i], indptr[i + 1]):
+                j = indices[pos]
+                if i < j:
+                    yield vx[i], vx[j], weights[pos]
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def labels(self, v: Vertex) -> FrozenSet[Label]:
+        """Label set ``L(v)``."""
+        return self._labels_by_id[self.intern(v)]
+
+    def has_label(self, v: Vertex, label: Label) -> bool:
+        """Whether ``label in L(v)``."""
+        return label in self._labels_by_id[self.intern(v)]
+
+    def vertices_with_label(self, label: Label) -> FrozenSet[Vertex]:
+        """All vertices carrying ``label`` (the inverted index lookup)."""
+        bucket = self._label_ids.get(label)
+        if bucket is None:
+            return frozenset()
+        vx = self._vertex_of
+        return frozenset(vx[i] for i in bucket)
+
+    def label_universe(self) -> FrozenSet[Label]:
+        """The label alphabet ``Sigma`` actually used by some vertex."""
+        return frozenset(self._label_ids)
+
+    def label_frequency(self, label: Label) -> int:
+        """Number of vertices carrying ``label``."""
+        bucket = self._label_ids.get(label)
+        return len(bucket) if bucket is not None else 0
+
+    def average_labels_per_vertex(self) -> float:
+        """Mean ``|L(v)|`` (Tab. V)."""
+        if not self._vertex_of:
+            return 0.0
+        return sum(len(ls) for ls in self._labels_by_id) / len(self._vertex_of)
+
+    # ------------------------------------------------------------------
+    # derived graphs / interop
+    # ------------------------------------------------------------------
+    def thaw(self, name: Optional[str] = None) -> LabeledGraph:
+        """An independent mutable :class:`LabeledGraph` with equal content."""
+        out = LabeledGraph(name if name is not None else self.name)
+        for i, v in enumerate(self._vertex_of):
+            out.add_vertex(v, self._labels_by_id[i])
+        for u, v, w in self.edges():
+            out.add_edge(u, v, w)
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "FrozenGraph":
+        """Frozen graphs are immutable: sharing is safe, so return self
+        (unless a rename forces a shallow re-wrap)."""
+        if name is None or name == self.name:
+            return self
+        return FrozenGraph(self, name=name)
+
+    def subgraph(self, keep: Iterable[Vertex], name: str = "") -> LabeledGraph:
+        """Vertex-induced subgraph on ``keep`` as a mutable graph."""
+        return self.thaw().subgraph(keep, name)
+
+    def union(
+        self, other: Union["FrozenGraph", LabeledGraph], name: str = ""
+    ) -> LabeledGraph:
+        """Graph union ``⊕`` (materialized; see :meth:`LabeledGraph.union`).
+
+        Combined graphs are per-user and short-lived, so the union is
+        always produced on the mutable backend; prefer
+        :func:`repro.graph.views.combine_lazy` when a read-only view is
+        enough.
+        """
+        return self.thaw().union(other, name)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def stats(self) -> Mapping[str, float]:
+        """Summary statistics — identical shape to :meth:`LabeledGraph.stats`."""
+        n = self.num_vertices
+        return {
+            "num_vertices": float(n),
+            "num_edges": float(self._num_edges),
+            "num_labels": float(len(self._label_ids)),
+            "avg_labels_per_vertex": self.average_labels_per_vertex(),
+            "avg_degree": (2.0 * self._num_edges / n) if n else 0.0,
+        }
+
+    def nbytes(self) -> int:
+        """Size of the flat CSR buffers in bytes (the adjacency payload)."""
+        return (
+            self._indptr.itemsize * len(self._indptr)
+            + self._indices.itemsize * len(self._indices)
+            + self._weights.itemsize * len(self._weights)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<FrozenGraph{tag} |V|={self.num_vertices} |E|={self.num_edges} "
+            f"|Sigma|={len(self._label_ids)}>"
+        )
+
+
+def freeze(graph, name: Optional[str] = None) -> FrozenGraph:
+    """Intern ``graph`` into a :class:`FrozenGraph` (no-op when frozen).
+
+    This is the single entry point the framework uses at the two places
+    a public graph becomes immutable: :meth:`PublicIndex.build
+    <repro.core.framework.PublicIndex.build>` and
+    :meth:`PPKWSService.create_network <repro.service.PPKWSService.create_network>`.
+    """
+    if isinstance(graph, FrozenGraph):
+        return graph
+    return FrozenGraph(graph, name=name)

@@ -1,10 +1,19 @@
-"""A labeled, weighted, undirected graph.
+"""A labeled, weighted, undirected graph (the mutable dict backend).
 
 This is the data model of the paper (Sec. II): ``G = (V, E, L, Sigma)``
 where each vertex carries a *set* of labels (keywords) and each edge has a
-positive weight.  The structure is deliberately dictionary-based — the
-PPKWS algorithms are traversal-heavy, and ``dict`` adjacency gives O(1)
-neighbor iteration and edge lookup without any third-party dependency.
+positive weight.
+
+The repository splits graph storage by mutability.  ``LabeledGraph`` is
+the *mutable* backend — dict-of-dicts adjacency keyed by arbitrary
+hashables, O(1) edits and edge lookups, no third-party dependency — and
+is used for the small per-user private graphs, for graph construction,
+and everywhere updates happen (:mod:`repro.core.dynamic`).  The large
+public graph, which the framework treats as immutable once indexed, is
+interned into the compact CSR backend
+:class:`~repro.graph.frozen.FrozenGraph` instead; both satisfy the
+read-only :class:`~repro.graph.protocol.GraphLike` protocol that the
+traversal and search layers are written against.
 
 Besides plain adjacency the graph maintains an inverted *label index*
 (keyword -> set of vertices), which every keyword-search semantic uses to
@@ -308,13 +317,19 @@ class LabeledGraph:
         )
 
     def stats(self) -> Mapping[str, float]:
-        """Summary statistics in the shape of the paper's Tab. V."""
+        """Summary statistics in the shape of the paper's Tab. V.
+
+        All values are ``float`` (as declared), so the mapping has one
+        uniform value type across backends —
+        :meth:`FrozenGraph.stats <repro.graph.frozen.FrozenGraph.stats>`
+        returns the identical shape.
+        """
         return {
-            "num_vertices": self.num_vertices,
-            "num_edges": self.num_edges,
-            "num_labels": len(self._label_index),
+            "num_vertices": float(self.num_vertices),
+            "num_edges": float(self.num_edges),
+            "num_labels": float(len(self._label_index)),
             "avg_labels_per_vertex": self.average_labels_per_vertex(),
-            "avg_degree": (2 * self.num_edges / self.num_vertices) if self._adj else 0.0,
+            "avg_degree": (2.0 * self.num_edges / self.num_vertices) if self._adj else 0.0,
         }
 
     @classmethod

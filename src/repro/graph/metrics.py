@@ -13,7 +13,7 @@ import random
 from collections import Counter
 from typing import Dict, Optional
 
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.traversal import bfs_hops, dijkstra
 
 __all__ = [

@@ -1,0 +1,82 @@
+"""The read-only graph protocol shared by every backend.
+
+PPKWS runs its algorithms over three graph representations:
+
+* :class:`~repro.graph.labeled_graph.LabeledGraph` — mutable dict-of-dicts,
+  used for the small per-user private graphs and anywhere edits happen;
+* :class:`~repro.graph.frozen.FrozenGraph` — immutable CSR arrays with
+  interned integer ids, used for the large public graph;
+* :class:`~repro.graph.views.CombinedView` — the lazy union ``G ⊕ G'``
+  over one graph of each kind.
+
+The traversal, sketch, portal and semantics layers only ever *read*
+graphs, and :class:`GraphLike` is the exact surface they touch.  Any
+object implementing it (vertex-keyed, labels as sets of strings) runs
+through the whole pipeline unchanged; the concrete backends may expose
+more (e.g. the CSR arrays that power the int-specialized fast paths),
+but no algorithm may require more than this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Protocol,
+    Tuple,
+)
+
+from repro.graph.labeled_graph import Label, Vertex
+
+__all__ = ["GraphLike"]
+
+
+class GraphLike(Protocol):
+    """Structural type of a readable labeled weighted graph.
+
+    The core members (the ones every hot path uses) are
+    ``neighbor_items``, ``labels``, ``has_label``, ``vertices_with_label``,
+    ``__contains__``, ``__len__``, ``num_vertices``, ``num_edges`` and
+    ``degree``; the remainder back specific consumers (baseline
+    materialization, Tab.-V statistics, tree reconstruction).
+    """
+
+    # -- vertex set ----------------------------------------------------
+    def __contains__(self, v: Vertex) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Vertex]: ...
+
+    def vertices(self) -> Iterator[Vertex]: ...
+
+    @property
+    def num_vertices(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    # -- adjacency -----------------------------------------------------
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]: ...
+
+    def neighbor_items(self, v: Vertex) -> Iterable[Tuple[Vertex, float]]: ...
+
+    def degree(self, v: Vertex) -> int: ...
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool: ...
+
+    def weight(self, u: Vertex, v: Vertex) -> float: ...
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]: ...
+
+    # -- labels --------------------------------------------------------
+    def labels(self, v: Vertex) -> FrozenSet[Label]: ...
+
+    def has_label(self, v: Vertex, label: Label) -> bool: ...
+
+    def vertices_with_label(self, label: Label) -> FrozenSet[Vertex]: ...
+
+    def label_universe(self) -> FrozenSet[Label]: ...
+
+    def label_frequency(self, label: Label) -> int: ...

@@ -17,12 +17,18 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.protocol import GraphLike
 
 __all__ = ["PublicPrivateNetwork", "portal_nodes", "combine"]
 
 
-def portal_nodes(public: LabeledGraph, private: LabeledGraph) -> FrozenSet[Vertex]:
-    """Portal nodes ``P = V ∩ V'`` (Def. II.1)."""
+def portal_nodes(public: GraphLike, private: GraphLike) -> FrozenSet[Vertex]:
+    """Portal nodes ``P = V ∩ V'`` (Def. II.1).
+
+    Works across mixed backends: in production ``public`` is a frozen
+    CSR graph and ``private`` a mutable dict graph; only iteration of
+    the smaller side and membership tests on the larger are needed.
+    """
     small, large = (
         (private, public)
         if private.num_vertices <= public.num_vertices
@@ -32,7 +38,7 @@ def portal_nodes(public: LabeledGraph, private: LabeledGraph) -> FrozenSet[Verte
 
 
 def combine(
-    public: LabeledGraph, private: LabeledGraph, name: str = ""
+    public: GraphLike, private: GraphLike, name: str = ""
 ) -> LabeledGraph:
     """The combined graph ``Gc = G ⊕ G'`` (the paper's attach operation)."""
     return public.union(private, name or f"{public.name}+{private.name}")
@@ -53,14 +59,14 @@ class PublicPrivateNetwork:
     4
     """
 
-    def __init__(self, public: LabeledGraph) -> None:
+    def __init__(self, public: GraphLike) -> None:
         self._public = public
         self._private: Dict[str, LabeledGraph] = {}
         self._portals: Dict[str, FrozenSet[Vertex]] = {}
 
     # ------------------------------------------------------------------
     @property
-    def public(self) -> LabeledGraph:
+    def public(self) -> GraphLike:
         """The shared public graph ``G``."""
         return self._public
 

@@ -1,4 +1,4 @@
-"""Shortest-path and traversal primitives over :class:`LabeledGraph`.
+"""Shortest-path and traversal primitives over any graph backend.
 
 Everything in PPKWS is distance-driven (Sec. II of the paper: "the answers
 of all the query semantics involve the shortest distance between the nodes
@@ -6,6 +6,18 @@ of the answer"), so these routines are the hot path of both the baseline
 algorithms and the framework itself.  They are implemented with plain
 binary heaps (``heapq``) and lazy deletion, which in CPython outperforms
 fancier decrease-key structures for the graph sizes we target.
+
+Every routine accepts any :class:`~repro.graph.protocol.GraphLike`
+backend.  For the dict backend (and the lazy combined views) vertices may
+be arbitrary incomparable hashables, so heap entries carry an
+``itertools.count`` tie-breaker.  When the graph is a
+:class:`~repro.graph.frozen.FrozenGraph` each routine dispatches to an
+int-specialized fast path instead: vertices are dense comparable ids, so
+heap entries are bare ``(distance, id)`` pairs, and neighbor expansion is
+a flat scan of the CSR ``indptr``/``indices``/``weights`` arrays.  Results
+are translated back to vertex keys at the boundary, so callers cannot
+tell the backends apart (distances are bit-identical; only tie order
+among equidistant vertices may differ).
 
 The sweeps accept an optional ``budget`` (any object with a
 ``checkpoint()`` method, canonically
@@ -34,10 +46,12 @@ from typing import (
 )
 
 from repro.exceptions import VertexNotFoundError
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.frozen import FrozenGraph
+from repro.graph.labeled_graph import Vertex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.budget import QueryBudget
+    from repro.graph.protocol import GraphLike
 
 __all__ = [
     "INF",
@@ -56,13 +70,223 @@ __all__ = [
 INF = float("inf")
 
 
-def _check_source(graph: LabeledGraph, source: Vertex) -> None:
+def _check_source(graph: "GraphLike", source: Vertex) -> None:
     if source not in graph:
         raise VertexNotFoundError(source)
 
 
+# ----------------------------------------------------------------------
+# int-specialized fast paths (FrozenGraph)
+# ----------------------------------------------------------------------
+#: Sentinel id for a requested target that is absent from the graph; it
+#: can never be settled, which reproduces the generic behavior (the sweep
+#: simply runs to exhaustion instead of stopping early).
+_ABSENT = -1
+
+
+def _frozen_dijkstra(
+    graph: FrozenGraph,
+    source: Vertex,
+    cutoff: Optional[float],
+    targets: Optional[Set[Vertex]],
+    budget: Optional["QueryBudget"],
+) -> Dict[Vertex, float]:
+    src = graph.intern(source)
+    indptr, indices, weights = graph.csr()
+    dist: Dict[int, float] = {}
+    remaining: Optional[Set[int]] = None
+    if targets is not None:
+        remaining = set()
+        for t in targets:
+            remaining.add(graph.intern(t) if t in graph else _ABSENT)
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    while heap:
+        if budget is not None:
+            budget.checkpoint()
+        d, i = heapq.heappop(heap)
+        if i in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[i] = d
+        if remaining is not None:
+            remaining.discard(i)
+            if not remaining:
+                break
+        for pos in range(indptr[i], indptr[i + 1]):
+            j = indices[pos]
+            if j not in dist:
+                nd = d + weights[pos]
+                if cutoff is None or nd <= cutoff:
+                    heapq.heappush(heap, (nd, j))
+    vx = graph.vertex_table
+    return {vx[i]: d for i, d in dist.items()}
+
+
+def _frozen_dijkstra_with_paths(
+    graph: FrozenGraph,
+    source: Vertex,
+    cutoff: Optional[float],
+    budget: Optional["QueryBudget"],
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
+    src = graph.intern(source)
+    indptr, indices, weights = graph.csr()
+    dist: Dict[int, float] = {}
+    pred: Dict[int, int] = {src: -1}
+    tentative: Dict[int, float] = {src: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    while heap:
+        if budget is not None:
+            budget.checkpoint()
+        d, i = heapq.heappop(heap)
+        if i in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[i] = d
+        for pos in range(indptr[i], indptr[i + 1]):
+            j = indices[pos]
+            if j in dist:
+                continue
+            nd = d + weights[pos]
+            if (cutoff is None or nd <= cutoff) and nd < tentative.get(j, INF):
+                tentative[j] = nd
+                pred[j] = i
+                heapq.heappush(heap, (nd, j))
+    vx = graph.vertex_table
+    return (
+        {vx[i]: d for i, d in dist.items()},
+        {vx[i]: (vx[p] if p >= 0 else None) for i, p in pred.items()},
+    )
+
+
+def _frozen_dijkstra_ordered(
+    graph: FrozenGraph,
+    source: Vertex,
+    cutoff: Optional[float],
+    budget: Optional["QueryBudget"],
+) -> Iterator[Tuple[Vertex, float]]:
+    src = graph.intern(source)
+    indptr, indices, weights = graph.csr()
+    vx = graph.vertex_table
+    settled: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    while heap:
+        if budget is not None:
+            budget.checkpoint()
+        d, i = heapq.heappop(heap)
+        if i in settled:
+            continue
+        if cutoff is not None and d > cutoff:
+            return
+        settled.add(i)
+        yield vx[i], d
+        for pos in range(indptr[i], indptr[i + 1]):
+            j = indices[pos]
+            if j not in settled:
+                nd = d + weights[pos]
+                if cutoff is None or nd <= cutoff:
+                    heapq.heappush(heap, (nd, j))
+
+
+def _frozen_multi_source(
+    graph: FrozenGraph,
+    sources: Iterable[Vertex],
+    cutoff: Optional[float],
+    budget: Optional["QueryBudget"],
+) -> Dict[Vertex, float]:
+    indptr, indices, weights = graph.csr()
+    heap: List[Tuple[float, int]] = [(0.0, graph.intern(s)) for s in sources]
+    heapq.heapify(heap)
+    dist: Dict[int, float] = {}
+    while heap:
+        if budget is not None:
+            budget.checkpoint()
+        d, i = heapq.heappop(heap)
+        if i in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[i] = d
+        for pos in range(indptr[i], indptr[i + 1]):
+            j = indices[pos]
+            if j not in dist:
+                nd = d + weights[pos]
+                if cutoff is None or nd <= cutoff:
+                    heapq.heappush(heap, (nd, j))
+    vx = graph.vertex_table
+    return {vx[i]: d for i, d in dist.items()}
+
+
+def _frozen_shortest_path(
+    graph: FrozenGraph,
+    source: Vertex,
+    target: Vertex,
+    budget: Optional["QueryBudget"],
+) -> Optional[List[Vertex]]:
+    src = graph.intern(source)
+    dst = graph.intern(target)
+    indptr, indices, weights = graph.csr()
+    dist: Dict[int, float] = {}
+    pred: Dict[int, int] = {}
+    tentative: Dict[int, float] = {src: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    found = False
+    while heap:
+        if budget is not None:
+            budget.checkpoint()
+        d, i = heapq.heappop(heap)
+        if i in dist:
+            continue
+        dist[i] = d
+        if i == dst:
+            found = True
+            break
+        for pos in range(indptr[i], indptr[i + 1]):
+            j = indices[pos]
+            if j in dist:
+                continue
+            nd = d + weights[pos]
+            if nd < tentative.get(j, INF):
+                tentative[j] = nd
+                pred[j] = i
+                heapq.heappush(heap, (nd, j))
+    if not found:
+        return None
+    ids = [dst]
+    while ids[-1] != src:
+        ids.append(pred[ids[-1]])
+    vx = graph.vertex_table
+    return [vx[i] for i in reversed(ids)]
+
+
+def _frozen_bfs_hops(
+    graph: FrozenGraph, source: Vertex, max_hops: Optional[int]
+) -> Dict[Vertex, int]:
+    src = graph.intern(source)
+    indptr, indices, _ = graph.csr()
+    hops: Dict[int, int] = {src: 0}
+    frontier = [src]
+    level = 0
+    while frontier and (max_hops is None or level < max_hops):
+        level += 1
+        nxt: List[int] = []
+        for i in frontier:
+            for pos in range(indptr[i], indptr[i + 1]):
+                j = indices[pos]
+                if j not in hops:
+                    hops[j] = level
+                    nxt.append(j)
+        frontier = nxt
+    vx = graph.vertex_table
+    return {vx[i]: h for i, h in hops.items()}
+
+
+# ----------------------------------------------------------------------
+# public API (backend-dispatching)
+# ----------------------------------------------------------------------
 def dijkstra(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     cutoff: Optional[float] = None,
     targets: Optional[Set[Vertex]] = None,
@@ -82,6 +306,8 @@ def dijkstra(
         Optional query budget charged one expansion per heap pop; raises
         a :class:`~repro.exceptions.BudgetError` on expiry.
     """
+    if isinstance(graph, FrozenGraph):
+        return _frozen_dijkstra(graph, source, cutoff, targets, budget)
     _check_source(graph, source)
     dist: Dict[Vertex, float] = {}
     remaining = set(targets) if targets is not None else None
@@ -109,11 +335,17 @@ def dijkstra(
 
 
 def dijkstra_with_paths(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     cutoff: Optional[float] = None,
+    budget: Optional["QueryBudget"] = None,
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Optional[Vertex]]]:
-    """Shortest distances plus predecessor links (for path reconstruction)."""
+    """Shortest distances plus predecessor links (for path reconstruction).
+
+    ``budget`` (if given) is charged one expansion per heap pop.
+    """
+    if isinstance(graph, FrozenGraph):
+        return _frozen_dijkstra_with_paths(graph, source, cutoff, budget)
     _check_source(graph, source)
     dist: Dict[Vertex, float] = {}
     pred: Dict[Vertex, Optional[Vertex]] = {source: None}
@@ -121,6 +353,8 @@ def dijkstra_with_paths(
     counter = itertools.count()
     heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v = heapq.heappop(heap)
         if v in dist:
             continue
@@ -139,7 +373,7 @@ def dijkstra_with_paths(
 
 
 def dijkstra_ordered(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     cutoff: Optional[float] = None,
     budget: Optional["QueryBudget"] = None,
@@ -151,6 +385,17 @@ def dijkstra_ordered(
     k-nk semantic, which consumes vertices lazily until k matches appear.
     ``budget`` (if given) is charged one expansion per heap pop.
     """
+    if isinstance(graph, FrozenGraph):
+        return _frozen_dijkstra_ordered(graph, source, cutoff, budget)
+    return _dict_dijkstra_ordered(graph, source, cutoff, budget)
+
+
+def _dict_dijkstra_ordered(
+    graph: "GraphLike",
+    source: Vertex,
+    cutoff: Optional[float],
+    budget: Optional["QueryBudget"],
+) -> Iterator[Tuple[Vertex, float]]:
     _check_source(graph, source)
     settled: Set[Vertex] = set()
     counter = itertools.count()
@@ -173,7 +418,7 @@ def dijkstra_ordered(
 
 
 def multi_source_dijkstra(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     sources: Iterable[Vertex],
     cutoff: Optional[float] = None,
     budget: Optional["QueryBudget"] = None,
@@ -185,6 +430,8 @@ def multi_source_dijkstra(
     keyword's inverted-index bucket.  ``budget`` (if given) is charged
     one expansion per heap pop.
     """
+    if isinstance(graph, FrozenGraph):
+        return _frozen_multi_source(graph, sources, cutoff, budget)
     dist: Dict[Vertex, float] = {}
     counter = itertools.count()
     heap: List[Tuple[float, int, Vertex]] = []
@@ -209,7 +456,7 @@ def multi_source_dijkstra(
 
 
 def shortest_distance(
-    graph: LabeledGraph, source: Vertex, target: Vertex
+    graph: "GraphLike", source: Vertex, target: Vertex
 ) -> float:
     """Exact shortest distance ``d(source, target)``; ``inf`` if unreachable."""
     if target not in graph:
@@ -219,11 +466,21 @@ def shortest_distance(
 
 
 def shortest_path(
-    graph: LabeledGraph, source: Vertex, target: Vertex
+    graph: "GraphLike",
+    source: Vertex,
+    target: Vertex,
+    budget: Optional["QueryBudget"] = None,
 ) -> Optional[List[Vertex]]:
-    """An actual shortest path as a vertex list, or ``None`` if unreachable."""
+    """An actual shortest path as a vertex list, or ``None`` if unreachable.
+
+    ``budget`` (if given) is charged one expansion per heap pop — answer
+    materialization (PP-BANKS tree reconstruction) passes the query's
+    budget through here so it respects deadlines like every other step.
+    """
     if target not in graph:
         raise VertexNotFoundError(target)
+    if isinstance(graph, FrozenGraph):
+        return _frozen_shortest_path(graph, source, target, budget)
     _check_source(graph, source)
     dist: Dict[Vertex, float] = {}
     pred: Dict[Vertex, Vertex] = {}
@@ -231,6 +488,8 @@ def shortest_path(
     heap: List[Tuple[float, int, Vertex]] = [(0.0, next(counter), source)]
     tentative: Dict[Vertex, float] = {source: 0.0}
     while heap:
+        if budget is not None:
+            budget.checkpoint()
         d, _, v = heapq.heappop(heap)
         if v in dist:
             continue
@@ -255,7 +514,7 @@ def shortest_path(
 
 
 def bfs_hops(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     max_hops: Optional[int] = None,
 ) -> Dict[Vertex, int]:
@@ -264,6 +523,8 @@ def bfs_hops(
     AComplete for Blinks expands portals "up to x hops" on the public
     graph (paper Algo 5) — this is that traversal.
     """
+    if isinstance(graph, FrozenGraph):
+        return _frozen_bfs_hops(graph, source, max_hops)
     _check_source(graph, source)
     hops = {source: 0}
     frontier = [source]
@@ -281,20 +542,20 @@ def bfs_hops(
 
 
 def vertices_within_hops(
-    graph: LabeledGraph, source: Vertex, max_hops: int
+    graph: "GraphLike", source: Vertex, max_hops: int
 ) -> Set[Vertex]:
     """The ball of radius ``max_hops`` (in hops) around ``source``."""
     return set(bfs_hops(graph, source, max_hops))
 
 
-def eccentricity(graph: LabeledGraph, source: Vertex) -> float:
+def eccentricity(graph: "GraphLike", source: Vertex) -> float:
     """Largest finite shortest distance from ``source``."""
     dist = dijkstra(graph, source)
     return max(dist.values()) if dist else 0.0
 
 
 def nearest_vertices_with_label(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     label: str,
     k: int = 1,

@@ -4,9 +4,13 @@ The paper's baselines must evaluate on the combined graph; materializing
 ``Gc`` copies the entire public graph per user.  :class:`CombinedView`
 instead presents the union lazily — adjacency, labels and the inverted
 label index are computed on access by consulting both underlying graphs —
-so any algorithm written against the :class:`LabeledGraph` read API
-(all of :mod:`repro.semantics`, :mod:`repro.graph.traversal`) runs on the
-combined view unchanged, with O(1) setup cost.
+so any algorithm written against the read-only
+:class:`~repro.graph.protocol.GraphLike` protocol (all of
+:mod:`repro.semantics`, :mod:`repro.graph.traversal`) runs on the
+combined view unchanged, with O(1) setup cost.  The two sides may use
+different backends: in production the public side is a frozen
+:class:`~repro.graph.frozen.FrozenGraph` and the private side a mutable
+:class:`LabeledGraph`.
 
 Semantics match :meth:`LabeledGraph.union`: vertex/edge union, label
 union on shared vertices, minimum weight on shared edges.  The view is a
@@ -16,10 +20,11 @@ snapshot-by-reference: mutations of the underlying graphs show through
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
 
 from repro.exceptions import VertexNotFoundError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.protocol import GraphLike
 
 __all__ = ["CombinedView", "combine_lazy"]
 
@@ -35,7 +40,7 @@ class CombinedView:
     __slots__ = ("public", "private", "name")
 
     def __init__(
-        self, public: LabeledGraph, private: LabeledGraph, name: str = ""
+        self, public: GraphLike, private: GraphLike, name: str = ""
     ) -> None:
         self.public = public
         self.private = private
@@ -177,11 +182,11 @@ class CombinedView:
         return self.public.union(self.private, name=self.name)
 
     def stats(self) -> Mapping[str, float]:
-        """Tab.-V-style statistics of the union."""
+        """Tab.-V-style statistics of the union (uniformly ``float``)."""
         return {
-            "num_vertices": self.num_vertices,
-            "num_edges": self.num_edges,
-            "num_labels": len(self.label_universe()),
+            "num_vertices": float(self.num_vertices),
+            "num_edges": float(self.num_edges),
+            "num_labels": float(len(self.label_universe())),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -192,7 +197,7 @@ class CombinedView:
 
 
 def combine_lazy(
-    public: LabeledGraph, private: LabeledGraph, name: str = ""
+    public: GraphLike, private: GraphLike, name: str = ""
 ) -> CombinedView:
     """A zero-copy combined view of ``G ⊕ G'`` (read-only)."""
     return CombinedView(public, private, name)

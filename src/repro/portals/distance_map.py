@@ -25,7 +25,8 @@ import heapq
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.labeled_graph import Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import INF, dijkstra
 
 __all__ = [
@@ -97,7 +98,7 @@ class PortalDistanceMap:
 
 
 def all_pairs_portal_distances(
-    graph: LabeledGraph, portals: Iterable[Vertex]
+    graph: "GraphLike", portals: Iterable[Vertex]
 ) -> PortalDistanceMap:
     """All-pairs shortest distances between ``portals`` within ``graph``.
 

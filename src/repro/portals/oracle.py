@@ -16,9 +16,10 @@ Two layers:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import INF, dijkstra, dijkstra_ordered
 from repro.portals.distance_map import PortalDistanceMap
 from repro.portals.keyword_map import (
@@ -69,7 +70,7 @@ class ExactPublicDistance:
 
     __slots__ = ("graph", "_cache")
 
-    def __init__(self, graph: LabeledGraph) -> None:
+    def __init__(self, graph: "GraphLike") -> None:
         self.graph = graph
         self._cache: Dict[Vertex, Dict[Vertex, float]] = {}
 

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import QueryError
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.protocol import GraphLike
 from repro.semantics.answers import Match, RootedAnswer
 
 __all__ = ["TreeAnswer", "banks_search", "keyword_expansion_with_paths"]
@@ -32,7 +33,7 @@ class TreeAnswer(RootedAnswer):
 
     edges: Set[FrozenSet[Vertex]] = field(default_factory=set)
 
-    def tree_weight(self, graph: LabeledGraph) -> float:
+    def tree_weight(self, graph: "GraphLike") -> float:
         """Total weight of the answer tree's edges (BANKS's tree cost)."""
         return sum(graph.weight(*tuple(e)) for e in self.edges)
 
@@ -43,7 +44,7 @@ class TreeAnswer(RootedAnswer):
             out.update(e)
         return out
 
-    def is_connected_tree(self, graph: LabeledGraph) -> bool:
+    def is_connected_tree(self, graph: "GraphLike") -> bool:
         """Whether the edge set really connects root to every match.
 
         Used by validation/tests; the construction guarantees it, but a
@@ -74,7 +75,7 @@ class TreeAnswer(RootedAnswer):
 
 
 def keyword_expansion_with_paths(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     origins: Iterable[Vertex],
     tau: float,
 ) -> Tuple[Dict[Vertex, Match], Dict[Vertex, Optional[Vertex]]]:
@@ -109,7 +110,7 @@ def keyword_expansion_with_paths(
 
 
 def banks_search(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     keywords: Sequence[Label],
     tau: float,
     k: int = 10,

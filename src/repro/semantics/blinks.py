@@ -20,7 +20,8 @@ import heapq
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import QueryError
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.protocol import GraphLike
 from repro.semantics.answers import Match, RootedAnswer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -30,7 +31,7 @@ __all__ = ["blinks_search", "keyword_expansion"]
 
 
 def keyword_expansion(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     origins: Iterable[Vertex],
     tau: float,
     budget: Optional["QueryBudget"] = None,
@@ -66,7 +67,7 @@ def keyword_expansion(
 
 
 def blinks_search(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     keywords: Sequence[Label],
     tau: float,
     k: int = 10,

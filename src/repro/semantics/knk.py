@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Iterable, Optional, Set
 
 from repro.exceptions import QueryError
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import dijkstra_ordered
 from repro.semantics.answers import KnkAnswer, Match
 
@@ -21,7 +22,7 @@ __all__ = ["knk_search"]
 
 
 def knk_search(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     keyword: Label,
     k: int,

@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Set
 
 from repro.exceptions import QueryError
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import dijkstra_ordered
 from repro.semantics.answers import KnkAnswer, Match
 
@@ -27,7 +28,7 @@ _MODES = ("and", "or")
 
 
 def match_predicate(
-    graph: LabeledGraph, keywords: Sequence[Label], mode: str
+    graph: "GraphLike", keywords: Sequence[Label], mode: str
 ):
     """The vertex-match test for a multi-keyword k-nk query."""
     keyword_set = frozenset(keywords)
@@ -39,7 +40,7 @@ def match_predicate(
 
 
 def knk_multi_search(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     source: Vertex,
     keywords: Sequence[Label],
     k: int,

@@ -34,7 +34,8 @@ from typing import (
 )
 
 from repro.exceptions import QueryError
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import INF
 from repro.semantics.answers import Match, RootedAnswer
 
@@ -63,7 +64,7 @@ class NeighborLists:
 
 
 def build_neighbor_lists(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     candidates: Dict[Label, Set[Vertex]],
     tau: float,
     m: int,
@@ -140,7 +141,7 @@ def _find_top_answer(
 
 
 def rclique_search(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     keywords: Sequence[Label],
     tau: float,
     k: int = 10,
@@ -259,7 +260,7 @@ def rclique_search(
     return results
 
 
-def _graph_radius_bound(graph: LabeledGraph) -> float:
+def _graph_radius_bound(graph: "GraphLike") -> float:
     """A safe Dijkstra cutoff covering any shortest path in ``graph``.
 
     Sum of all edge weights upper-bounds every simple path; used only for

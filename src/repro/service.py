@@ -42,7 +42,9 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.core.framework import PPKWS, QueryOptions
+from repro.core.persist import load_index, save_index
 from repro.exceptions import ReproError, ServiceOverloadedError
+from repro.graph.frozen import freeze
 from repro.graph.labeled_graph import LabeledGraph
 from repro.semantics.answers import KnkAnswer, RootedAnswer
 
@@ -156,13 +158,43 @@ class PPKWSService:
     # ------------------------------------------------------------------
     # administration
     # ------------------------------------------------------------------
-    def create_network(self, name: str, public: LabeledGraph) -> None:
-        """Register a public graph under ``name`` and build its index."""
+    def create_network(
+        self,
+        name: str,
+        public: LabeledGraph,
+        index_path: Optional[str] = None,
+    ) -> None:
+        """Register a public graph under ``name`` and build its index.
+
+        ``index_path`` enables index persistence: an existing file there
+        is loaded instead of rebuilding the PADS/KPADS sketches (the only
+        expensive artifact), and after a fresh build the index is saved
+        there for the next start.  A missing, corrupt or mismatched file
+        (e.g. the graph changed since it was written) silently falls back
+        to a fresh build that overwrites it — persistence is a cache,
+        never a correctness risk.
+        """
         if name in self._engines:
             raise ReproError(f"network {name!r} already exists")
-        self._engines[name] = PPKWS(
-            public, sketch_k=self._sketch_k, options=self._options
+        index = None
+        frozen_public = freeze(public)
+        if index_path is not None:
+            try:
+                index = load_index(frozen_public, index_path)
+            except FileNotFoundError:
+                index = None
+            except (ReproError, OSError, ValueError, KeyError, TypeError):
+                # Corrupt or stale index file: rebuild below and replace it.
+                index = None
+        engine = PPKWS(
+            frozen_public,
+            sketch_k=self._sketch_k,
+            options=self._options,
+            index=index,
         )
+        if index_path is not None and index is None:
+            save_index(engine.index, index_path)
+        self._engines[name] = engine
 
     def drop_network(self, name: str) -> None:
         """Forget a network and all its attachments."""
@@ -315,7 +347,9 @@ class PPKWSService:
     def _op_create_network(self, request: Dict[str, Any]) -> Dict[str, Any]:
         _require(request, "network")
         public = _graph_from_request(request, "public")
-        self.create_network(request["network"], public)
+        self.create_network(
+            request["network"], public, index_path=request.get("index_path")
+        )
         return {"status": "ok", "network": request["network"]}
 
     def _op_attach(self, request: Dict[str, Any]) -> Dict[str, Any]:

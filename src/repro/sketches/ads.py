@@ -12,20 +12,21 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.labeled_graph import Vertex
+from repro.graph.protocol import GraphLike
 from repro.sketches.base import DistanceSketch, build_sketch_from_ranks
 
 __all__ = ["build_ads", "random_ranks"]
 
 
-def random_ranks(graph: LabeledGraph, seed: Optional[int] = None) -> Dict[Vertex, float]:
+def random_ranks(graph: "GraphLike", seed: Optional[int] = None) -> Dict[Vertex, float]:
     """Uniform random priorities in [0, 1], deterministic per ``seed``."""
     rng = random.Random(seed)
     return {v: rng.random() for v in graph.vertices()}
 
 
 def build_ads(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     k: int = 2,
     seed: Optional[int] = None,
 ) -> DistanceSketch:

@@ -11,16 +11,32 @@ descending priority; from each, run a *pruned* Dijkstra that inserts the
 center into the sketch of every visited vertex ``u`` unless ``u`` already
 holds ``k`` centers at distance ``<= d`` (in which case the traversal does
 not expand through ``u``).  The expected sketch size is ``O(k ln |V|)``.
+
+The builder accepts any :class:`~repro.graph.protocol.GraphLike` backend.
+On a :class:`~repro.graph.frozen.FrozenGraph` (the production public
+graph) the whole of Algo 6 runs over interned integer ids with flat CSR
+neighbor scans and bare ``(distance, id)`` heap entries; the resulting
+sketches are translated back to vertex keys, so
+:class:`DistanceSketch` and the persistence layer are backend-agnostic.
+The pruned traversal's output is independent of heap tie order (each
+vertex's coverage test only depends on previously processed centers), so
+both paths produce identical sketches.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+import itertools
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import IndexBuildError
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.frozen import FrozenGraph
+from repro.graph.labeled_graph import Vertex
 from repro.graph.traversal import INF
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.protocol import GraphLike
 
 __all__ = ["DistanceSketch", "build_sketch_from_ranks"]
 
@@ -124,7 +140,7 @@ class DistanceSketch:
 
 
 def build_sketch_from_ranks(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     ranks: Mapping[Vertex, float],
     k: int,
     kind: str = "sketch",
@@ -143,6 +159,9 @@ def build_sketch_from_ranks(
         within distance ``d`` of ``u``.
     tie_break:
         Optional deterministic total order used when priorities tie.
+        Defaults to vertex iteration order on both backends (interning
+        order on a frozen graph), so the two backends pick centers in
+        the same sequence.
     """
     if k < 1:
         raise IndexBuildError(f"sketch parameter k must be >= 1, got {k}")
@@ -152,11 +171,12 @@ def build_sketch_from_ranks(
             f"ranks missing for {len(missing)} vertices (e.g. {missing[0]!r})"
         )
 
+    if isinstance(graph, FrozenGraph):
+        return _build_sketch_frozen(graph, ranks, k, kind, tie_break)
+
     entries: Dict[Vertex, Dict[Vertex, float]] = {v: {} for v in graph.vertices()}
     # Per-vertex sorted list of distances already in the sketch; used for
     # the "< k entries with distance <= d" test via binary search.
-    import bisect
-
     loaded: Dict[Vertex, List[float]] = {v: [] for v in graph.vertices()}
 
     if tie_break is None:
@@ -164,8 +184,6 @@ def build_sketch_from_ranks(
     order = sorted(
         graph.vertices(), key=lambda v: (-ranks[v], tie_break.get(v, 0))
     )
-
-    import itertools
 
     for center in order:
         # Pruned Dijkstra from the candidate center.
@@ -188,4 +206,65 @@ def build_sketch_from_ranks(
             for nbr, w in graph.neighbor_items(u):
                 if nbr not in settled:
                     heapq.heappush(heap, (d + w, next(counter), nbr))
+    return DistanceSketch(entries, k, kind)
+
+
+def _build_sketch_frozen(
+    graph: FrozenGraph,
+    ranks: Mapping[Vertex, float],
+    k: int,
+    kind: str,
+    tie_break: Optional[Mapping[Vertex, int]],
+) -> DistanceSketch:
+    """Algo 6 over interned ids and flat CSR arrays (same output).
+
+    The transient ``tolist`` copies are amortized over the ``n`` pruned
+    traversals of the build; plain-list indexing is markedly faster than
+    ``array`` element access in the inner relaxation loop.
+    """
+    indptr_a, indices_a, weights_a = graph.csr()
+    indptr = indptr_a.tolist()
+    indices = indices_a.tolist()
+    weights = weights_a.tolist()
+    vx = graph.vertex_table
+    n = len(vx)
+    rank_of = [ranks[v] for v in vx]
+    if tie_break is None:
+        order = sorted(range(n), key=lambda i: (-rank_of[i], i))
+    else:
+        order = sorted(
+            range(n), key=lambda i: (-rank_of[i], tie_break.get(vx[i], 0))
+        )
+
+    entries_ids: List[Dict[int, float]] = [{} for _ in range(n)]
+    loaded: List[List[float]] = [[] for _ in range(n)]
+    # Per-center settled set as a version-stamp array: stamp[u] == step
+    # marks u settled for the current center without any hashing and
+    # without an O(n) reset between centers.
+    stamp = [0] * n
+    heappop, heappush = heapq.heappop, heapq.heappush
+    bisect_right, insort = bisect.bisect_right, bisect.insort
+
+    for step, center in enumerate(order, 1):
+        heap: List[Tuple[float, int]] = [(0.0, center)]
+        while heap:
+            d, u = heappop(heap)
+            if stamp[u] == step:
+                continue
+            stamp[u] = step
+            bucket = loaded[u]
+            covered = bisect_right(bucket, d)
+            if covered >= k:
+                continue
+            entries_ids[u][center] = d
+            insort(bucket, d)
+            for pos in range(indptr[u], indptr[u + 1]):
+                nbr = indices[pos]
+                if stamp[nbr] != step:
+                    heappush(heap, (d + weights[pos], nbr))
+
+    entries: Dict[Vertex, Dict[Vertex, float]] = {
+        vx[i]: {vx[c]: d for c, d in sketch.items()}
+        for i, sketch in enumerate(entries_ids)
+    }
     return DistanceSketch(entries, k, kind)

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.graph.labeled_graph import Label, Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import INF
 from repro.sketches.base import DistanceSketch
 
@@ -127,7 +128,7 @@ class KeywordSketch:
 
 
 def build_kpads(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     pads: DistanceSketch,
     keywords: Optional[Iterable[Label]] = None,
     per_center: int = 4,

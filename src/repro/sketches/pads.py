@@ -9,9 +9,10 @@ guarantee (Lemma V.1, ``c = ceil(ln|V| / ln k)``).
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.labeled_graph import Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.pagerank import pagerank
 from repro.sketches.base import DistanceSketch, build_sketch_from_ranks
 
@@ -19,7 +20,7 @@ __all__ = ["build_pads", "approximation_factor"]
 
 
 def build_pads(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     k: int = 2,
     ranks: Optional[Mapping[Vertex, float]] = None,
     alpha: float = 0.85,

@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from repro.graph.labeled_graph import LabeledGraph, Vertex
+from repro.graph.protocol import GraphLike
 from repro.graph.traversal import INF, dijkstra
 from repro.sketches.base import DistanceSketch
 
@@ -42,7 +42,7 @@ class SketchQuality:
 
 
 def measure_quality(
-    graph: LabeledGraph,
+    graph: "GraphLike",
     sketch: DistanceSketch,
     num_pairs: int = 1000,
     seed: Optional[int] = None,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import PartialAnswer
 from repro.core.partial import KeywordIndicator, PairIndicator, PartialKnkAnswer

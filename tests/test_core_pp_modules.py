@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import PPKWS, CompletionCache, PublicIndex, QueryOptions
+from repro.core import PPKWS, CompletionCache
 from repro.core.pp_blinks import peval_blinks
 from repro.core.pp_rclique import peval_rclique
 from repro.core.pp_knk import peval_knk

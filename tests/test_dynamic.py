@@ -14,9 +14,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import PPKWS, DynamicPrivateGraph, PublicIndex
+from repro.core import PPKWS, DynamicPrivateGraph
 from repro.exceptions import GraphError
-from repro.graph import INF, LabeledGraph, combine, dijkstra
+from repro.graph import INF, LabeledGraph, dijkstra
 from tests.conftest import random_connected_graph
 
 

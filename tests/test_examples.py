@@ -8,10 +8,8 @@ catch API drift that would break the documented entry points.
 from __future__ import annotations
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

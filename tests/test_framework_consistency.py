@@ -113,3 +113,24 @@ def test_rclique_distance_guarantees(seed):
             # completion witness, so restrict to non-portal privates
             if m.vertex in priv and m.vertex not in portals:
                 assert m.distance == pytest.approx(exact[m.vertex])
+
+def test_witness_repair_uses_combined_portal_map():
+    """Regression: a portal-rooted answer whose only qualifying witness is
+    another portal reachable at the recorded distance *only via the Algo-7
+    combined portal map* (both the private-only and public-only routes are
+    longer) must survive requalification.  Seed 1280 exhibits this: root 28
+    completes both keywords through public witnesses, and the equal-distance
+    private-side swap target is portal 1 with dc(28, 1) = 3 while
+    d'(28, 1) = d_pub(28, 1) = 4."""
+    pub, priv = _instance(1280)
+    engine = _exact_engine(pub)
+    att = engine.attach("u", priv)
+    assert att.portal_map.get(28, 1) < min(
+        att.private_portal_map.get(28, 1),
+        engine.index.provider().vertex_distance(28, 1),
+    )
+    pp_roots = {a.root for a in engine.blinks("u", ["a", "b"], 4.0, k=10_000).answers}
+    base = query_model_m2(pub, priv, "blinks", ["a", "b"], 4.0, k=10_000)
+    for ans in base:
+        if ans.root in priv:
+            assert ans.root in pp_roots, ans

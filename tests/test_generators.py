@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.exceptions import DatasetError
 from repro.graph import (
-    LabeledGraph,
     assign_zipf_labels,
     barabasi_albert_graph,
     community_graph,

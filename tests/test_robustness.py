@@ -18,7 +18,6 @@ from repro.exceptions import (
     DeadlineExceededError,
     GraphError,
     IndexBuildError,
-    QueryError,
 )
 from repro.graph import LabeledGraph, combine, dijkstra, load_graph, save_graph
 from repro.semantics import blinks_search, knk_search

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import QueryError
-from repro.graph import LabeledGraph, combine_lazy, dijkstra, path_weight
+from repro.graph import LabeledGraph, combine_lazy, dijkstra
 from repro.semantics import banks_search, blinks_search
 from repro.semantics.banks import keyword_expansion_with_paths
 from tests.conftest import random_connected_graph

@@ -6,7 +6,7 @@ import pytest
 
 from repro import validate_knk_answer, validate_rooted_answer
 from repro.core import PPKWS
-from repro.graph import LabeledGraph, combine
+from repro.graph import combine
 from repro.semantics import KnkAnswer, Match, RootedAnswer
 
 
