@@ -1,0 +1,89 @@
+"""Observability fast-path micro-benchmark.
+
+The pipeline instrumentation (:mod:`repro.obs.hooks`) must be free when
+unused: with no registry installed every query pays a single
+``installed() is None`` check at pipeline exit — never per-expansion
+work.  This benchmark runs the Fig.-6 Blinks workload twice — with
+observability uninstalled vs a live :class:`MetricsRegistry` (which pays
+histogram + counter updates per query) — and asserts the *uninstalled*
+path does not regress against the instrumented one by more than the
+allowed overhead margin.
+
+Mirrors ``test_budget_overhead.py``: the check is one-sided, so the
+instrumentation may cost something, but opting out must remain (close
+to) free.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+
+from benchmarks.conftest import STRICT, emit
+from repro import obs
+from repro.bench.reporting import write_report
+from repro.datasets.queries import generate_keyword_queries
+from repro.obs import MetricsRegistry
+
+TAU = 5.0
+NUM_QUERIES = 8
+ROUNDS = 5
+# no-registry median must stay within 5% of the instrumented median
+MAX_OVERHEAD = 1.05
+
+
+def _run_workload(engine, owner, queries) -> float:
+    start = time.perf_counter()
+    for q in queries:
+        engine.blinks(owner, list(q.keywords), q.tau, k=10)
+    return time.perf_counter() - start
+
+
+def test_obs_fast_path_overhead(setups, benchmark):
+    setup = setups("ppdblp")
+    queries = generate_keyword_queries(
+        setup.dataset.public, setup.private,
+        num_queries=NUM_QUERIES, tau=TAU, seed=77,
+    )
+    registry = MetricsRegistry()
+    obs.uninstall()
+    # interleave variants so drift (caches, frequency scaling) hits both
+    plain_times, instrumented_times = [], []
+    _run_workload(setup.engine, setup.owner, queries)  # warm-up
+    try:
+        for _ in range(ROUNDS):
+            obs.uninstall()
+            plain_times.append(
+                _run_workload(setup.engine, setup.owner, queries)
+            )
+            obs.install(registry)
+            instrumented_times.append(
+                _run_workload(setup.engine, setup.owner, queries)
+            )
+    finally:
+        obs.uninstall()
+    plain, instrumented = median(plain_times), median(instrumented_times)
+    ratio = plain / instrumented if instrumented else 1.0
+
+    observed = registry.histogram(
+        "ppkws_step_seconds", labels={"pipeline": "blinks", "step": "peval"}
+    )
+    report = (
+        "Observability fast-path overhead (Blinks, ppdblp)\n"
+        f"  no registry       median: {plain * 1000:8.2f} ms\n"
+        f"  registry installed median: {instrumented * 1000:8.2f} ms\n"
+        f"  none/instrumented ratio: {ratio:.3f} (must be < {MAX_OVERHEAD})\n"
+        f"  samples recorded: {observed.count if observed else 0}\n"
+    )
+    emit(report)
+    write_report("obs_overhead", report)
+
+    benchmark.pedantic(
+        lambda: _run_workload(setup.engine, setup.owner, queries),
+        rounds=1, iterations=1,
+    )
+    # the instrumented rounds really did record
+    assert observed is not None
+    assert observed.count == ROUNDS * NUM_QUERIES
+    if STRICT:
+        assert ratio < MAX_OVERHEAD, report

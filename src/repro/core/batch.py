@@ -36,6 +36,7 @@ from repro.core.pp_rclique import CompletionCache, pp_rclique_query
 from repro.datasets.queries import KeywordQuery, KnkQuery
 from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, Vertex
+from repro.obs import observe_batch_cache
 
 __all__ = ["PersistentCompletionCache", "BatchSession", "BatchBudget"]
 
@@ -126,16 +127,29 @@ class BatchSession:
         )
 
     # ------------------------------------------------------------------
+    def _cache_marks(self) -> tuple:
+        return (self.cache.hits, self.cache.misses)
+
+    def _observe_cache(self, marks: tuple) -> None:
+        """Report this query's cache traffic to an installed registry."""
+        observe_batch_cache(
+            self.cache.hits - marks[0], self.cache.misses - marks[1]
+        )
+
     def blinks(
         self, keywords: Sequence[Label], tau: float, k: int = 10,
         require_public_private: bool = True,
         budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """One Blinks query through the shared cache."""
-        return pp_blinks_query(
-            self.engine, self.attachment, list(keywords), tau, k,
-            require_public_private, cache=self.cache, budget=budget,
-        )
+        marks = self._cache_marks()
+        try:
+            return pp_blinks_query(
+                self.engine, self.attachment, list(keywords), tau, k,
+                require_public_private, cache=self.cache, budget=budget,
+            )
+        finally:
+            self._observe_cache(marks)
 
     def rclique(
         self, keywords: Sequence[Label], tau: float, k: int = 10,
@@ -143,20 +157,28 @@ class BatchSession:
         budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """One r-clique query through the shared cache."""
-        return pp_rclique_query(
-            self.engine, self.attachment, list(keywords), tau, k,
-            require_public_private, cache=self.cache, budget=budget,
-        )
+        marks = self._cache_marks()
+        try:
+            return pp_rclique_query(
+                self.engine, self.attachment, list(keywords), tau, k,
+                require_public_private, cache=self.cache, budget=budget,
+            )
+        finally:
+            self._observe_cache(marks)
 
     def knk(
         self, source: Vertex, keyword: Label, k: int,
         budget: Optional[QueryBudget] = None,
     ) -> KnkQueryResult:
         """One k-nk query through the shared cache."""
-        return pp_knk_query(
-            self.engine, self.attachment, source, keyword, k,
-            cache=self.cache, budget=budget,
-        )
+        marks = self._cache_marks()
+        try:
+            return pp_knk_query(
+                self.engine, self.attachment, source, keyword, k,
+                cache=self.cache, budget=budget,
+            )
+        finally:
+            self._observe_cache(marks)
 
     # ------------------------------------------------------------------
     def run_keyword_queries(
@@ -212,6 +234,12 @@ class BatchSession:
     def cache_misses(self) -> int:
         """Total cache misses across the session."""
         return self.cache.misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / lookups across the session (0.0 before any lookup)."""
+        total = self.cache.hits + self.cache.misses
+        return self.cache.hits / total if total else 0.0
 
     def invalidate(self) -> None:
         """Drop cached lookups (call after mutating the private graph)."""

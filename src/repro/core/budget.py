@@ -202,14 +202,21 @@ exhausted (3 expansions performed)
         return (self._deadline - self._clock()) * 1000.0
 
     def expired(self) -> bool:
-        """Non-raising probe: would :meth:`checkpoint` raise right now?
+        """Non-raising probe: would :meth:`recheck` raise right now?
 
         Reads the clock directly (no amortization) — use between pipeline
         steps, not in inner loops.
+
+        The expansion comparison is deliberately strict (``>``) to match
+        :meth:`checkpoint`: a cap of ``N`` allows exactly ``N`` charged
+        expansions, so a query sitting *at* the cap is not expired.  (A
+        lenient ``>=`` here used to declare boundary queries expired at
+        step boundaries while in-loop checkpoints let them run, yielding
+        inconsistent ``interrupted_step`` reporting.)
         """
         if self._cancelled:
             return True
-        if self.max_expansions is not None and self.expansions >= self.max_expansions:
+        if self.max_expansions is not None and self.expansions > self.max_expansions:
             return True
         return self._deadline is not None and self._clock() > self._deadline
 

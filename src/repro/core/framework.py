@@ -22,6 +22,7 @@ M3 (= PPKWS).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -313,10 +314,21 @@ class PPKWS:
         self.public = self.index.graph
         self._provider = self.index.provider()
         self._attachments: Dict[str, Attachment] = {}
+        # Guards mutations of (and iteration over) the attachment map so
+        # attach/detach are safe while queries run on other threads.
+        # Single-key reads stay lock-free: dict lookups are atomic and
+        # queries hold the Attachment object itself, which is immutable.
+        self._attachments_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def attach(self, owner: str, private: LabeledGraph) -> Attachment:
-        """Attach a private graph: portal discovery + per-user maps."""
+        """Attach a private graph: portal discovery + per-user maps.
+
+        Thread-safe: concurrent attaches of the same owner are resolved
+        by an atomic check-and-insert — exactly one wins, the others
+        raise :class:`GraphError` (the early check merely fails fast
+        before the expensive map construction).
+        """
         if owner in self._attachments:
             raise GraphError(f"owner {owner!r} already attached")
         portals = portal_nodes(self.public, private)
@@ -341,14 +353,18 @@ class PPKWS:
             refined_portal_pairs=frozenset(refined),
             oracle=oracle,
         )
-        self._attachments[owner] = attachment
+        with self._attachments_lock:
+            if owner in self._attachments:
+                raise GraphError(f"owner {owner!r} already attached")
+            self._attachments[owner] = attachment
         return attachment
 
     def detach(self, owner: str) -> None:
-        """Drop an attachment (the user logged out)."""
-        if owner not in self._attachments:
-            raise GraphError(f"owner {owner!r} is not attached")
-        del self._attachments[owner]
+        """Drop an attachment (the user logged out).  Thread-safe."""
+        with self._attachments_lock:
+            if owner not in self._attachments:
+                raise GraphError(f"owner {owner!r} is not attached")
+            del self._attachments[owner]
 
     def attachment(self, owner: str) -> Attachment:
         """The per-user state for ``owner``."""
@@ -358,8 +374,13 @@ class PPKWS:
             raise GraphError(f"owner {owner!r} is not attached") from None
 
     def owners(self) -> List[str]:
-        """Attached owners."""
-        return list(self._attachments)
+        """Attached owners.
+
+        Takes the attachment lock: iterating a dict while another thread
+        attaches/detaches raises ``RuntimeError`` mid-listing otherwise.
+        """
+        with self._attachments_lock:
+            return list(self._attachments)
 
     # ------------------------------------------------------------------
     def make_budget(

@@ -26,6 +26,7 @@ from repro.exceptions import BudgetError
 from repro.graph.labeled_graph import Label
 from repro.graph.traversal import shortest_path
 from repro.graph.views import combine_lazy
+from repro.obs import observe_pipeline
 from repro.semantics.answers import RootedAnswer
 from repro.semantics.banks import TreeAnswer
 
@@ -46,13 +47,14 @@ def pp_banks_query(
 
     result = pp_blinks_query(
         engine, attachment, keywords, tau, k, require_public_private,
-        budget=budget,
+        budget=budget, obs_pipeline=None,  # observed below as "banks"
     )
     if result.degraded:
         # The budget expired during the Blinks pipeline: return the
         # salvaged rooted answers as-is.  Tree materialization runs
         # point-to-point searches on the combined view — exactly the
         # work a spent budget no longer pays for.
+        observe_pipeline("banks", result)
         return result
     view = combine_lazy(engine.public, attachment.private)
     trees: List[RootedAnswer] = []
@@ -79,12 +81,16 @@ def pp_banks_query(
             # answers as-is (ranked, but without edges / exact paths).
             salvaged = trees + list(result.answers[idx:])
             salvaged.sort(key=RootedAnswer.sort_key)
-            return QueryResult(
+            degraded = QueryResult(
                 salvaged, result.breakdown, result.counters,
                 degraded=True,
                 completed_steps=PIPELINE_STEPS,
                 interrupted_step="materialize",
             )
+            observe_pipeline("banks", degraded)
+            return degraded
         trees.append(tree)
     trees.sort(key=RootedAnswer.sort_key)
-    return QueryResult(trees, result.breakdown, result.counters)
+    final = QueryResult(trees, result.breakdown, result.counters)
+    observe_pipeline("banks", final)
+    return final

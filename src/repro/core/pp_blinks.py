@@ -37,6 +37,7 @@ from repro.core.pp_rclique import CompletionCache
 from repro.core.repair import try_requalify
 from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
+from repro.obs import observe_pipeline
 from repro.graph.traversal import INF
 from repro.semantics.answers import Match, RootedAnswer
 from repro.semantics.blinks import keyword_expansion
@@ -135,6 +136,7 @@ def pp_blinks_query(
     require_public_private: bool,
     cache: "CompletionCache | None" = None,
     budget: Optional[QueryBudget] = None,
+    obs_pipeline: Optional[str] = "blinks",
 ) -> QueryResult:
     """Run the full PEval -> ARefine -> AComplete pipeline for Blinks.
 
@@ -145,6 +147,11 @@ def pp_blinks_query(
     the query to the best answers completed so far (salvaged from the
     partial answers) instead of raising, with ``QueryResult.degraded``,
     ``completed_steps`` and ``interrupted_step`` recording what ran.
+
+    ``obs_pipeline`` labels the metrics this query records into an
+    installed :mod:`repro.obs` registry; wrappers that post-process the
+    result (PP-BANKS) pass ``None`` and observe the final result
+    themselves so queries are never double-counted.
     """
     if not keywords:
         raise QueryError("Blinks query needs at least one keyword")
@@ -196,15 +203,21 @@ def pp_blinks_query(
         setattr(breakdown, step, t.elapsed)
         answers = salvage_rooted_answers(partials.values(), tau, k)
         counters.final_answers = len(answers)
-        return QueryResult(
+        result = QueryResult(
             answers, breakdown, counters,
             degraded=True, completed_steps=tuple(completed), interrupted_step=step,
         )
+        if obs_pipeline is not None:
+            observe_pipeline(obs_pipeline, result)
+        return result
 
     answers.sort(key=RootedAnswer.sort_key)
     top = answers[:k]
     counters.final_answers = len(top)
-    return QueryResult(top, breakdown, counters)
+    result = QueryResult(top, breakdown, counters)
+    if obs_pipeline is not None:
+        observe_pipeline(obs_pipeline, result)
+    return result
 
 
 def _offset_sweep(

@@ -34,6 +34,7 @@ from repro.core.pp_rclique import CompletionCache
 from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.graph.traversal import INF, dijkstra_ordered
+from repro.obs import observe_pipeline
 from repro.semantics.answers import KnkAnswer, Match
 from repro.semantics.knk_multi import match_predicate
 
@@ -141,13 +142,17 @@ def pp_knk_multi_query(
         setattr(breakdown, step, t.elapsed)
         final = salvage_knk_answer(partial, k)
         counters.final_answers = len(final.matches)
-        return KnkQueryResult(
+        result = KnkQueryResult(
             final, breakdown, counters,
             degraded=True, completed_steps=tuple(completed), interrupted_step=step,
         )
+        observe_pipeline("knk_multi", result)
+        return result
 
     counters.final_answers = len(final.matches)
-    return KnkQueryResult(final, breakdown, counters)
+    result = KnkQueryResult(final, breakdown, counters)
+    observe_pipeline("knk_multi", result)
+    return result
 
 
 def _rarest_keyword(engine: PPKWS, keywords: Sequence[Label]) -> Label:

@@ -31,6 +31,7 @@ from repro.core.partial import PairIndicator, PartialAnswer, salvage_rooted_answ
 from repro.core.repair import try_requalify
 from repro.exceptions import BudgetError, QueryError
 from repro.graph.labeled_graph import Label, Vertex
+from repro.obs import observe_pipeline
 from repro.semantics.answers import RootedAnswer
 from repro.semantics.rclique import rclique_search
 
@@ -237,15 +238,19 @@ def pp_rclique_query(
         setattr(breakdown, step, t.elapsed)
         answers = salvage_rooted_answers(partials, tau, k)
         counters.final_answers = len(answers)
-        return QueryResult(
+        result = QueryResult(
             answers, breakdown, counters,
             degraded=True, completed_steps=tuple(completed), interrupted_step=step,
         )
+        observe_pipeline("rclique", result)
+        return result
 
     final.sort(key=RootedAnswer.sort_key)
     answers = final[:k]
     counters.final_answers = len(answers)
-    return QueryResult(answers, breakdown, counters)
+    result = QueryResult(answers, breakdown, counters)
+    observe_pipeline("rclique", result)
+    return result
 
 
 def _acomplete(

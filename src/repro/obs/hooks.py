@@ -1,0 +1,80 @@
+"""Instrumentation hooks called from the engine's hot layers.
+
+Each hook is one function call per *query* (never per inner-loop
+iteration) and returns immediately when no registry is installed, so the
+un-observed fast path pays a global read plus a ``None`` check — within
+noise of the pre-observability code (asserted by
+``benchmarks/test_obs_overhead.py``).
+
+The pipeline hook lives here rather than in the pipeline modules so the
+metric names stay in one catalogue:
+
+``ppkws_step_seconds{pipeline,step}``
+    Histogram of per-step wall time (PEval / ARefine / AComplete).
+``ppkws_pipeline_degraded_total{pipeline,interrupted_step}``
+    Queries whose budget expired mid-pipeline.
+``ppkws_query_work_total{pipeline,counter}``
+    The :class:`~repro.core.framework.QueryCounters` fields, summed.
+``ppkws_batch_cache_hits_total`` / ``ppkws_batch_cache_misses_total``
+    :class:`~repro.core.batch.BatchSession` completion-cache traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Any
+
+from repro.obs.registry import installed
+
+__all__ = ["observe_pipeline", "observe_batch_cache"]
+
+_STEPS = ("peval", "arefine", "acomplete")
+
+
+def observe_pipeline(pipeline: str, result: Any) -> None:
+    """Record one pipeline query result into the installed registry.
+
+    ``result`` is a :class:`~repro.core.framework.QueryResult` or
+    :class:`~repro.core.framework.KnkQueryResult`; duck-typing avoids an
+    import cycle (core imports obs, not vice versa).
+    """
+    registry = installed()
+    if registry is None:
+        return
+    breakdown = result.breakdown
+    for step in _STEPS:
+        registry.observe(
+            "ppkws_step_seconds",
+            getattr(breakdown, step),
+            labels={"pipeline": pipeline, "step": step},
+        )
+    counters = result.counters
+    for f in dataclass_fields(counters):
+        value = getattr(counters, f.name)
+        if value:
+            registry.inc(
+                "ppkws_query_work_total",
+                amount=value,
+                labels={"pipeline": pipeline, "counter": f.name},
+            )
+    if result.degraded:
+        registry.inc(
+            "ppkws_pipeline_degraded_total",
+            labels={
+                "pipeline": pipeline,
+                "interrupted_step": result.interrupted_step or "unknown",
+            },
+        )
+
+
+def observe_batch_cache(hits: int, misses: int) -> None:
+    """Record completion-cache traffic deltas from a batch query."""
+    if hits == 0 and misses == 0:
+        return
+    registry = installed()
+    if registry is None:
+        return
+    if hits:
+        registry.inc("ppkws_batch_cache_hits_total", amount=hits)
+    if misses:
+        registry.inc("ppkws_batch_cache_misses_total", amount=misses)

@@ -1,0 +1,74 @@
+"""Prometheus text-format rendering for :class:`MetricsRegistry`.
+
+No client library: the `exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ is a
+stable line protocol, and emitting it directly keeps the repo
+dependency-free.  An HTTP wrapper only needs::
+
+    from repro.obs import installed, render_prometheus
+    body = render_prometheus(installed())   # content-type text/plain
+
+Histograms render the conventional ``_bucket``/``_sum``/``_count``
+triplet with cumulative ``le`` buckets ending at ``+Inf``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _labels(key: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(value: float) -> str:
+    # Prometheus accepts floats everywhere; render integral values bare.
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def render_prometheus(registry: Optional[MetricsRegistry]) -> str:
+    """Render every series of ``registry`` in Prometheus text format.
+
+    ``None`` (observability off) renders to the empty string so callers
+    can expose the endpoint unconditionally.
+    """
+    if registry is None:
+        return ""
+    data = registry.collect()
+    lines: List[str] = []
+
+    for name in sorted(data["counters"]):
+        lines.append(f"# TYPE {name} counter")
+        for key in sorted(data["counters"][name]):
+            lines.append(f"{name}{_labels(key)} {_num(data['counters'][name][key])}")
+
+    for name in sorted(data["gauges"]):
+        lines.append(f"# TYPE {name} gauge")
+        for key in sorted(data["gauges"][name]):
+            lines.append(f"{name}{_labels(key)} {_num(data['gauges'][name][key])}")
+
+    for name in sorted(data["histograms"]):
+        lines.append(f"# TYPE {name} histogram")
+        for key in sorted(data["histograms"][name]):
+            hist = data["histograms"][name][key]
+            cumulative = hist.cumulative_counts()
+            for bound, count in zip(hist.buckets, cumulative):
+                le = 'le="%g"' % bound
+                lines.append(f"{name}_bucket{_labels(key, le)} {count}")
+            inf = 'le="+Inf"'
+            lines.append(f"{name}_bucket{_labels(key, inf)} {cumulative[-1]}")
+            lines.append(f"{name}_sum{_labels(key)} {repr(hist.sum)}")
+            lines.append(f"{name}_count{_labels(key)} {hist.count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,254 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+The ROADMAP's "heavy traffic" story needs eyes: the engine computes a
+:class:`~repro.core.framework.StepBreakdown` and
+:class:`~repro.core.framework.QueryCounters` on every query, but without
+an exporter those numbers die inside the result object.  This module is
+the sink: a :class:`MetricsRegistry` holds named counter / gauge /
+histogram families (Prometheus-style, with label sets), and the service,
+pipeline and batch layers record into whichever registry is *installed*.
+
+Design constraints, in order:
+
+1. **Near-zero cost when observability is off.**  Nothing is recorded
+   unless a registry has been installed (:func:`install`) or explicitly
+   handed to the service.  The instrumentation points all reduce to one
+   ``None`` check per *query* (not per inner-loop iteration), so the
+   un-instrumented hot paths are unchanged.
+2. **Thread-safe.**  The service facade advertises ``max_in_flight``
+   concurrent requests; every mutation of a metric family takes the
+   registry's lock.  Updates are a dict lookup plus a float add — the
+   lock is held for nanoseconds and is never held while user code runs.
+3. **No dependencies.**  Rendering to the Prometheus text format is a
+   pure-string affair (:mod:`repro.obs.prometheus`); no client library
+   is required.
+
+Example
+-------
+>>> from repro.obs import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.inc("requests_total", labels={"op": "blinks", "status": "ok"})
+>>> reg.observe("request_seconds", 0.003, labels={"op": "blinks"})
+>>> reg.value("requests_total", labels={"op": "blinks", "status": "ok"})
+1.0
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "HistogramValue",
+    "MetricsRegistry",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+#: Fixed latency buckets (seconds).  Chosen to straddle the repo's query
+#: latencies — sub-millisecond k-nk lookups up to multi-second adversarial
+#: Blinks sweeps — with roughly-logarithmic spacing, Prometheus-style.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: A label set frozen into a hashable, order-independent key.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, Any]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class HistogramValue:
+    """One histogram series: cumulative bucket counts plus sum/count."""
+
+    buckets: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative counts (one per bucket, then +Inf)."""
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """Named counter / gauge / histogram families with label sets.
+
+    All mutation and read methods are thread-safe.  Metric names follow
+    Prometheus conventions (``snake_case``, ``_total`` suffix on
+    counters) but nothing is enforced — this registry is also the
+    backing store for ad-hoc test instrumentation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[LabelKey, float]] = {}
+        self._gauges: Dict[str, Dict[LabelKey, float]] = {}
+        self._histograms: Dict[str, Dict[LabelKey, HistogramValue]] = {}
+        self._histogram_buckets: Dict[str, Tuple[float, ...]] = {}
+
+    # -- write side -----------------------------------------------------
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Add ``amount`` (default 1) to a counter series."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + amount
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Set a gauge series to ``value``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, Any]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        """Record ``value`` into a histogram series.
+
+        The bucket layout is fixed by the *first* observation of a
+        metric name; later ``buckets`` arguments are ignored so all
+        series of one family stay comparable.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            bounds = self._histogram_buckets.setdefault(name, tuple(buckets))
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = HistogramValue(bounds)
+            hist.observe(value)
+
+    # -- read side ------------------------------------------------------
+    def value(
+        self, name: str, labels: Optional[Dict[str, Any]] = None
+    ) -> float:
+        """Current value of a counter or gauge series (0.0 when absent)."""
+        key = _label_key(labels)
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].get(key, 0.0)
+            if name in self._gauges:
+                return self._gauges[name].get(key, 0.0)
+        return 0.0
+
+    def histogram(
+        self, name: str, labels: Optional[Dict[str, Any]] = None
+    ) -> Optional[HistogramValue]:
+        """The histogram series for ``name``/``labels`` (``None`` if absent)."""
+        with self._lock:
+            series = self._histograms.get(name)
+            if series is None:
+                return None
+            return series.get(_label_key(labels))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly dump of every series (for the ``metrics`` op)."""
+
+        def fmt(key: LabelKey) -> str:
+            return ",".join(f"{k}={v}" for k, v in key)
+
+        with self._lock:
+            out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+            for name, series in self._counters.items():
+                out["counters"][name] = {fmt(k): v for k, v in series.items()}
+            for name, series in self._gauges.items():
+                out["gauges"][name] = {fmt(k): v for k, v in series.items()}
+            for name, series in self._histograms.items():
+                out["histograms"][name] = {
+                    fmt(k): {
+                        "buckets": list(h.buckets),
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                    }
+                    for k, h in series.items()
+                }
+            return out
+
+    def collect(self) -> Dict[str, Dict[str, Dict[LabelKey, Any]]]:
+        """Raw family maps for renderers (copies; safe to iterate)."""
+        with self._lock:
+            return {
+                "counters": {n: dict(s) for n, s in self._counters.items()},
+                "gauges": {n: dict(s) for n, s in self._gauges.items()},
+                "histograms": {n: dict(s) for n, s in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop every series (tests)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._histogram_buckets.clear()
+
+
+# ----------------------------------------------------------------------
+# process-wide installation
+# ----------------------------------------------------------------------
+_installed: Optional[MetricsRegistry] = None
+_install_lock = threading.Lock()
+
+
+def install(registry: MetricsRegistry) -> Optional[MetricsRegistry]:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _installed
+    with _install_lock:
+        previous, _installed = _installed, registry
+    return previous
+
+
+def uninstall() -> Optional[MetricsRegistry]:
+    """Remove the installed registry; returns it (instrumentation goes dark)."""
+    global _installed
+    with _install_lock:
+        previous, _installed = _installed, None
+    return previous
+
+
+def installed() -> Optional[MetricsRegistry]:
+    """The process-wide registry, or ``None`` when observability is off."""
+    return _installed

@@ -1,0 +1,101 @@
+"""Per-query traces and the slow/degraded-query ring buffer.
+
+A :class:`QueryTrace` is the per-request record the service facade
+assembles after every ``execute`` call: which op ran for whom, how long
+each pipeline step took (from the existing
+:class:`~repro.core.framework.StepBreakdown`), the work counters
+(:class:`~repro.core.framework.QueryCounters`), how many budget
+expansions the query charged, whether it degraded and where, and — for
+failed requests — the error class.  Traces are what an operator pulls
+when a dashboard counter spikes: the aggregate said *something* is slow,
+the trace says *which query* and *which step*.
+
+:class:`TraceRing` keeps the most recent interesting traces (degraded,
+errored, or slower than the service's ``slow_query_ms``) in a bounded
+ring buffer — old entries are overwritten, memory stays O(capacity).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["QueryTrace", "TraceRing"]
+
+
+@dataclass
+class QueryTrace:
+    """One request's worth of observability, ready to serialize."""
+
+    op: str
+    status: str
+    duration_ms: float
+    network: Optional[str] = None
+    owner: Optional[str] = None
+    step_ms: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    expansions: Optional[int] = None
+    degraded: bool = False
+    completed_steps: Tuple[str, ...] = ()
+    interrupted_step: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict rendering (response payloads, the metrics op)."""
+        out: Dict[str, Any] = {
+            "op": self.op,
+            "status": self.status,
+            "duration_ms": self.duration_ms,
+        }
+        if self.network is not None:
+            out["network"] = self.network
+        if self.owner is not None:
+            out["owner"] = self.owner
+        if self.step_ms:
+            out["step_ms"] = dict(self.step_ms)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.expansions is not None:
+            out["expansions"] = self.expansions
+        if self.degraded:
+            out["degraded"] = True
+            out["completed_steps"] = list(self.completed_steps)
+            out["interrupted_step"] = self.interrupted_step
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class TraceRing:
+    """A bounded, thread-safe ring buffer of recent :class:`QueryTrace`."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: Deque[QueryTrace] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, trace: QueryTrace) -> None:
+        """Append a trace, evicting the oldest once at capacity."""
+        with self._lock:
+            self._ring.append(trace)
+            self._recorded += 1
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Most-recent-last list of trace dicts (a copy)."""
+        with self._lock:
+            return [t.to_dict() for t in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total traces ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._recorded

@@ -16,8 +16,10 @@ attachments + indexes) and executes plain-dict requests::
 Responses are plain dicts with ``status`` = ``"ok"`` / ``"degraded"`` /
 ``"error"`` — no library exception ever escapes :meth:`execute`, making
 the facade safe to expose to untrusted request producers.  Malformed
-requests get explicit ``"missing field 'keywords'"``-style messages
-rather than leaked engine internals.
+requests get explicit ``"missing field 'keywords'"``-style messages;
+unexpected internal failures are reported as ``"ExceptionClass: message"``
+(never a bare ``repr`` that leaks engine internals) and counted under
+the ``ppkws_internal_errors_total`` metric.
 
 Robustness contract:
 
@@ -33,19 +35,48 @@ Robustness contract:
 * Administration (``create_network`` / ``attach`` / ``detach`` /
   ``drop``) is reachable through :meth:`execute` too, so an RPC wrapper
   only needs the one entry point.
+* The registry and per-engine attachment maps are guarded by locks, so
+  admin ops are safe under the concurrency that ``max_in_flight``
+  advertises: concurrent creates/attaches of the same name resolve to
+  exactly one winner, and queries never observe a half-registered
+  network.
+
+Observability (see :mod:`repro.obs` and the README's catalogue):
+
+* Every request increments ``ppkws_requests_total{op,status}`` and
+  records a ``ppkws_request_seconds{op}`` latency histogram sample in
+  the service's metrics registry (the one passed to the constructor, or
+  the process-wide installed one).
+* Slow (``>= slow_query_ms``), degraded and errored requests land in a
+  bounded in-memory ring of :class:`~repro.obs.QueryTrace` records.
+* A ``{"op": "metrics"}`` request returns the metric snapshot, the
+  recent traces and a Prometheus text rendering; it bypasses admission
+  control so operators keep their eyes during overload.
+* Any query request may set ``"trace": true`` to receive its own
+  ``counters`` and ``trace`` (per-step timings, budget expansions,
+  degradation fields) in the response.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from dataclasses import asdict
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from repro.core.framework import PPKWS, QueryOptions
+from repro.core.framework import PIPELINE_STEPS, PPKWS, QueryOptions
 from repro.core.persist import load_index, save_index
 from repro.exceptions import ReproError, ServiceOverloadedError
 from repro.graph.frozen import freeze
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs import (
+    MetricsRegistry,
+    QueryTrace,
+    TraceRing,
+    installed,
+    render_prometheus,
+)
 from repro.semantics.answers import KnkAnswer, RootedAnswer
 
 __all__ = ["PPKWSService"]
@@ -140,6 +171,13 @@ class PPKWSService:
 
     ``max_in_flight`` caps concurrently executing requests; ``None``
     (the default) disables admission control.
+
+    ``registry`` receives this service's request metrics; when ``None``
+    the process-wide registry (:func:`repro.obs.install`) is used, and
+    when none is installed either, instrumentation reduces to a ``None``
+    check per request.  ``slow_query_ms`` is the latency above which an
+    otherwise-healthy request is recorded in the trace ring of size
+    ``trace_ring_size``.
     """
 
     def __init__(
@@ -147,13 +185,29 @@ class PPKWSService:
         sketch_k: int = 2,
         options: Optional[QueryOptions] = None,
         max_in_flight: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        slow_query_ms: float = 1000.0,
+        trace_ring_size: int = 128,
     ):
         self._sketch_k = sketch_k
         self._options = options
-        self._engines: Dict[str, PPKWS] = {}
+        #: name -> engine; ``None`` marks a reservation (build in flight)
+        self._engines: Dict[str, Optional[PPKWS]] = {}
+        #: guards every check-then-act on :attr:`_engines`
+        self._engines_lock = threading.Lock()
         self._max_in_flight = max_in_flight
         self._in_flight = 0
         self._admission_lock = threading.Lock()
+        self._registry = registry
+        self._slow_query_ms = slow_query_ms
+        self._traces = TraceRing(trace_ring_size)
+        #: per-thread scratch where query handlers deposit the result /
+        #: budget objects so ``execute`` can assemble the QueryTrace
+        self._tls = threading.local()
+
+    def _metrics_registry(self) -> Optional[MetricsRegistry]:
+        """The effective registry: constructor-injected, else installed."""
+        return self._registry if self._registry is not None else installed()
 
     # ------------------------------------------------------------------
     # administration
@@ -172,35 +226,69 @@ class PPKWSService:
         there for the next start.  A missing, corrupt or mismatched file
         (e.g. the graph changed since it was written) silently falls back
         to a fresh build that overwrites it — persistence is a cache,
-        never a correctness risk.
+        never a correctness risk.  An *unwritable* ``index_path`` is a
+        configuration error and raises :class:`ReproError` (the network
+        is not registered).
+
+        Thread-safe: the name is reserved under the registry lock before
+        the (expensive) index build starts, so concurrent creates of the
+        same name resolve to exactly one winner — the others fail with
+        ``"already exists"`` — without serializing builds of *different*
+        networks.
         """
-        if name in self._engines:
-            raise ReproError(f"network {name!r} already exists")
-        index = None
-        frozen_public = freeze(public)
-        if index_path is not None:
-            try:
-                index = load_index(frozen_public, index_path)
-            except FileNotFoundError:
-                index = None
-            except (ReproError, OSError, ValueError, KeyError, TypeError):
-                # Corrupt or stale index file: rebuild below and replace it.
-                index = None
-        engine = PPKWS(
-            frozen_public,
-            sketch_k=self._sketch_k,
-            options=self._options,
-            index=index,
-        )
-        if index_path is not None and index is None:
-            save_index(engine.index, index_path)
-        self._engines[name] = engine
+        with self._engines_lock:
+            if name in self._engines:
+                raise ReproError(f"network {name!r} already exists")
+            self._engines[name] = None  # reserve while we build
+        try:
+            index = None
+            frozen_public = freeze(public)
+            if index_path is not None:
+                try:
+                    index = load_index(frozen_public, index_path)
+                except FileNotFoundError:
+                    index = None
+                except (ReproError, OSError, ValueError, KeyError, TypeError):
+                    # Corrupt or stale index file: rebuild and replace it.
+                    index = None
+            engine = PPKWS(
+                frozen_public,
+                sketch_k=self._sketch_k,
+                options=self._options,
+                index=index,
+            )
+            if index_path is not None and index is None:
+                try:
+                    save_index(engine.index, index_path)
+                except OSError as exc:
+                    # An unwritable/invalid path is a caller error, not a
+                    # cache miss: surface it as a library error so the
+                    # facade's "no library exception escapes" contract
+                    # holds (OSError used to propagate out of execute).
+                    raise ReproError(
+                        f"cannot save index to {index_path!r}: {exc}"
+                    ) from exc
+        except BaseException:
+            with self._engines_lock:
+                self._engines.pop(name, None)  # release the reservation
+            raise
+        with self._engines_lock:
+            self._engines[name] = engine
+        registry = self._metrics_registry()
+        if registry is not None:
+            registry.set_gauge("ppkws_networks", len(self.networks()))
 
     def drop_network(self, name: str) -> None:
-        """Forget a network and all its attachments."""
-        if name not in self._engines:
-            raise ReproError(f"network {name!r} does not exist")
-        del self._engines[name]
+        """Forget a network and all its attachments.  Thread-safe."""
+        with self._engines_lock:
+            if self._engines.get(name) is None:
+                # Absent, or reserved by an in-flight create (not ours to
+                # drop until the create finishes).
+                raise ReproError(f"network {name!r} does not exist")
+            del self._engines[name]
+        registry = self._metrics_registry()
+        if registry is not None:
+            registry.set_gauge("ppkws_networks", len(self.networks()))
 
     def attach_user(self, network: str, owner: str, private: LabeledGraph) -> int:
         """Attach a user's private graph; returns the portal count."""
@@ -213,14 +301,19 @@ class PPKWSService:
         self._engine(network).detach(owner)
 
     def networks(self) -> List[str]:
-        """Registered network names."""
-        return sorted(self._engines)
+        """Registered network names (reservations excluded)."""
+        with self._engines_lock:
+            return sorted(n for n, e in self._engines.items() if e is not None)
 
     def _engine(self, network: str) -> PPKWS:
-        try:
-            return self._engines[network]
-        except KeyError:
-            raise ReproError(f"network {network!r} does not exist") from None
+        with self._engines_lock:
+            try:
+                engine = self._engines[network]
+            except KeyError:
+                raise ReproError(f"network {network!r} does not exist") from None
+        if engine is None:
+            raise ReproError(f"network {network!r} is still being created")
+        return engine
 
     # ------------------------------------------------------------------
     # request execution
@@ -243,39 +336,155 @@ class PPKWSService:
 
     def execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Execute one request dict; never raises library errors."""
+        started = time.perf_counter()
+        self._tls.ctx = ctx = {}
+        error_class: Optional[str] = None
+        internal_error = False
+        op = request.get("op") if isinstance(request, dict) else None
         try:
-            with self._admit():
-                op = request.get("op")
-                handler = self._HANDLERS.get(op)
-                if handler is None:
-                    return {
-                        "status": "error",
-                        "error": f"unknown op {op!r}; valid ops: "
-                                 f"{sorted(self._HANDLERS)}",
-                        "retryable": False,
-                    }
-                return handler(self, request)
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                response: Dict[str, Any] = {
+                    "status": "error",
+                    "error": f"unknown op {op!r}; valid ops: "
+                             f"{sorted(self._HANDLERS)}",
+                    "retryable": False,
+                }
+            elif op == "metrics":
+                # Observability must survive overload: no admission slot.
+                response = handler(self, request)
+            else:
+                with self._admit():
+                    response = handler(self, request)
         except ServiceOverloadedError as exc:
-            return {"status": "error", "error": str(exc), "retryable": True}
-        except (ReproError, KeyError, TypeError, ValueError) as exc:
-            return {
+            error_class = type(exc).__name__
+            response = {"status": "error", "error": str(exc), "retryable": True}
+        except ReproError as exc:
+            error_class = type(exc).__name__
+            response = {
                 "status": "error",
                 "error": str(exc) or repr(exc),
                 "retryable": False,
             }
+        except (KeyError, TypeError, ValueError, OSError, AttributeError) as exc:
+            # Unexpected internal failure.  A bare str() of e.g. KeyError
+            # is just the quoted key ("'collab'") — leaked engine
+            # internals rather than a message — so always prefix the
+            # exception class.
+            error_class = type(exc).__name__
+            internal_error = True
+            response = {
+                "status": "error",
+                "error": f"{error_class}: {exc}",
+                "retryable": False,
+            }
+        finally:
+            self._tls.ctx = None
+        self._observe_request(request, op, response, ctx, started,
+                              error_class, internal_error)
+        return response
+
+    # -- observability --------------------------------------------------
+    def _observe_request(
+        self,
+        request: Any,
+        op: Any,
+        response: Dict[str, Any],
+        ctx: Dict[str, Any],
+        started: float,
+        error_class: Optional[str],
+        internal_error: bool,
+    ) -> None:
+        """Record one finished request: metrics, trace ring, trace field.
+
+        Defensive by design: observability must never break the facade's
+        "no exception escapes" contract, so any failure here is swallowed
+        after marking the response.
+        """
+        try:
+            duration_ms = (time.perf_counter() - started) * 1000.0
+            status = response.get("status", "error")
+            op_label = op if isinstance(op, str) else repr(op)
+            trace = QueryTrace(
+                op=op_label,
+                status=status,
+                duration_ms=duration_ms,
+                error=error_class,
+            )
+            if isinstance(request, dict):
+                network = request.get("network")
+                owner = request.get("owner")
+                trace.network = network if isinstance(network, str) else None
+                trace.owner = owner if isinstance(owner, str) else None
+            result = ctx.get("result")
+            if result is not None:
+                trace.step_ms = {
+                    step: getattr(result.breakdown, step) * 1000.0
+                    for step in PIPELINE_STEPS
+                }
+                trace.counters = asdict(result.counters)
+                trace.degraded = result.degraded
+                trace.completed_steps = tuple(result.completed_steps)
+                trace.interrupted_step = result.interrupted_step
+            budget = ctx.get("budget")
+            if budget is not None:
+                trace.expansions = budget.expansions
+
+            if isinstance(request, dict) and request.get("trace"):
+                if result is not None:
+                    response["counters"] = dict(trace.counters)
+                response["trace"] = trace.to_dict()
+
+            if status != "ok" or duration_ms >= self._slow_query_ms:
+                self._traces.record(trace)
+
+            registry = self._metrics_registry()
+            if registry is not None:
+                registry.inc(
+                    "ppkws_requests_total",
+                    labels={"op": op_label, "status": status},
+                )
+                registry.observe(
+                    "ppkws_request_seconds",
+                    duration_ms / 1000.0,
+                    labels={"op": op_label},
+                )
+                if internal_error:
+                    registry.inc(
+                        "ppkws_internal_errors_total",
+                        labels={"error": error_class or "unknown"},
+                    )
+                if error_class == "ServiceOverloadedError":
+                    registry.inc("ppkws_rejected_total")
+                registry.set_gauge("ppkws_in_flight_requests", self._in_flight)
+        except Exception:  # pragma: no cover - defensive only
+            pass
+
+    def _stash(self, result: Any, budget: Any) -> None:
+        """Deposit query internals for :meth:`_observe_request`."""
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is not None:
+            ctx["result"] = result
+            ctx["budget"] = budget
+
+    def recent_traces(self) -> List[Dict[str, Any]]:
+        """The slow/degraded/errored query traces currently in the ring."""
+        return self._traces.snapshot()
 
     # -- handlers -------------------------------------------------------
     def _rooted_query(self, request: Dict[str, Any], method: str) -> Dict[str, Any]:
         _require(request, "network", "owner", "keywords")
         engine = self._engine(request["network"])
         run = getattr(engine, method)
+        budget = engine.make_budget(**_budget_args(request))
         result = run(
             request["owner"],
             list(request["keywords"]),
             float(request.get("tau", 5.0)),
             k=int(request.get("k", 10)),
-            **_budget_args(request),
+            budget=budget,
         )
+        self._stash(result, budget)
         out = _degradation_fields(result)
         out["answers"] = [_serialize_rooted(a) for a in result.answers]
         out["breakdown"] = {
@@ -297,13 +506,15 @@ class PPKWSService:
     def _op_knk(self, request: Dict[str, Any]) -> Dict[str, Any]:
         _require(request, "network", "owner", "source", "keyword")
         engine = self._engine(request["network"])
+        budget = engine.make_budget(**_budget_args(request))
         result = engine.knk(
             request["owner"],
             request["source"],
             request["keyword"],
             int(request.get("k", 10)),
-            **_budget_args(request),
+            budget=budget,
         )
+        self._stash(result, budget)
         out = _degradation_fields(result)
         out["answer"] = _serialize_knk(result.answer)
         return out
@@ -311,14 +522,16 @@ class PPKWSService:
     def _op_knk_multi(self, request: Dict[str, Any]) -> Dict[str, Any]:
         _require(request, "network", "owner", "source", "keywords")
         engine = self._engine(request["network"])
+        budget = engine.make_budget(**_budget_args(request))
         result = engine.knk_multi(
             request["owner"],
             request["source"],
             list(request["keywords"]),
             int(request.get("k", 10)),
             mode=request.get("mode", "and"),
-            **_budget_args(request),
+            budget=budget,
         )
+        self._stash(result, budget)
         out = _degradation_fields(result)
         out["answer"] = _serialize_knk(result.answer)
         return out
@@ -342,6 +555,16 @@ class PPKWSService:
                 "refined_portal_pairs": len(attachment.refined_portal_pairs) // 2,
             }
         return out
+
+    def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The observability op: snapshot + recent traces + Prometheus text."""
+        registry = self._metrics_registry()
+        return {
+            "status": "ok",
+            "metrics": registry.snapshot() if registry is not None else {},
+            "recent_traces": self._traces.snapshot(),
+            "prometheus": render_prometheus(registry),
+        }
 
     # -- admin handlers -------------------------------------------------
     def _op_create_network(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -375,6 +598,7 @@ class PPKWSService:
         "knk": _op_knk,
         "knk_multi": _op_knk_multi,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "create_network": _op_create_network,
         "attach": _op_attach,
         "detach": _op_detach,

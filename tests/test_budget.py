@@ -121,7 +121,33 @@ class TestQueryBudget:
         assert budget.expired()
         capped = QueryBudget(max_expansions=1)
         capped.checkpoint()
+        with pytest.raises(BudgetExhaustedError):
+            capped.checkpoint()
         assert capped.expired()
+
+    def test_expansion_cap_boundary_consistency(self):
+        """A query sitting *exactly* at the cap is not expired.
+
+        Regression: ``expired()`` used ``>=`` while ``checkpoint()``
+        raises on ``>``, so a boundary query was declared expired at
+        step boundaries (``expired()`` / ``recheck()`` probes) but never
+        in-loop — pipelines could report a different ``interrupted_step``
+        for the same exhaustion point depending on where they probed.
+        """
+        budget = QueryBudget(max_expansions=5)
+        for _ in range(5):
+            budget.checkpoint()
+        assert budget.expansions == 5
+        # At the cap: the in-loop probe (recheck -> checkpoint(cost=0))
+        # and the boundary probe (expired) must agree: not expired.
+        assert not budget.expired()
+        budget.recheck()  # must not raise either
+        # One past the cap: both must agree it is spent.
+        with pytest.raises(BudgetExhaustedError):
+            budget.checkpoint()
+        assert budget.expired()
+        with pytest.raises(BudgetExhaustedError):
+            budget.recheck()
 
     def test_elapsed_and_remaining(self):
         clock = FakeClock()

@@ -192,6 +192,139 @@ class TestDeadlinesAndDegradation:
         assert resp["status"] == "degraded"
 
 
+class TestObservability:
+    def test_degraded_request_is_fully_observable(self, service):
+        """Acceptance: a degraded blinks request increments
+        ``ppkws_requests_total{op="blinks",status="degraded"}``, records a
+        latency histogram sample, and lands in the trace ring."""
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        service._registry = reg
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0, "deadline_ms": 0,
+        })
+        assert resp["status"] == "degraded"
+        assert reg.value(
+            "ppkws_requests_total",
+            labels={"op": "blinks", "status": "degraded"},
+        ) == 1.0
+        hist = reg.histogram("ppkws_request_seconds", labels={"op": "blinks"})
+        assert hist is not None and hist.count == 1
+        traces = service.recent_traces()
+        assert len(traces) == 1
+        trace = traces[0]
+        assert trace["op"] == "blinks" and trace["status"] == "degraded"
+        assert trace["degraded"] is True
+        assert trace["interrupted_step"] == "peval"
+        assert trace["network"] == "net" and trace["owner"] == "bob"
+
+    def test_ok_requests_counted_but_not_ringed(self, service):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        service._registry = reg
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0,
+        })
+        assert resp["status"] == "ok"
+        assert reg.value(
+            "ppkws_requests_total", labels={"op": "blinks", "status": "ok"}
+        ) == 1.0
+        assert service.recent_traces() == []  # fast + healthy: not ringed
+
+    def test_slow_queries_are_ringed(self, small_public_private):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2, slow_query_ms=0.0)  # everything is slow
+        svc.create_network("n", pub)
+        svc.attach_user("n", "bob", priv)
+        resp = svc.execute({"op": "stats", "network": "n"})
+        assert resp["status"] == "ok"
+        assert any(t["op"] == "stats" for t in svc.recent_traces())
+
+    def test_error_requests_are_counted_and_ringed(self, service):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        service._registry = reg
+        service.execute({"op": "blinks", "network": "net", "owner": "bob"})
+        assert reg.value(
+            "ppkws_requests_total", labels={"op": "blinks", "status": "error"}
+        ) == 1.0
+        (trace,) = service.recent_traces()
+        assert trace["status"] == "error"
+        assert trace["error"] == "ReproError"
+
+    def test_trace_flag_adds_counters_and_trace(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0, "max_expansions": 10**9,
+            "trace": True,
+        })
+        assert resp["status"] == "ok"
+        assert set(resp["counters"]) == {
+            "partial_answers", "refinement_checks", "refinements_applied",
+            "completion_lookups", "completion_cache_hits",
+            "answers_pruned", "final_answers",
+        }
+        trace = resp["trace"]
+        assert trace["op"] == "blinks"
+        assert set(trace["step_ms"]) == {"peval", "arefine", "acomplete"}
+        assert trace["expansions"] > 0  # budget object was threaded through
+        assert trace["duration_ms"] >= 0.0
+
+    def test_no_trace_fields_without_flag(self, service):
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0,
+        })
+        assert "trace" not in resp and "counters" not in resp
+
+    def test_metrics_op(self, service):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        service._registry = reg
+        service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0,
+        })
+        resp = service.execute({"op": "metrics"})
+        assert resp["status"] == "ok"
+        assert "ppkws_requests_total" in resp["metrics"]["counters"]
+        assert 'ppkws_requests_total{op="blinks",status="ok"} 1' in (
+            resp["prometheus"]
+        )
+        assert resp["recent_traces"] == []
+
+    def test_metrics_op_bypasses_admission_control(self, service):
+        service._max_in_flight = 0
+        assert service.execute({"op": "stats", "network": "net"})["status"] == "error"
+        assert service.execute({"op": "metrics"})["status"] == "ok"
+
+    def test_metrics_op_without_registry(self, service):
+        resp = service.execute({"op": "metrics"})
+        assert resp["status"] == "ok"
+        assert resp["metrics"] == {}
+        assert resp["prometheus"] == ""
+
+    def test_installed_registry_is_picked_up(self, service):
+        from repro import obs
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        obs.install(reg)
+        try:
+            service.execute({"op": "stats", "network": "net"})
+        finally:
+            obs.uninstall()
+        assert reg.value(
+            "ppkws_requests_total", labels={"op": "stats", "status": "ok"}
+        ) == 1.0
+
+
 class TestAdmissionControl:
     def test_saturated_service_is_retryable(self, service):
         service._max_in_flight = 0
@@ -214,6 +347,98 @@ class TestAdmissionControl:
         assert svc.execute({"op": "stats"})["status"] == "error"
         assert svc._in_flight == 0
         assert svc.execute({"op": "stats", "network": "n"})["status"] == "ok"
+
+
+class TestIndexPersistenceErrors:
+    def test_unwritable_index_path_is_an_error_response(
+        self, small_public_private, tmp_path
+    ):
+        """Regression: ``save_index`` OSError used to escape ``execute``.
+
+        A path whose parent is a *file* makes ``open(..., "w")`` raise
+        ``NotADirectoryError`` (an ``OSError``), which the pre-fix facade
+        did not catch — violating the "no library exception ever
+        escapes" contract.
+        """
+        pub, _ = small_public_private
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        bad_path = str(blocker / "index.jsonl")
+        svc = PPKWSService(sketch_k=2)
+        resp = svc.execute({
+            "op": "create_network", "network": "n",
+            "public": pub, "index_path": bad_path,
+        })
+        assert resp["status"] == "error"
+        assert resp["retryable"] is False
+        assert "cannot save index" in resp["error"]
+        # the failed create must not leave a half-registered network
+        assert svc.networks() == []
+        resp = svc.execute({"op": "create_network", "network": "n", "public": pub})
+        assert resp["status"] == "ok"
+
+    def test_unwritable_index_path_via_python_api_raises_repro_error(
+        self, small_public_private, tmp_path
+    ):
+        pub, _ = small_public_private
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        svc = PPKWSService(sketch_k=2)
+        with pytest.raises(ReproError):
+            svc.create_network("n", pub, index_path=str(blocker / "idx"))
+        assert svc.networks() == []
+
+
+class TestInternalErrorFormatting:
+    def test_bare_keyerror_is_not_serialized_as_quoted_key(
+        self, service, monkeypatch
+    ):
+        """Regression: a bare ``KeyError('collab')`` used to serialize as
+        ``"error": "'collab'"`` — engine internals, not a message."""
+        engine = service._engine("net")
+        def boom(*args, **kwargs):
+            raise KeyError("collab")
+        monkeypatch.setattr(engine, "blinks", boom)
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db"], "tau": 1.0,
+        })
+        assert resp["status"] == "error"
+        assert resp["error"] == "KeyError: 'collab'"
+
+    def test_internal_errors_carry_exception_class(self, service, monkeypatch):
+        engine = service._engine("net")
+        def boom(*args, **kwargs):
+            raise ValueError("bad things")
+        monkeypatch.setattr(engine, "knk", boom)
+        resp = service.execute({
+            "op": "knk", "network": "net", "owner": "bob",
+            "source": "x1", "keyword": "db",
+        })
+        assert resp["error"] == "ValueError: bad things"
+        assert resp["retryable"] is False
+
+    def test_internal_errors_counted(self, service, monkeypatch):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        service._registry = reg
+        engine = service._engine("net")
+        def boom(*args, **kwargs):
+            raise KeyError("collab")
+        monkeypatch.setattr(engine, "blinks", boom)
+        service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db"], "tau": 1.0,
+        })
+        assert reg.value(
+            "ppkws_internal_errors_total", labels={"error": "KeyError"}
+        ) == 1.0
+        # ReproError-style caller mistakes are NOT internal errors
+        service.execute({"op": "blinks", "network": "net", "owner": "bob"})
+        assert reg.value(
+            "ppkws_internal_errors_total", labels={"error": "ReproError"}
+        ) == 0.0
 
 
 class TestErrorHandling:
