@@ -1,0 +1,215 @@
+"""Concurrent-serving throughput benchmark.
+
+The serving core exists for one measurable reason: a workload of
+read-only queries spread over several networks should be served at a
+multiple of the old serial facade's throughput.  On a GIL-bound
+single-core runner thread overlap alone cannot multiply CPU-bound
+throughput, so the comparison is between the two *serving models*:
+
+* **serial / no cache** — the pre-redesign model: one thread calling
+  ``execute`` in a loop, every query fully evaluated;
+* **4 workers / no cache** — pool overlap only (reported for
+  transparency; on one core this hovers around 1x);
+* **4 workers / answer cache** — the new serving core: the pool plus
+  the cross-request answer cache, so repeated queries are served
+  without touching the engine.
+
+The workload is deliberately repetitive (each distinct query recurs
+``REPEATS`` times across the batch), which is exactly the regime the
+answer cache targets; the distinct-query count is reported so the
+repetition factor is visible.  Everything is persisted to
+``bench_results/serving_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from statistics import median
+
+from benchmarks.conftest import SCALE, STRICT, emit
+from repro.bench.reporting import write_report
+from repro.graph import LabeledGraph
+from repro.graph.generators import assign_zipf_labels, barabasi_albert_graph
+from repro.service import PPKWSService
+from repro.serving import ServiceExecutor
+
+N_VERTICES = 300 if SCALE == "small" else 700
+NETWORKS = 4
+WORKERS = 4
+REPEATS = 5
+TAU = 5.0
+VOCABULARY = [f"kw{i}" for i in range(16)]
+
+#: distinct read-only queries per network (mixed rooted / k-nk ops)
+QUERY_SHAPES = [
+    {"op": "blinks", "keywords": ["kw0", "kw1"], "tau": TAU, "k": 5},
+    {"op": "blinks", "keywords": ["kw1", "kw3"], "tau": TAU, "k": 5},
+    {"op": "rclique", "keywords": ["kw0", "kw5"], "tau": TAU, "k": 5},
+    {"op": "knk", "source": "m1", "keyword": "kw3", "k": 5},
+    {"op": "knk", "source": "m2", "keyword": "kw4", "k": 5},
+    {"op": "knk_multi", "source": "m1", "keywords": ["kw2", "kw4"], "k": 5},
+]
+
+
+def _public_graph() -> LabeledGraph:
+    g = barabasi_albert_graph(N_VERTICES, m=2, seed=47, name="serving-pub")
+    assign_zipf_labels(g, VOCABULARY, labels_per_vertex=1.5, seed=47)
+    return g
+
+
+def _private_graph() -> LabeledGraph:
+    priv = LabeledGraph("serving-priv")
+    priv.add_edge(0, "m1")
+    priv.add_edge("m1", "m2")
+    priv.add_edge("m2", 17)
+    priv.add_labels("m1", {"kw0"})
+    priv.add_labels("m2", {"kw1"})
+    return priv
+
+
+def _build_service(cached: bool) -> PPKWSService:
+    svc = PPKWSService(
+        sketch_k=2,
+        answer_cache_size=4096 if cached else 0,
+        answer_cache_ttl_s=None,
+    )
+    pub = _public_graph()
+    priv = _private_graph()
+    for i in range(NETWORKS):
+        svc.create_network(f"net{i}", pub)
+        svc.attach_user(f"net{i}", "u", priv)
+    return svc
+
+
+def _workload() -> list:
+    """NETWORKS x QUERY_SHAPES x REPEATS requests, interleaved so the
+    same key never runs back-to-back (repeats are spread out the way a
+    real request mix would be)."""
+    requests = []
+    for _ in range(REPEATS):
+        for shape in QUERY_SHAPES:
+            for n in range(NETWORKS):
+                req = dict(shape)
+                req.update({"network": f"net{n}", "owner": "u"})
+                requests.append(req)
+    return requests
+
+
+def _assert_all_ok(responses) -> None:
+    bad = [r for r in responses if r.get("status") != "ok"]
+    assert not bad, f"{len(bad)} non-ok responses, first: {bad[:1]}"
+
+
+def _run_serial(svc, requests) -> float:
+    start = time.perf_counter()
+    responses = [svc.execute(r) for r in requests]
+    elapsed = time.perf_counter() - start
+    _assert_all_ok(responses)
+    return elapsed
+
+
+def _run_pooled(svc, requests) -> float:
+    with ServiceExecutor(svc, workers=WORKERS) as pool:
+        start = time.perf_counter()
+        responses = pool.execute_many(requests)
+        elapsed = time.perf_counter() - start
+    _assert_all_ok(responses)
+    return elapsed
+
+
+def _cache_latencies(svc) -> tuple:
+    """Median cold latency vs min cache-hit latency on fresh keys."""
+    colds, hits = [], []
+    for k in (7, 8, 9):  # ks unused by the workload -> guaranteed cold
+        req = {
+            "op": "blinks", "network": "net0", "owner": "u",
+            "keywords": ["kw0", "kw1"], "tau": TAU, "k": k,
+        }
+        start = time.perf_counter()
+        cold = svc.execute(req)
+        colds.append(time.perf_counter() - start)
+        assert cold["status"] == "ok" and "cached" not in cold
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            hit = svc.execute(req)
+            best = min(best, time.perf_counter() - start)
+            assert hit["cached"] is True
+        hits.append(best)
+    return median(colds), median(hits)
+
+
+def test_serving_throughput(benchmark):
+    requests = _workload()
+    distinct = NETWORKS * len(QUERY_SHAPES)
+
+    serial_svc = _build_service(cached=False)
+    serial_svc.execute(requests[0])  # warm-up
+    serial_s = _run_serial(serial_svc, requests)
+
+    pooled_nocache_svc = _build_service(cached=False)
+    pooled_nocache_svc.execute(requests[0])
+    pooled_nocache_s = _run_pooled(pooled_nocache_svc, requests)
+
+    pooled_cached_svc = _build_service(cached=True)
+    pooled_cached_s = _run_pooled(pooled_cached_svc, requests)
+
+    cold_s, hit_s = _cache_latencies(pooled_cached_svc)
+
+    n = len(requests)
+    results = {
+        "scale": SCALE,
+        "networks": NETWORKS,
+        "workers": WORKERS,
+        "requests": n,
+        "distinct_requests": distinct,
+        "serial_no_cache": {"seconds": serial_s, "rps": n / serial_s},
+        "workers_no_cache": {
+            "seconds": pooled_nocache_s, "rps": n / pooled_nocache_s,
+        },
+        "workers_cached": {
+            "seconds": pooled_cached_s, "rps": n / pooled_cached_s,
+        },
+        "throughput_speedup": serial_s / pooled_cached_s,
+        "workers_only_speedup": serial_s / pooled_nocache_s,
+        "cold_query_ms": cold_s * 1e3,
+        "cached_query_ms": hit_s * 1e3,
+        "cache_hit_speedup": cold_s / hit_s if hit_s else float("inf"),
+        "answer_cache": pooled_cached_svc.answer_cache.stats(),
+    }
+    out_dir = os.environ.get(
+        "REPRO_BENCH_DIR", os.path.join(os.getcwd(), "bench_results")
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "serving_throughput.json"), "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    report = (
+        f"Concurrent serving ({NETWORKS} networks, {n} requests, "
+        f"{distinct} distinct)\n"
+        f"  serial, no cache   : {serial_s:7.3f}s "
+        f"({n / serial_s:7.1f} req/s)\n"
+        f"  {WORKERS} workers, no cache: {pooled_nocache_s:7.3f}s "
+        f"({n / pooled_nocache_s:7.1f} req/s, "
+        f"{results['workers_only_speedup']:.2f}x)\n"
+        f"  {WORKERS} workers + cache : {pooled_cached_s:7.3f}s "
+        f"({n / pooled_cached_s:7.1f} req/s, "
+        f"{results['throughput_speedup']:.2f}x)\n"
+        f"  cache hit latency  : cold {cold_s * 1e3:7.2f}ms  "
+        f"hit {hit_s * 1e3:7.3f}ms "
+        f"({results['cache_hit_speedup']:.0f}x)\n"
+    )
+    emit(report)
+    write_report("serving_throughput", report)
+
+    benchmark.pedantic(
+        lambda: _run_pooled(_build_service(cached=True), requests),
+        rounds=1, iterations=1,
+    )
+
+    # The acceptance contract of the serving redesign.
+    if STRICT:
+        assert results["throughput_speedup"] >= 2.0, report
+        assert results["cache_hit_speedup"] >= 10.0, report

@@ -45,10 +45,12 @@ from repro.exceptions import (
     DeadlineExceededError,
     GraphError,
     IndexBuildError,
+    OwnerNotAttachedError,
     QueryCancelledError,
     QueryError,
     ReproError,
     ServiceOverloadedError,
+    UnknownNetworkError,
     VertexNotFoundError,
 )
 from repro.graph import (
@@ -95,6 +97,7 @@ __all__ = [
     "KnkQueryResult",
     "LabeledGraph",
     "Match",
+    "OwnerNotAttachedError",
     "PPKWS",
     "PPKWSService",
     "PublicIndex",
@@ -109,6 +112,7 @@ __all__ = [
     "RootedAnswer",
     "ServiceOverloadedError",
     "StepBreakdown",
+    "UnknownNetworkError",
     "ValidationReport",
     "VertexNotFoundError",
     "blinks_search",

@@ -14,6 +14,17 @@ mutating the private graph (new portals) call :meth:`BatchSession.invalidate`.
 Answers are bit-identical to individually evaluated queries — the cache
 memoizes pure lookups — which the test suite asserts.
 
+Sessions also track the engine's
+:attr:`~repro.core.framework.PPKWS.attachment_epoch`: when any owner
+attaches or detaches between two queries, the session conservatively
+drops its cached lookups and re-reads its owner's current
+:class:`~repro.core.framework.Attachment` before the next query runs
+(so a detach+re-attach of the same owner is picked up mid-batch instead
+of silently querying the dead attachment).  This mirrors the service
+layer's epoch-based answer-cache invalidation — both layers key
+freshness off one monotonic counter rather than enumerating affected
+entries.
+
 Batches can carry a *whole-batch budget*: ``run_keyword_queries`` /
 ``run_knk_queries`` accept ``deadline_ms`` (and ``max_expansions``) for
 the entire workload.  The remaining allowance is divided evenly across
@@ -125,8 +136,24 @@ class BatchSession:
         self.cache = PersistentCompletionCache(
             enabled=engine.options.dp_completion
         )
+        self._engine_epoch = engine.attachment_epoch
 
     # ------------------------------------------------------------------
+    def _refresh_if_stale(self) -> None:
+        """Invalidate + re-read the attachment if the engine changed.
+
+        Conservative: *any* attach/detach on the engine (even of another
+        owner) drops the session's cached lookups — one integer compare
+        per query buys never serving a stale entry.  Raises
+        :class:`~repro.exceptions.OwnerNotAttachedError` if this
+        session's owner was detached in the meantime.
+        """
+        current = self.engine.attachment_epoch
+        if current != self._engine_epoch:
+            self._engine_epoch = current
+            self.cache.invalidate()
+            self.attachment = self.engine.attachment(self.owner)
+
     def _cache_marks(self) -> tuple:
         return (self.cache.hits, self.cache.misses)
 
@@ -142,6 +169,7 @@ class BatchSession:
         budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """One Blinks query through the shared cache."""
+        self._refresh_if_stale()
         marks = self._cache_marks()
         try:
             return pp_blinks_query(
@@ -157,6 +185,7 @@ class BatchSession:
         budget: Optional[QueryBudget] = None,
     ) -> QueryResult:
         """One r-clique query through the shared cache."""
+        self._refresh_if_stale()
         marks = self._cache_marks()
         try:
             return pp_rclique_query(
@@ -171,6 +200,7 @@ class BatchSession:
         budget: Optional[QueryBudget] = None,
     ) -> KnkQueryResult:
         """One k-nk query through the shared cache."""
+        self._refresh_if_stale()
         marks = self._cache_marks()
         try:
             return pp_knk_query(

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tup
 
 from repro.core.budget import QueryBudget
 from repro.core.qualify import is_public_private_answer as _is_public_private_answer
-from repro.exceptions import GraphError, QueryError
+from repro.exceptions import GraphError, OwnerNotAttachedError, QueryError
 from repro.graph.frozen import freeze as _freeze
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 
@@ -319,6 +319,10 @@ class PPKWS:
         # Single-key reads stay lock-free: dict lookups are atomic and
         # queries hold the Attachment object itself, which is immutable.
         self._attachments_lock = threading.Lock()
+        # Bumped on every attach/detach; cache layers (BatchSession's
+        # completion cache, the service's answer cache) compare epochs
+        # instead of enumerating which entries a change affected.
+        self._attachment_epoch = 0
 
     # ------------------------------------------------------------------
     def attach(self, owner: str, private: LabeledGraph) -> Attachment:
@@ -357,21 +361,34 @@ class PPKWS:
             if owner in self._attachments:
                 raise GraphError(f"owner {owner!r} already attached")
             self._attachments[owner] = attachment
+            self._attachment_epoch += 1
         return attachment
 
     def detach(self, owner: str) -> None:
         """Drop an attachment (the user logged out).  Thread-safe."""
         with self._attachments_lock:
             if owner not in self._attachments:
-                raise GraphError(f"owner {owner!r} is not attached")
+                raise OwnerNotAttachedError(owner)
             del self._attachments[owner]
+            self._attachment_epoch += 1
 
     def attachment(self, owner: str) -> Attachment:
         """The per-user state for ``owner``."""
         try:
             return self._attachments[owner]
         except KeyError:
-            raise GraphError(f"owner {owner!r} is not attached") from None
+            raise OwnerNotAttachedError(owner) from None
+
+    @property
+    def attachment_epoch(self) -> int:
+        """Monotonic counter of attachment-map changes (attach/detach).
+
+        Cache layers snapshot this and conservatively invalidate when it
+        moves: any change to the engine's attachments may change which
+        answers are current, and comparing one integer is far cheaper
+        than deciding which cached entries a given change touched.
+        """
+        return self._attachment_epoch
 
     def owners(self) -> List[str]:
         """Attached owners.

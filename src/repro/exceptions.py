@@ -24,6 +24,16 @@ semantics layers directly with a budget.
 :class:`ServiceOverloadedError` is raised by the service facade's
 admission control when too many requests are in flight; it is always
 *retryable* — the caller should back off and resubmit.
+
+Wire-protocol errors
+--------------------
+
+The service facade translates exceptions into stable machine-readable
+``code`` values on ``status: "error"`` responses (see the README's
+"Service protocol" section).  :class:`UnknownNetworkError` and
+:class:`OwnerNotAttachedError` exist so the two lookup failures map to
+``unknown_network`` / ``unknown_owner`` by *type* rather than by
+string-matching messages.
 """
 
 from __future__ import annotations
@@ -55,6 +65,31 @@ class EdgeNotFoundError(GraphError, KeyError):
 
 class QueryError(ReproError):
     """Raised for malformed keyword queries (empty keyword sets, k <= 0)."""
+
+
+class UnknownNetworkError(ReproError):
+    """Raised when a request names a network the service does not have.
+
+    Distinct from the base class so the facade can map it to the stable
+    wire code ``unknown_network`` without string matching.
+    """
+
+    def __init__(self, network: object, message: str = "does not exist") -> None:
+        super().__init__(f"network {network!r} {message}")
+        self.network = network
+
+
+class OwnerNotAttachedError(GraphError):
+    """Raised when a query names an owner with no attachment.
+
+    A :class:`GraphError` (existing callers catching that still work)
+    with its own type so the facade can map it to the stable wire code
+    ``unknown_owner``.
+    """
+
+    def __init__(self, owner: object) -> None:
+        super().__init__(f"owner {owner!r} is not attached")
+        self.owner = owner
 
 
 class IndexBuildError(ReproError):

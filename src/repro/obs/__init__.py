@@ -27,7 +27,13 @@ service op.  See the README's "Observability" section for the metric
 catalogue.
 """
 
-from repro.obs.hooks import observe_batch_cache, observe_pipeline
+from repro.obs.hooks import (
+    observe_answer_cache,
+    observe_batch_cache,
+    observe_executor_queue,
+    observe_executor_request,
+    observe_pipeline,
+)
 from repro.obs.prometheus import render_prometheus
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -47,7 +53,10 @@ __all__ = [
     "TraceRing",
     "install",
     "installed",
+    "observe_answer_cache",
     "observe_batch_cache",
+    "observe_executor_queue",
+    "observe_executor_request",
     "observe_pipeline",
     "render_prometheus",
     "uninstall",

@@ -17,16 +17,36 @@ metric names stay in one catalogue:
     The :class:`~repro.core.framework.QueryCounters` fields, summed.
 ``ppkws_batch_cache_hits_total`` / ``ppkws_batch_cache_misses_total``
     :class:`~repro.core.batch.BatchSession` completion-cache traffic.
+
+The serving-layer hooks differ in one way: the service and executor
+resolve their *own* effective registry (constructor-injected, else the
+installed one), so these take the registry explicitly instead of
+reading the global:
+
+``ppkws_answer_cache_hits_total`` / ``ppkws_answer_cache_misses_total``
+    Cross-request :class:`~repro.serving.cache.AnswerCache` traffic.
+``ppkws_executor_queue_depth``
+    Gauge of submitted-but-unfinished executor requests.
+``ppkws_executor_wait_seconds`` / ``ppkws_worker_request_seconds{worker}``
+    Queue wait and per-worker run-latency histograms.
+``ppkws_executor_completed_total{worker}``
+    Per-worker completion counter.
 """
 
 from __future__ import annotations
 
 from dataclasses import fields as dataclass_fields
-from typing import Any
+from typing import Any, Optional
 
-from repro.obs.registry import installed
+from repro.obs.registry import MetricsRegistry, installed
 
-__all__ = ["observe_pipeline", "observe_batch_cache"]
+__all__ = [
+    "observe_pipeline",
+    "observe_batch_cache",
+    "observe_answer_cache",
+    "observe_executor_queue",
+    "observe_executor_request",
+]
 
 _STEPS = ("peval", "arefine", "acomplete")
 
@@ -78,3 +98,38 @@ def observe_batch_cache(hits: int, misses: int) -> None:
         registry.inc("ppkws_batch_cache_hits_total", amount=hits)
     if misses:
         registry.inc("ppkws_batch_cache_misses_total", amount=misses)
+
+
+def observe_answer_cache(registry: Optional[MetricsRegistry], hit: bool) -> None:
+    """Record one cross-request answer-cache lookup outcome."""
+    if registry is None:
+        return
+    if hit:
+        registry.inc("ppkws_answer_cache_hits_total")
+    else:
+        registry.inc("ppkws_answer_cache_misses_total")
+
+
+def observe_executor_queue(
+    registry: Optional[MetricsRegistry], depth: int
+) -> None:
+    """Update the executor's queue-depth gauge."""
+    if registry is None:
+        return
+    registry.set_gauge("ppkws_executor_queue_depth", depth)
+
+
+def observe_executor_request(
+    registry: Optional[MetricsRegistry],
+    worker: str,
+    wait_s: float,
+    run_s: float,
+) -> None:
+    """Record one completed executor request: wait + per-worker latency."""
+    if registry is None:
+        return
+    registry.observe("ppkws_executor_wait_seconds", wait_s)
+    registry.observe(
+        "ppkws_worker_request_seconds", run_s, labels={"worker": worker}
+    )
+    registry.inc("ppkws_executor_completed_total", labels={"worker": worker})

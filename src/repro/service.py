@@ -13,45 +13,85 @@ attachments + indexes) and executes plain-dict requests::
         "keywords": ["DB", "AI"], "tau": 4.0, "k": 5,
     })
 
+Wire protocol (v1)
+------------------
+
 Responses are plain dicts with ``status`` = ``"ok"`` / ``"degraded"`` /
 ``"error"`` — no library exception ever escapes :meth:`execute`, making
-the facade safe to expose to untrusted request producers.  Malformed
-requests get explicit ``"missing field 'keywords'"``-style messages;
-unexpected internal failures are reported as ``"ExceptionClass: message"``
-(never a bare ``repr`` that leaks engine internals) and counted under
-the ``ppkws_internal_errors_total`` metric.
+the facade safe to expose to untrusted request producers.  Every
+response echoes ``"v": 1`` (the protocol version).  Error responses
+carry a stable machine-readable ``code`` next to the human ``error``
+message — one of ``bad_request`` / ``unknown_network`` /
+``unknown_owner`` / ``overloaded`` / ``budget_exhausted`` /
+``internal`` — mapped centrally from the exception type, never by
+string matching.  Unknown top-level request fields are *not* silently
+ignored: the response carries a ``warnings`` list naming them.  A
+request may pin ``"v": 1``; any other version is rejected as
+``bad_request``.  ``{"op": "help"}`` returns the full op catalogue
+(required/optional fields, read-vs-admin mode, cacheability) straight
+from the declarative op registry this module dispatches on.
 
-Robustness contract:
+Concurrency contract
+--------------------
+
+The service is built to be driven concurrently (see
+:class:`repro.serving.ServiceExecutor` for the worker pool):
+
+* Each network has a writer-preferring reader-writer lock
+  (:class:`repro.serving.RWLock`).  Read-only ops (queries, ``stats``)
+  take the read side, so queries on different networks — and different
+  owners of one network — genuinely run in parallel.  Admin ops
+  (``create_network`` / ``attach`` / ``detach`` / ``drop``) take the
+  write side, whether they arrive through :meth:`execute` or the direct
+  Python methods.
+* The service admits at most ``max_in_flight`` concurrent requests
+  (default: unlimited).  Requests beyond the cap fail fast with
+  ``code: "overloaded"`` and ``retryable: true``.
+* The registry and per-engine attachment maps are additionally guarded
+  by plain locks, so concurrent creates/attaches of one name resolve to
+  exactly one winner and queries never observe a half-registered
+  network.
+
+Answer cache
+------------
+
+Completed ``status: "ok"`` responses of the query ops are cached in a
+cross-request LRU+TTL :class:`repro.serving.AnswerCache` keyed on
+``(network, owner, op, canonicalized params)`` (defaults applied, so
+``{"tau": 5.0}`` and an omitted ``tau`` share an entry).  Staleness is
+epoch-based: every ``create`` / ``attach`` / ``detach`` / ``drop``
+bumps the network's epoch and entries from older epochs are never
+served — an answer cached before an ``attach`` cannot be returned after
+it.  Cache hits carry ``"cached": true``; per-request ``"no_cache":
+true`` bypasses the cache, and ``"trace": true`` requests always
+execute (their trace describes a real run).  Budget fields are
+deliberately *not* part of the key: a cached answer is a complete,
+unbudgeted-equivalent result, so serving it under any budget is sound.
+
+Robustness contract
+-------------------
 
 * Query requests may carry ``deadline_ms`` / ``max_expansions``.  A
   query whose budget expires returns ``status: "degraded"`` with the
   answers completed so far plus ``completed_steps`` /
   ``interrupted_step`` describing how far the pipeline got.
-* The service admits at most ``max_in_flight`` concurrent requests
-  (default: unlimited).  Requests beyond the cap fail fast with
-  ``status: "error"`` and ``retryable: true`` — callers should back off
-  and retry — while malformed/failed requests carry
-  ``retryable: false``.
-* Administration (``create_network`` / ``attach`` / ``detach`` /
-  ``drop``) is reachable through :meth:`execute` too, so an RPC wrapper
-  only needs the one entry point.
-* The registry and per-engine attachment maps are guarded by locks, so
-  admin ops are safe under the concurrency that ``max_in_flight``
-  advertises: concurrent creates/attaches of the same name resolve to
-  exactly one winner, and queries never observe a half-registered
-  network.
+* Malformed requests get explicit ``"missing field 'keywords'"``-style
+  messages; unexpected internal failures are reported as
+  ``"ExceptionClass: message"`` and counted under the
+  ``ppkws_internal_errors_total`` metric.
 
 Observability (see :mod:`repro.obs` and the README's catalogue):
 
 * Every request increments ``ppkws_requests_total{op,status}`` and
-  records a ``ppkws_request_seconds{op}`` latency histogram sample in
-  the service's metrics registry (the one passed to the constructor, or
-  the process-wide installed one).
+  records a ``ppkws_request_seconds{op}`` latency histogram sample;
+  answer-cache traffic lands in ``ppkws_answer_cache_hits_total`` /
+  ``..._misses_total``.
 * Slow (``>= slow_query_ms``), degraded and errored requests land in a
   bounded in-memory ring of :class:`~repro.obs.QueryTrace` records.
-* A ``{"op": "metrics"}`` request returns the metric snapshot, the
-  recent traces and a Prometheus text rendering; it bypasses admission
-  control so operators keep their eyes during overload.
+* A ``{"op": "metrics"}`` request returns the metric snapshot, recent
+  traces, answer-cache stats and a Prometheus text rendering; like
+  ``help`` it bypasses admission control so operators keep their eyes
+  during overload.
 * Any query request may set ``"trace": true`` to receive its own
   ``counters`` and ``trace`` (per-step timings, budget expansions,
   degradation fields) in the response.
@@ -62,12 +102,18 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import asdict
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.framework import PIPELINE_STEPS, PPKWS, QueryOptions
 from repro.core.persist import load_index, save_index
-from repro.exceptions import ReproError, ServiceOverloadedError
+from repro.exceptions import (
+    BudgetError,
+    OwnerNotAttachedError,
+    ReproError,
+    ServiceOverloadedError,
+    UnknownNetworkError,
+)
 from repro.graph.frozen import freeze
 from repro.graph.labeled_graph import LabeledGraph
 from repro.obs import (
@@ -75,11 +121,47 @@ from repro.obs import (
     QueryTrace,
     TraceRing,
     installed,
+    observe_answer_cache,
     render_prometheus,
 )
 from repro.semantics.answers import KnkAnswer, RootedAnswer
+from repro.serving import AnswerCache, RWLock
 
-__all__ = ["PPKWSService"]
+__all__ = ["OpSpec", "PPKWSService", "PROTOCOL_VERSION", "ERROR_CODES"]
+
+#: The wire-protocol version echoed as ``"v"`` in every response.
+PROTOCOL_VERSION = 1
+
+#: The closed enum of machine-readable error codes (wire contract).
+ERROR_CODES: Tuple[str, ...] = (
+    "bad_request",
+    "unknown_network",
+    "unknown_owner",
+    "overloaded",
+    "budget_exhausted",
+    "internal",
+)
+
+#: Request fields accepted on every op, next to the per-op spec fields.
+GLOBAL_REQUEST_FIELDS = frozenset({"op", "v", "trace", "no_cache"})
+
+#: The one central exception -> wire-code map (first match wins; order
+#: matters because the later entries are superclasses of earlier ones).
+_CODE_BY_EXCEPTION: Tuple[Tuple[type, str], ...] = (
+    (ServiceOverloadedError, "overloaded"),
+    (UnknownNetworkError, "unknown_network"),
+    (OwnerNotAttachedError, "unknown_owner"),
+    (BudgetError, "budget_exhausted"),
+    (ReproError, "bad_request"),
+)
+
+
+def _error_code(exc: BaseException) -> str:
+    """The stable wire code for an exception (``internal`` if unmapped)."""
+    for exc_type, code in _CODE_BY_EXCEPTION:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
 
 
 def _serialize_rooted(answer: RootedAnswer) -> Dict[str, Any]:
@@ -110,28 +192,28 @@ def _serialize_knk(answer: KnkAnswer) -> Dict[str, Any]:
 
 def _require(request: Dict[str, Any], *fields: str) -> None:
     """Raise a clear error for the first missing request field."""
-    for field in fields:
-        if field not in request:
-            raise ReproError(f"missing field {field!r}")
+    for f in fields:
+        if f not in request:
+            raise ReproError(f"missing field {f!r}")
 
 
-def _graph_from_request(request: Dict[str, Any], field: str) -> LabeledGraph:
+def _graph_from_request(request: Dict[str, Any], field_name: str) -> LabeledGraph:
     """Build a graph from a request payload.
 
-    Accepts either a ready :class:`LabeledGraph` under ``field`` or the
-    wire-friendly pair ``<field>_edges`` (list of ``[u, v]`` or
+    Accepts either a ready :class:`LabeledGraph` under ``field_name`` or
+    the wire-friendly pair ``<field>_edges`` (list of ``[u, v]`` or
     ``[u, v, weight]``) and optional ``<field>_labels``
     (vertex -> label list).
     """
-    graph = request.get(field)
+    graph = request.get(field_name)
     if isinstance(graph, LabeledGraph):
         return graph
     if graph is not None:
         raise ReproError(
-            f"field {field!r} must be a LabeledGraph "
-            f"(or send {field + '_edges'!r} instead)"
+            f"field {field_name!r} must be a LabeledGraph "
+            f"(or send {field_name + '_edges'!r} instead)"
         )
-    edges_field = f"{field}_edges"
+    edges_field = f"{field_name}_edges"
     _require(request, edges_field)
     out = LabeledGraph()
     for edge in request[edges_field]:
@@ -140,7 +222,7 @@ def _graph_from_request(request: Dict[str, Any], field: str) -> LabeledGraph:
                 f"field {edges_field!r} entries must be [u, v] or [u, v, weight]"
             )
         out.add_edge(*edge)
-    for v, ls in (request.get(f"{field}_labels") or {}).items():
+    for v, ls in (request.get(f"{field_name}_labels") or {}).items():
         out.add_vertex(v, ls)
     return out
 
@@ -166,11 +248,85 @@ def _degradation_fields(result: Any) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# the declarative op registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpSpec:
+    """One wire op: handler plus everything dispatch needs to know.
+
+    ``mode`` drives both admission and locking, so the rwlock side is
+    derived rather than hand-maintained per handler:
+
+    * ``"read"`` — admitted, runs under the network's *read* lock, may
+      be served from the answer cache when ``cacheable``;
+    * ``"admin"`` — admitted; the underlying service method takes the
+      network's *write* lock itself (so direct Python-API calls get the
+      same exclusion);
+    * ``"control"`` — introspection (``metrics`` / ``help``): no
+      admission slot, no lock — must survive overload.
+
+    ``required`` / ``optional`` are the op's accepted fields (on top of
+    the :data:`GLOBAL_REQUEST_FIELDS`); missing required fields become
+    ``bad_request`` errors and unrecognized fields become ``warnings``.
+    ``cache_params`` canonicalizes the op's query parameters (defaults
+    applied) into the hashable tail of the answer-cache key.
+    """
+
+    name: str
+    handler: Callable[["PPKWSService", Dict[str, Any]], Dict[str, Any]]
+    required: Tuple[str, ...] = ()
+    optional: Tuple[str, ...] = ()
+    mode: str = "read"
+    cacheable: bool = False
+    cache_params: Optional[Callable[[Dict[str, Any]], Tuple[Any, ...]]] = None
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("read", "admin", "control"):
+            raise ValueError(f"bad op mode {self.mode!r}")
+
+    @property
+    def known_fields(self) -> frozenset:
+        return GLOBAL_REQUEST_FIELDS | set(self.required) | set(self.optional)
+
+
+#: budget knobs shared by every query op
+_BUDGET_FIELDS: Tuple[str, ...] = ("deadline_ms", "max_expansions")
+
+
+def _rooted_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (
+        tuple(request["keywords"]),
+        float(request.get("tau", 5.0)),
+        int(request.get("k", 10)),
+    )
+
+
+def _knk_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (request["source"], request["keyword"], int(request.get("k", 10)))
+
+
+def _knk_multi_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (
+        request["source"],
+        tuple(request["keywords"]),
+        int(request.get("k", 10)),
+        str(request.get("mode", "and")),
+    )
+
+
 class PPKWSService:
     """Named-network registry plus a uniform request executor.
 
     ``max_in_flight`` caps concurrently executing requests; ``None``
     (the default) disables admission control.
+
+    ``answer_cache_size`` / ``answer_cache_ttl_s`` configure the
+    cross-request answer cache (entries / per-entry freshness bound in
+    seconds).  A size of ``0`` disables answer caching entirely; a TTL
+    of ``None`` keeps entries until evicted or their network's epoch
+    moves.
 
     ``registry`` receives this service's request metrics; when ``None``
     the process-wide registry (:func:`repro.obs.install`) is used, and
@@ -188,13 +344,27 @@ class PPKWSService:
         registry: Optional[MetricsRegistry] = None,
         slow_query_ms: float = 1000.0,
         trace_ring_size: int = 128,
+        answer_cache_size: int = 1024,
+        answer_cache_ttl_s: Optional[float] = 60.0,
     ):
         self._sketch_k = sketch_k
         self._options = options
         #: name -> engine; ``None`` marks a reservation (build in flight)
         self._engines: Dict[str, Optional[PPKWS]] = {}
-        #: guards every check-then-act on :attr:`_engines`
+        #: guards every check-then-act on :attr:`_engines` and the epochs
         self._engines_lock = threading.Lock()
+        #: name -> monotonic epoch; bumped by every admin op, *never*
+        #: deleted (a re-created network must not revive old answers)
+        self._epochs: Dict[str, int] = {}
+        #: name -> the network's reader-writer lock (kept across drop so
+        #: late requests against a dropped name still lock consistently)
+        self._network_locks: Dict[Any, RWLock] = {}
+        self._network_locks_lock = threading.Lock()
+        self._answer_cache: Optional[AnswerCache] = (
+            AnswerCache(answer_cache_size, answer_cache_ttl_s)
+            if answer_cache_size
+            else None
+        )
         self._max_in_flight = max_in_flight
         self._in_flight = 0
         self._admission_lock = threading.Lock()
@@ -208,6 +378,31 @@ class PPKWSService:
     def _metrics_registry(self) -> Optional[MetricsRegistry]:
         """The effective registry: constructor-injected, else installed."""
         return self._registry if self._registry is not None else installed()
+
+    @property
+    def answer_cache(self) -> Optional[AnswerCache]:
+        """The cross-request answer cache (``None`` when disabled)."""
+        return self._answer_cache
+
+    # ------------------------------------------------------------------
+    # per-network locks and epochs
+    # ------------------------------------------------------------------
+    def _network_lock(self, network: Any) -> RWLock:
+        """The (lazily created) reader-writer lock for ``network``."""
+        with self._network_locks_lock:
+            lock = self._network_locks.get(network)
+            if lock is None:
+                lock = self._network_locks[network] = RWLock()
+            return lock
+
+    def network_epoch(self, network: str) -> int:
+        """The network's current cache epoch (0 before any admin op)."""
+        with self._engines_lock:
+            return self._epochs.get(network, 0)
+
+    def _bump_epoch(self, network: str) -> None:
+        with self._engines_lock:
+            self._epochs[network] = self._epochs.get(network, 0) + 1
 
     # ------------------------------------------------------------------
     # administration
@@ -234,8 +429,22 @@ class PPKWSService:
         the (expensive) index build starts, so concurrent creates of the
         same name resolve to exactly one winner — the others fail with
         ``"already exists"`` — without serializing builds of *different*
-        networks.
+        networks.  Takes the network's write lock, and bumps its cache
+        epoch so answers from a previous same-named network can never be
+        served against the new one.
         """
+        with self._network_lock(name).write_locked():
+            self._create_network_exclusive(name, public, index_path)
+        registry = self._metrics_registry()
+        if registry is not None:
+            registry.set_gauge("ppkws_networks", len(self.networks()))
+
+    def _create_network_exclusive(
+        self,
+        name: str,
+        public: LabeledGraph,
+        index_path: Optional[str],
+    ) -> None:
         with self._engines_lock:
             if name in self._engines:
                 raise ReproError(f"network {name!r} already exists")
@@ -274,31 +483,43 @@ class PPKWSService:
             raise
         with self._engines_lock:
             self._engines[name] = engine
-        registry = self._metrics_registry()
-        if registry is not None:
-            registry.set_gauge("ppkws_networks", len(self.networks()))
+            self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def drop_network(self, name: str) -> None:
-        """Forget a network and all its attachments.  Thread-safe."""
-        with self._engines_lock:
-            if self._engines.get(name) is None:
-                # Absent, or reserved by an in-flight create (not ours to
-                # drop until the create finishes).
-                raise ReproError(f"network {name!r} does not exist")
-            del self._engines[name]
+        """Forget a network and all its attachments.  Thread-safe.
+
+        Takes the network's write lock (in-flight readers finish first)
+        and bumps its epoch so cached answers die with it.
+        """
+        with self._network_lock(name).write_locked():
+            with self._engines_lock:
+                if self._engines.get(name) is None:
+                    # Absent, or reserved by an in-flight create (not ours
+                    # to drop until the create finishes).
+                    raise UnknownNetworkError(name)
+                del self._engines[name]
+                self._epochs[name] = self._epochs.get(name, 0) + 1
         registry = self._metrics_registry()
         if registry is not None:
             registry.set_gauge("ppkws_networks", len(self.networks()))
 
     def attach_user(self, network: str, owner: str, private: LabeledGraph) -> int:
-        """Attach a user's private graph; returns the portal count."""
-        engine = self._engine(network)
-        attachment = engine.attach(owner, private)
+        """Attach a user's private graph; returns the portal count.
+
+        Takes the network's write lock and bumps its cache epoch, so no
+        answer computed before the attach survives it.
+        """
+        with self._network_lock(network).write_locked():
+            engine = self._engine(network)
+            attachment = engine.attach(owner, private)
+            self._bump_epoch(network)
         return len(attachment.portals)
 
     def detach_user(self, network: str, owner: str) -> None:
-        """Detach a user's private graph."""
-        self._engine(network).detach(owner)
+        """Detach a user's private graph (write lock + epoch bump)."""
+        with self._network_lock(network).write_locked():
+            self._engine(network).detach(owner)
+            self._bump_epoch(network)
 
     def networks(self) -> List[str]:
         """Registered network names (reservations excluded)."""
@@ -310,9 +531,9 @@ class PPKWSService:
             try:
                 engine = self._engines[network]
             except KeyError:
-                raise ReproError(f"network {network!r} does not exist") from None
+                raise UnknownNetworkError(network) from None
         if engine is None:
-            raise ReproError(f"network {network!r} is still being created")
+            raise UnknownNetworkError(network, "is still being created")
         return engine
 
     # ------------------------------------------------------------------
@@ -340,49 +561,126 @@ class PPKWSService:
         self._tls.ctx = ctx = {}
         error_class: Optional[str] = None
         internal_error = False
+        warnings: List[str] = []
         op = request.get("op") if isinstance(request, dict) else None
         try:
-            handler = self._HANDLERS.get(op)
-            if handler is None:
-                response: Dict[str, Any] = {
-                    "status": "error",
-                    "error": f"unknown op {op!r}; valid ops: "
-                             f"{sorted(self._HANDLERS)}",
-                    "retryable": False,
-                }
-            elif op == "metrics":
-                # Observability must survive overload: no admission slot.
-                response = handler(self, request)
+            if not isinstance(request, dict):
+                raise ReproError("request must be a dict with an 'op' field")
+            spec = self._OPS.get(op)
+            if spec is None:
+                raise ReproError(
+                    f"unknown op {op!r}; valid ops: {sorted(self._OPS)} "
+                    "(send {'op': 'help'} for the catalogue)"
+                )
+            version = request.get("v")
+            if version is not None and version != PROTOCOL_VERSION:
+                raise ReproError(
+                    f"unsupported protocol version {version!r} "
+                    f"(this service speaks v{PROTOCOL_VERSION})"
+                )
+            warnings = [
+                f"unknown field {f!r}"
+                for f in sorted((str(f) for f in request), key=str)
+                if f not in spec.known_fields
+            ]
+            for f in spec.required:
+                if f not in request:
+                    raise ReproError(f"missing field {f!r}")
+            if spec.mode == "control":
+                # Introspection must survive overload: no admission slot.
+                response = spec.handler(self, request)
             else:
                 with self._admit():
-                    response = handler(self, request)
-        except ServiceOverloadedError as exc:
+                    response = self._execute_locked(spec, request)
+        except (ReproError, KeyError, TypeError, ValueError, OSError,
+                AttributeError) as exc:
             error_class = type(exc).__name__
-            response = {"status": "error", "error": str(exc), "retryable": True}
-        except ReproError as exc:
-            error_class = type(exc).__name__
+            code = _error_code(exc)
+            internal_error = code == "internal"
+            if isinstance(exc, ReproError) and not internal_error:
+                # A bare str() of e.g. KeyError is just the quoted key
+                # ("'collab'") — leaked engine internals rather than a
+                # message — so non-library errors get the class prefix.
+                message = str(exc) or repr(exc)
+            else:
+                message = f"{error_class}: {exc}"
             response = {
                 "status": "error",
-                "error": str(exc) or repr(exc),
-                "retryable": False,
-            }
-        except (KeyError, TypeError, ValueError, OSError, AttributeError) as exc:
-            # Unexpected internal failure.  A bare str() of e.g. KeyError
-            # is just the quoted key ("'collab'") — leaked engine
-            # internals rather than a message — so always prefix the
-            # exception class.
-            error_class = type(exc).__name__
-            internal_error = True
-            response = {
-                "status": "error",
-                "error": f"{error_class}: {exc}",
-                "retryable": False,
+                "error": message,
+                "code": code,
+                "retryable": getattr(exc, "retryable", False),
             }
         finally:
             self._tls.ctx = None
+        if warnings:
+            response["warnings"] = warnings
+        response["v"] = PROTOCOL_VERSION
         self._observe_request(request, op, response, ctx, started,
                               error_class, internal_error)
         return response
+
+    def _execute_locked(
+        self, spec: "OpSpec", request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Run an admitted request under the derived rwlock side."""
+        if spec.mode == "admin":
+            # The service methods themselves take the write lock, so the
+            # exclusion also covers direct Python-API calls.
+            return spec.handler(self, request)
+        network = request["network"]
+        if not isinstance(network, str):
+            raise ReproError("field 'network' must be a string")
+        with self._network_lock(network).read_locked():
+            return self._execute_cached(spec, request)
+
+    def _execute_cached(
+        self, spec: "OpSpec", request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Serve a read op, via the answer cache when eligible.
+
+        Runs under the network's read lock, so the epoch observed here
+        cannot move before the store: admin ops need the write side.
+        A stored entry is only ever reused while its epoch is current.
+        """
+        cache = self._answer_cache
+        key = None
+        if (
+            cache is not None
+            and spec.cacheable
+            and not request.get("no_cache")
+            and not request.get("trace")  # a trace describes a real run
+        ):
+            key = self._cache_key(spec, request)
+        if key is None:
+            return spec.handler(self, request)
+        epoch = self.network_epoch(request["network"])
+        hit = cache.lookup(key, epoch)
+        observe_answer_cache(self._metrics_registry(), hit is not None)
+        if hit is not None:
+            hit["cached"] = True
+            return hit
+        response = spec.handler(self, request)
+        if response.get("status") == "ok":
+            cache.store(key, epoch, response)
+        return response
+
+    def _cache_key(
+        self, spec: "OpSpec", request: Dict[str, Any]
+    ) -> Optional[Tuple[Any, ...]]:
+        """The answer-cache key, or ``None`` when the request resists
+        canonicalization (the handler then produces the real error)."""
+        if spec.cache_params is None:
+            return None
+        try:
+            key = (
+                spec.name,
+                request["network"],
+                request["owner"],
+            ) + spec.cache_params(request)
+            hash(key)
+        except (TypeError, ValueError, KeyError):
+            return None
+        return key
 
     # -- observability --------------------------------------------------
     def _observe_request(
@@ -473,7 +771,6 @@ class PPKWSService:
 
     # -- handlers -------------------------------------------------------
     def _rooted_query(self, request: Dict[str, Any], method: str) -> Dict[str, Any]:
-        _require(request, "network", "owner", "keywords")
         engine = self._engine(request["network"])
         run = getattr(engine, method)
         budget = engine.make_budget(**_budget_args(request))
@@ -504,7 +801,6 @@ class PPKWSService:
         return self._rooted_query(request, "banks")
 
     def _op_knk(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network", "owner", "source", "keyword")
         engine = self._engine(request["network"])
         budget = engine.make_budget(**_budget_args(request))
         result = engine.knk(
@@ -520,7 +816,6 @@ class PPKWSService:
         return out
 
     def _op_knk_multi(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network", "owner", "source", "keywords")
         engine = self._engine(request["network"])
         budget = engine.make_budget(**_budget_args(request))
         result = engine.knk_multi(
@@ -537,13 +832,13 @@ class PPKWSService:
         return out
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network")
         engine = self._engine(request["network"])
         out: Dict[str, Any] = {
             "status": "ok",
             "public": dict(engine.public.stats()),
             "owners": engine.owners(),
             "index_entries": engine.index.pads.total_entries,
+            "epoch": self.network_epoch(request["network"]),
         }
         owner = request.get("owner")
         if owner is not None:
@@ -557,18 +852,42 @@ class PPKWSService:
         return out
 
     def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """The observability op: snapshot + recent traces + Prometheus text."""
+        """The observability op: snapshot + traces + cache + Prometheus."""
         registry = self._metrics_registry()
         return {
             "status": "ok",
             "metrics": registry.snapshot() if registry is not None else {},
             "recent_traces": self._traces.snapshot(),
+            "answer_cache": (
+                self._answer_cache.stats()
+                if self._answer_cache is not None
+                else None
+            ),
             "prometheus": render_prometheus(registry),
+        }
+
+    def _op_help(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The op catalogue, straight from the registry."""
+        ops = {
+            name: {
+                "summary": spec.summary,
+                "required": list(spec.required),
+                "optional": list(spec.optional),
+                "mode": spec.mode,
+                "cacheable": spec.cacheable,
+            }
+            for name, spec in sorted(self._OPS.items())
+        }
+        return {
+            "status": "ok",
+            "protocol": PROTOCOL_VERSION,
+            "ops": ops,
+            "global_fields": sorted(GLOBAL_REQUEST_FIELDS),
+            "error_codes": list(ERROR_CODES),
         }
 
     # -- admin handlers -------------------------------------------------
     def _op_create_network(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network")
         public = _graph_from_request(request, "public")
         self.create_network(
             request["network"], public, index_path=request.get("index_path")
@@ -576,31 +895,93 @@ class PPKWSService:
         return {"status": "ok", "network": request["network"]}
 
     def _op_attach(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network", "owner")
         private = _graph_from_request(request, "private")
         portals = self.attach_user(request["network"], request["owner"], private)
         return {"status": "ok", "owner": request["owner"], "portals": portals}
 
     def _op_detach(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network", "owner")
         self.detach_user(request["network"], request["owner"])
         return {"status": "ok", "owner": request["owner"]}
 
     def _op_drop(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        _require(request, "network")
         self.drop_network(request["network"])
         return {"status": "ok", "network": request["network"]}
 
-    _HANDLERS: Dict[str, Callable[["PPKWSService", Dict[str, Any]], Dict[str, Any]]] = {
-        "blinks": _op_blinks,
-        "rclique": _op_rclique,
-        "banks": _op_banks,
-        "knk": _op_knk,
-        "knk_multi": _op_knk_multi,
-        "stats": _op_stats,
-        "metrics": _op_metrics,
-        "create_network": _op_create_network,
-        "attach": _op_attach,
-        "detach": _op_detach,
-        "drop": _op_drop,
+    #: The op registry: dispatch, validation, locking mode and cache
+    #: policy for every wire op live here, next to their handlers.
+    _OPS: Dict[str, OpSpec] = {
+        spec.name: spec
+        for spec in (
+            OpSpec(
+                "blinks", _op_blinks,
+                required=("network", "owner", "keywords"),
+                optional=("tau", "k") + _BUDGET_FIELDS,
+                cacheable=True, cache_params=_rooted_cache_params,
+                summary="Top-k rooted-tree answers (PP-Blinks, Sec. IV-B).",
+            ),
+            OpSpec(
+                "rclique", _op_rclique,
+                required=("network", "owner", "keywords"),
+                optional=("tau", "k") + _BUDGET_FIELDS,
+                cacheable=True, cache_params=_rooted_cache_params,
+                summary="Top-k star answers (PP-r-clique, Sec. IV-A).",
+            ),
+            OpSpec(
+                "banks", _op_banks,
+                required=("network", "owner", "keywords"),
+                optional=("tau", "k") + _BUDGET_FIELDS,
+                cacheable=True, cache_params=_rooted_cache_params,
+                summary="Blinks answers with materialized answer trees.",
+            ),
+            OpSpec(
+                "knk", _op_knk,
+                required=("network", "owner", "source", "keyword"),
+                optional=("k",) + _BUDGET_FIELDS,
+                cacheable=True, cache_params=_knk_cache_params,
+                summary="Top-k nearest keyword from a source vertex.",
+            ),
+            OpSpec(
+                "knk_multi", _op_knk_multi,
+                required=("network", "owner", "source", "keywords"),
+                optional=("k", "mode") + _BUDGET_FIELDS,
+                cacheable=True, cache_params=_knk_multi_cache_params,
+                summary="Multi-keyword k-nk (conjunctive or disjunctive).",
+            ),
+            OpSpec(
+                "stats", _op_stats,
+                required=("network",), optional=("owner",),
+                summary="Network statistics, owners and cache epoch.",
+            ),
+            OpSpec(
+                "metrics", _op_metrics, mode="control",
+                summary="Metrics snapshot, traces, cache stats, Prometheus.",
+            ),
+            OpSpec(
+                "help", _op_help, mode="control",
+                summary="This catalogue: ops, fields, modes, error codes.",
+            ),
+            OpSpec(
+                "create_network", _op_create_network, mode="admin",
+                required=("network",),
+                optional=("public", "public_edges", "public_labels",
+                          "index_path"),
+                summary="Register a public graph and build its index.",
+            ),
+            OpSpec(
+                "attach", _op_attach, mode="admin",
+                required=("network", "owner"),
+                optional=("private", "private_edges", "private_labels"),
+                summary="Attach an owner's private graph (portal discovery).",
+            ),
+            OpSpec(
+                "detach", _op_detach, mode="admin",
+                required=("network", "owner"),
+                summary="Detach an owner's private graph.",
+            ),
+            OpSpec(
+                "drop", _op_drop, mode="admin",
+                required=("network",),
+                summary="Forget a network and all its attachments.",
+            ),
+        )
     }

@@ -1,0 +1,20 @@
+"""The concurrent serving layer: worker pool, rwlocks and answer cache.
+
+This package holds the serving-side machinery the facade composes:
+
+* :class:`~repro.serving.executor.ServiceExecutor` — a bounded worker
+  pool running request dicts through ``service.execute`` concurrently
+  (``submit`` -> future, ``execute_many`` -> ordered responses).
+* :class:`~repro.serving.rwlock.RWLock` — the writer-preferring
+  reader-writer lock the service takes per network: read-only queries
+  share it, admin ops (attach / detach / drop) take it exclusively.
+* :class:`~repro.serving.cache.AnswerCache` — the cross-request LRU+TTL
+  answer cache with epoch-based invalidation (every admin op bumps the
+  network's epoch, so a stale answer can never be served).
+"""
+
+from repro.serving.cache import AnswerCache
+from repro.serving.executor import ServiceExecutor
+from repro.serving.rwlock import RWLock
+
+__all__ = ["AnswerCache", "RWLock", "ServiceExecutor"]

@@ -1,0 +1,137 @@
+"""Cross-request answer cache: LRU + TTL + epoch-based invalidation.
+
+The paper amortizes work *within* a query (PKA memoization) and the
+batch layer amortizes portal lookups *within* one owner's session
+(:class:`~repro.core.batch.PersistentCompletionCache`).  This module
+generalizes the idea one level up: completed ``status: "ok"`` responses
+are cached at the serving layer keyed on
+``(network, owner, op, canonicalized params)``, so a repeated query is
+answered without touching the engine at all.
+
+Staleness is handled by *epochs*, not by enumerating affected keys: the
+service keeps a monotonically increasing epoch per network name and
+bumps it on every ``attach`` / ``detach`` / ``drop`` / ``create``.  An
+entry remembers the epoch it was computed under; a lookup presents the
+network's *current* epoch and any entry with a different epoch is
+treated as a miss and purged.  Because the epoch survives ``drop`` (the
+map is keyed by name and never shrinks), re-creating a network under an
+old name can never revive answers from its previous life.
+
+Entries additionally carry a TTL (wall-clock freshness bound for
+operators who mutate state outside the facade) and the table is
+bounded LRU.  Stored values are deep-copied on both insert and hit so
+neither the service nor its callers can mutate a cached answer in
+place.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["AnswerCache"]
+
+
+class AnswerCache:
+    """Bounded, TTL'd, epoch-validated response cache.  Thread-safe.
+
+    ``max_entries`` bounds the table (LRU eviction).  ``ttl_s`` is the
+    per-entry freshness bound in seconds; ``None`` disables expiry.
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl_s: Optional[float] = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (epoch, stored_at, value)
+        self._table: "OrderedDict[Hashable, Tuple[int, float, Any]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        #: lookups dropped because the network epoch moved on
+        self.stale_hits = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable, epoch: int) -> Optional[Any]:
+        """The cached value for ``key`` at ``epoch``, or ``None``.
+
+        A present entry whose epoch differs from ``epoch`` (the network
+        changed since it was stored) or whose TTL has lapsed is purged
+        and counts as a miss.  Hits return a deep copy and refresh the
+        entry's LRU position.
+        """
+        with self._lock:
+            entry = self._table.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_epoch, stored_at, value = entry
+            if stored_epoch != epoch:
+                del self._table[key]
+                self.stale_hits += 1
+                self.misses += 1
+                return None
+            if self.ttl_s is not None and self._clock() - stored_at > self.ttl_s:
+                del self._table[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._table.move_to_end(key)
+            self.hits += 1
+            return copy.deepcopy(value)
+
+    def store(self, key: Hashable, epoch: int, value: Any) -> None:
+        """Insert (a deep copy of) ``value`` computed under ``epoch``."""
+        snapshot = copy.deepcopy(value)
+        with self._lock:
+            if key in self._table:
+                self._table.move_to_end(key)
+            self._table[key] = (epoch, self._clock(), snapshot)
+            while len(self._table) > self.max_entries:
+                self._table.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._table.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups since construction (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-friendly counter snapshot (for the ``metrics`` op)."""
+        with self._lock:
+            return {
+                "entries": len(self._table),
+                "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "stale_hits": self.stale_hits,
+            }

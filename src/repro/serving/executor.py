@@ -1,0 +1,186 @@
+"""A bounded worker pool executing service requests concurrently.
+
+:class:`ServiceExecutor` is the serving layer's concurrency engine: a
+fixed set of worker threads pulls request dicts off a FIFO queue and
+runs them through ``service.execute``.  Combined with the service's
+per-network reader-writer locks, read-only queries on different
+networks — and different owners of one network — genuinely overlap,
+while the facade's admission control, budgets and error contract apply
+unchanged (workers call the same ``execute`` everyone else does, and
+``execute`` never raises library errors).
+
+Two entry points::
+
+    with ServiceExecutor(service, workers=4) as pool:
+        future = pool.submit({"op": "knk", ...})       # -> Future
+        responses = pool.execute_many(batch_of_dicts)  # ordered list
+
+Observability (recorded into the service's effective metrics registry,
+see :func:`repro.obs.hooks.observe_executor_request`):
+
+``ppkws_executor_queue_depth``
+    Gauge: requests submitted but not yet finished.
+``ppkws_executor_wait_seconds``
+    Histogram: time a request spent queued before a worker picked it up.
+``ppkws_worker_request_seconds{worker}``
+    Per-worker latency histogram.
+``ppkws_executor_completed_total{worker}``
+    Per-worker completion counter.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.hooks import observe_executor_queue, observe_executor_request
+from repro.obs.registry import MetricsRegistry, installed
+
+__all__ = ["ServiceExecutor"]
+
+#: queue sentinel telling a worker to exit
+_STOP = object()
+
+
+class ServiceExecutor:
+    """Run requests against a service on a bounded pool of workers.
+
+    ``service`` is anything with an ``execute(dict) -> dict`` method —
+    normally a :class:`~repro.service.PPKWSService`.  ``workers`` fixes
+    the pool size.  ``queue_size`` bounds the backlog: ``0`` (default)
+    means unbounded, a positive value makes :meth:`submit` block once
+    that many requests are waiting (backpressure for producers that
+    outrun the pool; the service's own ``max_in_flight`` admission
+    control still applies per request).
+
+    ``registry`` overrides where executor metrics go; by default the
+    service's effective registry (constructor-injected or process-wide
+    installed) is used.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        workers: int = 4,
+        queue_size: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self._service = service
+        self._registry = registry
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        self._shutdown = False
+        self._shutdown_lock = threading.Lock()
+        #: submitted but not yet completed (the queue-depth gauge source)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(i,),
+                name=f"ppkws-exec-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    @property
+    def workers(self) -> int:
+        """The fixed pool size."""
+        return len(self._workers)
+
+    # ------------------------------------------------------------------
+    def _registry_for(self) -> Optional[MetricsRegistry]:
+        if self._registry is not None:
+            return self._registry
+        getter = getattr(self._service, "_metrics_registry", None)
+        if getter is not None:
+            return getter()
+        return installed()
+
+    def _adjust_pending(self, delta: int) -> None:
+        with self._pending_lock:
+            self._pending += delta
+            depth = self._pending
+        observe_executor_queue(self._registry_for(), depth)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Dict[str, Any]) -> "Future[Dict[str, Any]]":
+        """Enqueue one request; resolves to its response dict.
+
+        The future only carries an exception if the service itself
+        breaks its "never raises" contract (or the executor is broken);
+        normal failures are ``status: "error"`` *results*.  Raises
+        :class:`RuntimeError` after :meth:`shutdown`.
+        """
+        with self._shutdown_lock:
+            if self._shutdown:
+                raise RuntimeError("cannot submit to a shut-down executor")
+            future: "Future[Dict[str, Any]]" = Future()
+            self._adjust_pending(+1)
+        self._queue.put((request, future, time.perf_counter()))
+        return future
+
+    def execute_many(
+        self, requests: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Run a whole workload; responses in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_id: int) -> None:
+        label = str(worker_id)
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            request, future, submitted = item
+            if not future.set_running_or_notify_cancel():
+                self._adjust_pending(-1)
+                continue
+            started = time.perf_counter()
+            try:
+                response = self._service.execute(request)
+            except BaseException as exc:  # pragma: no cover - contract break
+                future.set_exception(exc)
+            else:
+                future.set_result(response)
+            finally:
+                done = time.perf_counter()
+                self._adjust_pending(-1)
+                observe_executor_request(
+                    self._registry_for(),
+                    worker=label,
+                    wait_s=started - submitted,
+                    run_s=done - started,
+                )
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers.
+
+        Already-queued requests are drained before the workers exit —
+        every future returned by :meth:`submit` resolves.  Idempotent.
+        """
+        with self._shutdown_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        if wait:
+            for t in self._workers:
+                t.join()
+
+    def __enter__(self) -> "ServiceExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown(wait=True)

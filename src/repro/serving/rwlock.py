@@ -1,0 +1,99 @@
+"""A writer-preferring reader-writer lock for the serving layer.
+
+The service facade serves two very different request classes: read-only
+queries (Blinks / r-clique / BANKS / k-nk / stats), which never mutate a
+network and may run in parallel, and admin operations (attach / detach /
+drop), which restructure per-network state and must be exclusive.  A
+plain mutex would serialize the read side; :class:`RWLock` lets any
+number of readers proceed together while writers get exclusivity.
+
+Semantics:
+
+* Any number of readers may hold the lock concurrently.
+* A writer holds the lock alone (no readers, no other writers).
+* Writers are *preferred*: once a writer is waiting, new readers queue
+  behind it.  Under sustained query traffic an attach would otherwise
+  starve forever.
+* The lock is **not reentrant** on either side; a thread acquiring the
+  read side while holding the write side (or vice versa) deadlocks.
+  The service takes it exactly once per request, around the handler.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side ------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter shared."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side -----------------------------------------------------
+    def acquire_write(self) -> None:
+        """Block until the lock is free, then enter exclusive."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests / metrics) --------------------------------
+    @property
+    def readers(self) -> int:
+        """Readers currently inside the lock (racy; diagnostics only)."""
+        return self._readers
+
+    @property
+    def write_active(self) -> bool:
+        """Whether a writer currently holds the lock (racy; diagnostics)."""
+        return self._writer_active

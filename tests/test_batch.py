@@ -115,3 +115,76 @@ class TestBatchSession:
 
         failures, _ = doctest.testmod(mod)
         assert failures == 0
+
+
+class TestEpochInvalidation:
+    """Sessions track the engine's attachment epoch (see the module
+    docstring): any attach/detach between two queries conservatively
+    drops the completion cache and re-reads the owner's attachment."""
+
+    def test_attach_mid_batch_invalidates_completion_cache(
+        self, session, small_public_private
+    ):
+        batch, engine = session
+        _, priv = small_public_private
+        batch.rclique(["db", "ml"], tau=5.0)
+        misses_before = batch.cache_misses
+
+        engine.attach("carol", priv)  # bumps the attachment epoch
+
+        # the repeat query would have been pure hits; after the attach
+        # the session must start cold again
+        batch.rclique(["db", "ml"], tau=5.0)
+        assert batch.cache_misses > misses_before
+
+    def test_attach_mid_batch_keeps_answers_identical(
+        self, session, small_public_private
+    ):
+        batch, engine = session
+        _, priv = small_public_private
+        keywords = ["db", "ai"]
+        before = batch.blinks(keywords, tau=4.0)
+        engine.attach("carol", priv)
+        after = batch.blinks(keywords, tau=4.0)
+        direct = engine.blinks("bob", keywords, tau=4.0)
+        assert [a.sort_key() for a in after.answers] == [
+            a.sort_key() for a in direct.answers
+        ]
+        assert [a.sort_key() for a in before.answers] == [
+            a.sort_key() for a in after.answers
+        ]
+
+    def test_reattach_mid_batch_is_picked_up(self, small_public_private):
+        from repro.core import BatchSession, PPKWS
+
+        pub, priv = small_public_private
+        engine = PPKWS(pub, sketch_k=4)
+        engine.attach("bob", priv)
+        batch = BatchSession(engine, "bob")
+        old = batch.knk("x1", "cv", 1)
+        old_dist = old.answer.matches[0].distance
+
+        engine.detach("bob")
+        priv.add_edge("x1", "x3")  # x3 carries "cv" at distance 1
+        engine.attach("bob", priv)
+
+        new = batch.knk("x1", "cv", 1)  # same session object, no restart
+        assert new.answer.matches[0].distance == 1.0
+        assert new.answer.matches[0].distance < old_dist
+
+    def test_detached_owner_raises_cleanly(self, session):
+        from repro.exceptions import OwnerNotAttachedError
+
+        batch, engine = session
+        batch.blinks(["db", "ai"], tau=4.0)
+        engine.detach("bob")
+        with pytest.raises(OwnerNotAttachedError):
+            batch.blinks(["db", "ai"], tau=4.0)
+
+    def test_no_epoch_change_keeps_cache_warm(self, session):
+        batch, _ = session
+        batch.rclique(["db", "ml"], tau=5.0)
+        misses_before = batch.cache_misses
+        batch.rclique(["db", "ml"], tau=5.0)
+        assert batch.cache_misses == misses_before
+        assert batch.cache_hits > 0

@@ -111,7 +111,7 @@ class TestExecuteAdminOps:
         assert resp["status"] == "ok"
         resp = svc.execute({"op": "attach", "network": "n", "owner": "bob",
                             "private": priv})
-        assert resp == {"status": "ok", "owner": "bob", "portals": 2}
+        assert resp == {"status": "ok", "owner": "bob", "portals": 2, "v": 1}
         resp = svc.execute({"op": "blinks", "network": "n", "owner": "bob",
                             "keywords": ["db", "ai"], "tau": 4.0})
         assert resp["status"] == "ok" and resp["answers"]

@@ -1,0 +1,354 @@
+"""Protocol-level tests: answer cache semantics, epochs, error codes.
+
+The shape matrix lives in ``test_service_shapes.py``; these tests pin
+the *behavioral* wire contract of the v1 protocol:
+
+* the cross-request answer cache — hits marked ``cached``, ``no_cache``
+  / ``trace`` bypass, canonicalized keys (defaults applied), only
+  ``status: "ok"`` responses cached;
+* epoch-based invalidation — the acceptance property that an answer
+  cached *before* an ``attach`` / ``detach`` / ``drop`` is **never**
+  served after it, including through the direct Python API and through
+  a drop-and-recreate of the same network name;
+* the central exception-type -> error-code map;
+* concurrent serving through :class:`~repro.serving.ServiceExecutor`
+  against multiple networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    DeadlineExceededError,
+    OwnerNotAttachedError,
+    QueryError,
+    ReproError,
+    ServiceOverloadedError,
+    UnknownNetworkError,
+)
+from repro.service import PPKWSService, _error_code
+from repro.serving import ServiceExecutor
+
+
+@pytest.fixture
+def service(small_public_private) -> PPKWSService:
+    pub, priv = small_public_private
+    svc = PPKWSService(sketch_k=2)
+    svc.create_network("net", pub)
+    svc.attach_user("net", "bob", priv)
+    return svc
+
+
+def blinks_req(**extra):
+    req = {
+        "op": "blinks", "network": "net", "owner": "bob",
+        "keywords": ["db", "ai"], "tau": 4.0, "k": 3,
+    }
+    req.update(extra)
+    return req
+
+
+def knk_req(**extra):
+    req = {
+        "op": "knk", "network": "net", "owner": "bob",
+        "source": "x1", "keyword": "cv", "k": 2,
+    }
+    req.update(extra)
+    return req
+
+
+def strip_meta(resp):
+    return {
+        k: v for k, v in resp.items() if k not in ("cached", "v", "warnings")
+    }
+
+
+class TestAnswerCacheSemantics:
+    def test_repeat_query_is_a_marked_hit_with_identical_payload(self, service):
+        cold = service.execute(blinks_req())
+        hit = service.execute(blinks_req())
+        assert "cached" not in cold
+        assert hit["cached"] is True
+        assert strip_meta(hit) == strip_meta(cold)
+        assert service.answer_cache.hits == 1
+
+    def test_default_params_share_an_entry_with_explicit_defaults(self, service):
+        service.execute(knk_req(k=10))
+        hit = service.execute({
+            "op": "knk", "network": "net", "owner": "bob",
+            "source": "x1", "keyword": "cv",  # k omitted -> default 10
+        })
+        assert hit.get("cached") is True
+
+    def test_distinct_params_are_distinct_entries(self, service):
+        service.execute(blinks_req())
+        other = service.execute(blinks_req(k=5))
+        assert "cached" not in other
+
+    def test_distinct_owners_are_distinct_entries(self, small_public_private):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+        svc.attach_user("net", "carol", priv)
+        svc.execute(blinks_req())
+        carol = svc.execute(blinks_req(owner="carol"))
+        assert "cached" not in carol
+
+    def test_no_cache_flag_bypasses(self, service):
+        service.execute(blinks_req())
+        resp = service.execute(blinks_req(no_cache=True))
+        assert "cached" not in resp
+
+    def test_trace_requests_bypass(self, service):
+        service.execute(blinks_req())
+        resp = service.execute(blinks_req(trace=True))
+        assert "cached" not in resp
+        assert "trace" in resp  # a real run, with a real trace
+
+    def test_error_responses_are_not_cached(self, service):
+        bad = knk_req(owner="nobody")
+        first = service.execute(bad)
+        second = service.execute(bad)
+        assert first["status"] == second["status"] == "error"
+        assert "cached" not in second
+
+    def test_degraded_responses_are_not_cached(self, service):
+        req = blinks_req(deadline_ms=0)
+        assert service.execute(req)["status"] == "degraded"
+        second = service.execute(req)
+        assert "cached" not in second
+
+    def test_cache_can_be_disabled(self, small_public_private):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2, answer_cache_size=0)
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+        assert svc.answer_cache is None
+        svc.execute(blinks_req())
+        assert "cached" not in svc.execute(blinks_req())
+
+    def test_cache_traffic_is_observable(self, small_public_private):
+        from repro.obs import MetricsRegistry
+
+        pub, priv = small_public_private
+        reg = MetricsRegistry()
+        svc = PPKWSService(sketch_k=2, registry=reg)
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+        svc.execute(blinks_req())
+        svc.execute(blinks_req())
+        assert reg.value("ppkws_answer_cache_misses_total") == 1.0
+        assert reg.value("ppkws_answer_cache_hits_total") == 1.0
+
+
+class TestEpochInvalidation:
+    def test_answer_cached_before_attach_is_never_served_after(self, service):
+        """The acceptance property: an attach strictly invalidates."""
+        cold = service.execute(blinks_req())
+        assert service.execute(blinks_req())["cached"] is True
+
+        service.attach_user("net", "carol", _tiny_private())
+
+        after = service.execute(blinks_req())
+        assert "cached" not in after  # recomputed, not served from cache
+        # bob's answers are unaffected by carol's attach — but they must
+        # come from a fresh evaluation, which the next repeat then caches
+        assert after["answers"] == cold["answers"]
+        assert service.execute(blinks_req())["cached"] is True
+
+    def test_detach_and_reattach_changes_the_answer(self, small_public_private):
+        """Content-visible staleness: re-attaching with a different
+        private graph must change the served answer, not replay it."""
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+
+        cold = svc.execute(knk_req())
+        old_best = cold["answer"]["matches"][0]["distance"]
+        assert svc.execute(knk_req())["cached"] is True
+
+        svc.detach_user("net", "bob")
+        priv.add_edge("x1", "x3")  # x3 carries "cv": distance becomes 1
+        svc.attach_user("net", "bob", priv)
+
+        fresh = svc.execute(knk_req())
+        assert "cached" not in fresh
+        new_best = fresh["answer"]["matches"][0]["distance"]
+        assert new_best == 1.0
+        assert new_best < old_best
+
+    def test_detach_via_wire_invalidates(self, service):
+        service.execute(knk_req())
+        assert service.execute(knk_req())["cached"] is True
+        resp = service.execute({"op": "detach", "network": "net", "owner": "bob"})
+        assert resp["status"] == "ok"
+        gone = service.execute(knk_req())
+        assert gone["status"] == "error"
+        assert gone["code"] == "unknown_owner"
+        assert "cached" not in gone
+
+    def test_drop_and_recreate_does_not_revive_answers(
+        self, small_public_private
+    ):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+        svc.execute(blinks_req())
+        assert svc.execute(blinks_req())["cached"] is True
+
+        svc.drop_network("net")
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+
+        resp = svc.execute(blinks_req())
+        assert "cached" not in resp
+
+    def test_epoch_is_monotonic_across_admin_ops(self, small_public_private):
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        assert svc.network_epoch("net") == 0
+        svc.create_network("net", pub)
+        assert svc.network_epoch("net") == 1
+        svc.attach_user("net", "bob", priv)
+        assert svc.network_epoch("net") == 2
+        svc.detach_user("net", "bob")
+        assert svc.network_epoch("net") == 3
+        svc.drop_network("net")
+        assert svc.network_epoch("net") == 4  # survives the drop
+
+    def test_stats_reports_the_epoch(self, service):
+        resp = service.execute({"op": "stats", "network": "net"})
+        assert resp["epoch"] == service.network_epoch("net") == 2
+
+
+class TestErrorCodeMap:
+    @pytest.mark.parametrize("exc,code", [
+        (ServiceOverloadedError(1, 1), "overloaded"),
+        (UnknownNetworkError("n"), "unknown_network"),
+        (OwnerNotAttachedError("o"), "unknown_owner"),
+        (BudgetExhaustedError(1, 1), "budget_exhausted"),
+        (DeadlineExceededError(2.0, 1.0), "budget_exhausted"),
+        (ReproError("nope"), "bad_request"),
+        (QueryError("empty"), "bad_request"),
+        (KeyError("k"), "internal"),
+        (ValueError("v"), "internal"),
+    ])
+    def test_exception_to_code(self, exc, code):
+        assert _error_code(exc) == code
+
+    def test_unknown_network_on_the_wire(self, service):
+        resp = service.execute(blinks_req(network="nope"))
+        assert resp["code"] == "unknown_network"
+        assert "nope" in resp["error"]
+
+    def test_unknown_owner_on_the_wire(self, service):
+        resp = service.execute(blinks_req(owner="nobody"))
+        assert resp["code"] == "unknown_owner"
+
+    def test_non_string_network_is_bad_request(self, service):
+        resp = service.execute(blinks_req(network=7))
+        assert resp["code"] == "bad_request"
+        assert "string" in resp["error"]
+
+
+class TestWarnings:
+    def test_multiple_unknown_fields_sorted(self, service):
+        resp = service.execute(blinks_req(zeta=1, alpha=2))
+        assert resp["warnings"] == [
+            "unknown field 'alpha'", "unknown field 'zeta'"
+        ]
+
+    def test_global_fields_never_warn(self, service):
+        resp = service.execute(blinks_req(v=1, trace=False, no_cache=False))
+        assert "warnings" not in resp
+
+    def test_warnings_survive_errors(self, service):
+        req = blinks_req(bogus=1)
+        del req["keywords"]
+        resp = service.execute(req)
+        assert resp["status"] == "error"
+        assert resp["warnings"] == ["unknown field 'bogus'"]
+
+
+def _tiny_private():
+    from repro.graph import LabeledGraph
+
+    priv = LabeledGraph("tiny")
+    priv.add_vertex(0)  # portal
+    priv.add_vertex("y1", {"db"})
+    priv.add_edge(0, "y1")
+    return priv
+
+
+class TestExecutorServiceIntegration:
+    def _build_networks(self, svc, small_public_private, n=4):
+        pub, priv = small_public_private
+        for i in range(n):
+            svc.create_network(f"net{i}", pub)
+            svc.attach_user(f"net{i}", "bob", priv)
+
+    def test_parallel_reads_across_networks(self, small_public_private):
+        svc = PPKWSService(sketch_k=2)
+        self._build_networks(svc, small_public_private)
+        reqs = [
+            blinks_req(network=f"net{i % 4}", k=2 + (i % 3))
+            for i in range(24)
+        ]
+        with ServiceExecutor(svc, workers=4) as pool:
+            responses = pool.execute_many(reqs)
+        assert all(r["status"] == "ok" for r in responses)
+        # 12 distinct (network, k) keys; the 12 repeats are spaced far
+        # enough behind their twins that most hit the cache (a worker
+        # stalled on an early slow query can race a few into recompute,
+        # so the pooled count is a lower bound, not an exact 12)
+        assert sum(1 for r in responses if r.get("cached")) >= 6
+        # deterministic part: afterwards every distinct key is cached
+        for req in reqs[:12]:
+            assert svc.execute(req)["cached"] is True
+
+    def test_admin_churn_under_concurrent_reads(self, small_public_private):
+        """Readers racing an attach/detach flip never see internal
+        errors, and bob's answers are bit-stable throughout (carol's
+        churn must not leak into bob's cached entries)."""
+        pub, priv = small_public_private
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("net", pub)
+        svc.attach_user("net", "bob", priv)
+        tiny = _tiny_private()
+
+        reqs = []
+        for i in range(30):
+            if i % 10 == 3:
+                reqs.append({
+                    "op": "attach", "network": "net", "owner": "carol",
+                    "private": tiny,
+                })
+            elif i % 10 == 7:
+                reqs.append({
+                    "op": "detach", "network": "net", "owner": "carol",
+                })
+            else:
+                reqs.append(blinks_req())
+        with ServiceExecutor(svc, workers=4) as pool:
+            responses = pool.execute_many(reqs)
+
+        assert all(r.get("code") != "internal" for r in responses)
+        bob_answers = {
+            _freeze(r["answers"])
+            for r in responses
+            if r.get("status") == "ok" and "answers" in r
+        }
+        assert len(bob_answers) == 1  # identical payload every time
+
+
+def _freeze(obj):
+    if isinstance(obj, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in obj.items()))
+    if isinstance(obj, list):
+        return tuple(_freeze(x) for x in obj)
+    return obj

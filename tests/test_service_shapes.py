@@ -3,8 +3,11 @@
 The facade's wire contract is the *exact* set of top-level keys each
 ``(op, status)`` pair returns — RPC wrappers and dashboards key off
 them, so a key silently appearing or vanishing is a breaking change.
-These tests pin the full matrix, including the ``counters`` / ``trace``
-keys that only the ``"trace": true`` request flag may add, and the
+These tests pin the full matrix, including the protocol-version echo
+(``"v": 1`` on every response), the machine-readable ``code`` on every
+error, the ``cached`` marker on answer-cache hits, the ``warnings``
+list for unrecognized request fields, the ``counters`` / ``trace`` keys
+that only the ``"trace": true`` request flag may add, and the
 ``metrics`` op's snapshot shape.
 """
 
@@ -14,13 +17,15 @@ from typing import Any, Dict
 
 import pytest
 
-from repro.service import PPKWSService
+from repro.service import ERROR_CODES, PROTOCOL_VERSION, PPKWSService
 
 ROOTED_OPS = ("blinks", "rclique", "banks")
 KNK_OPS = ("knk", "knk_multi")
 QUERY_OPS = ROOTED_OPS + KNK_OPS
 
-ERROR_KEYS = {"status", "error", "retryable"}
+#: every response echoes the protocol version
+V_KEYS = {"v"}
+ERROR_KEYS = {"status", "error", "retryable", "code", "v"}
 DEGRADATION_KEYS = {"completed_steps", "interrupted_step"}
 TRACE_KEYS = {"counters", "trace"}
 
@@ -62,27 +67,37 @@ class TestQueryOpShapes:
     def test_rooted_ok(self, service, op):
         resp = service.execute(_query(op))
         assert resp["status"] == "ok"
-        assert set(resp) == {"status", "answers", "breakdown"}
+        assert resp["v"] == PROTOCOL_VERSION
+        assert set(resp) == {"status", "answers", "breakdown"} | V_KEYS
         assert set(resp["breakdown"]) == {"peval", "arefine", "acomplete"}
 
     @pytest.mark.parametrize("op", KNK_OPS)
     def test_knk_ok(self, service, op):
         resp = service.execute(_query(op))
         assert resp["status"] == "ok"
-        assert set(resp) == {"status", "answer"}
+        assert set(resp) == {"status", "answer"} | V_KEYS
         assert set(resp["answer"]) == {"source", "keyword", "matches"}
+
+    @pytest.mark.parametrize("op", QUERY_OPS)
+    def test_cached_repeat_adds_only_cached_marker(self, service, op):
+        cold = service.execute(_query(op))
+        hit = service.execute(_query(op))
+        assert hit["cached"] is True
+        assert set(hit) == set(cold) | {"cached"}
 
     @pytest.mark.parametrize("op", ROOTED_OPS)
     def test_rooted_degraded(self, service, op):
         resp = service.execute(_query(op, deadline_ms=0))
         assert resp["status"] == "degraded"
-        assert set(resp) == {"status", "answers", "breakdown"} | DEGRADATION_KEYS
+        assert set(resp) == (
+            {"status", "answers", "breakdown"} | DEGRADATION_KEYS | V_KEYS
+        )
 
     @pytest.mark.parametrize("op", KNK_OPS)
     def test_knk_degraded(self, service, op):
         resp = service.execute(_query(op, deadline_ms=0))
         assert resp["status"] == "degraded"
-        assert set(resp) == {"status", "answer"} | DEGRADATION_KEYS
+        assert set(resp) == {"status", "answer"} | DEGRADATION_KEYS | V_KEYS
 
     @pytest.mark.parametrize("op", QUERY_OPS)
     def test_query_error(self, service, op):
@@ -92,6 +107,19 @@ class TestQueryOpShapes:
         assert resp["status"] == "error"
         assert set(resp) == ERROR_KEYS
         assert resp["retryable"] is False
+        assert resp["code"] == "bad_request"
+
+    @pytest.mark.parametrize("op", QUERY_OPS)
+    def test_unknown_field_warns(self, service, op):
+        resp = service.execute(_query(op, frobnicate=1))
+        assert resp["status"] == "ok"
+        assert resp["warnings"] == ["unknown field 'frobnicate'"]
+
+    def test_error_code_enum_is_closed(self, service):
+        assert set(ERROR_CODES) == {
+            "bad_request", "unknown_network", "unknown_owner",
+            "overloaded", "budget_exhausted", "internal",
+        }
 
 
 class TestTraceFlagShapes:
@@ -104,7 +132,7 @@ class TestTraceFlagShapes:
             if op in ROOTED_OPS
             else {"status", "answer"}
         )
-        assert set(resp) == base | TRACE_KEYS
+        assert set(resp) == base | TRACE_KEYS | V_KEYS
         assert set(resp["counters"]) == COUNTER_FIELDS
         assert resp["trace"]["op"] == op
         assert resp["trace"]["status"] == "ok"
@@ -143,7 +171,7 @@ class TestAdminOpShapes:
             "op": "create_network", "network": "n",
             "public_edges": self.PUBLIC_EDGES,
         })
-        assert resp == {"status": "ok", "network": "n"}
+        assert resp == {"status": "ok", "network": "n", "v": PROTOCOL_VERSION}
 
     def test_create_network_error(self, service):
         resp = service.execute({
@@ -151,13 +179,14 @@ class TestAdminOpShapes:
             "public_edges": self.PUBLIC_EDGES,
         })
         assert set(resp) == ERROR_KEYS
+        assert resp["code"] == "bad_request"
 
     def test_attach_ok_and_error(self, service):
         resp = service.execute({
             "op": "attach", "network": "net", "owner": "eve",
             "private_edges": self.PRIVATE_EDGES,
         })
-        assert set(resp) == {"status", "owner", "portals"}
+        assert set(resp) == {"status", "owner", "portals"} | V_KEYS
         assert resp["status"] == "ok"
         dup = service.execute({
             "op": "attach", "network": "net", "owner": "eve",
@@ -167,24 +196,29 @@ class TestAdminOpShapes:
 
     def test_detach_ok_and_error(self, service):
         resp = service.execute({"op": "detach", "network": "net", "owner": "bob"})
-        assert resp == {"status": "ok", "owner": "bob"}
+        assert resp == {"status": "ok", "owner": "bob", "v": PROTOCOL_VERSION}
         resp = service.execute({"op": "detach", "network": "net", "owner": "bob"})
         assert set(resp) == ERROR_KEYS
+        assert resp["code"] == "unknown_owner"
 
     def test_drop_ok_and_error(self, service):
         resp = service.execute({"op": "drop", "network": "net"})
-        assert resp == {"status": "ok", "network": "net"}
+        assert resp == {"status": "ok", "network": "net", "v": PROTOCOL_VERSION}
         resp = service.execute({"op": "drop", "network": "net"})
         assert set(resp) == ERROR_KEYS
+        assert resp["code"] == "unknown_network"
 
     def test_stats_ok(self, service):
         resp = service.execute({"op": "stats", "network": "net"})
-        assert set(resp) == {"status", "public", "owners", "index_entries"}
+        assert set(resp) == (
+            {"status", "public", "owners", "index_entries", "epoch"} | V_KEYS
+        )
         with_owner = service.execute(
             {"op": "stats", "network": "net", "owner": "bob"}
         )
         assert set(with_owner) == (
-            {"status", "public", "owners", "index_entries", "attachment"}
+            {"status", "public", "owners", "index_entries", "epoch",
+             "attachment"} | V_KEYS
         )
         assert set(with_owner["attachment"]) == {
             "private_vertices", "private_edges", "portals",
@@ -194,17 +228,22 @@ class TestAdminOpShapes:
     def test_stats_error(self, service):
         resp = service.execute({"op": "stats", "network": "nope"})
         assert set(resp) == ERROR_KEYS
+        assert resp["code"] == "unknown_network"
 
 
 class TestMetricsOpShape:
     def test_metrics_shape(self, service):
         resp = service.execute({"op": "metrics"})
-        assert set(resp) == {"status", "metrics", "recent_traces", "prometheus"}
+        assert set(resp) == (
+            {"status", "metrics", "recent_traces", "answer_cache",
+             "prometheus"} | V_KEYS
+        )
         assert resp["status"] == "ok"
         # no registry installed: empty-but-well-typed payloads
         assert resp["metrics"] == {}
         assert isinstance(resp["recent_traces"], list)
         assert resp["prometheus"] == ""
+        assert set(resp["answer_cache"]) >= {"entries", "hits", "misses"}
 
     def test_metrics_with_registry(self, small_public_private):
         from repro.obs import MetricsRegistry
@@ -220,11 +259,35 @@ class TestMetricsOpShape:
         assert "# TYPE ppkws_requests_total counter" in resp["prometheus"]
 
 
+class TestHelpOpShape:
+    def test_help_catalogue(self, service):
+        resp = service.execute({"op": "help"})
+        assert set(resp) == (
+            {"status", "protocol", "ops", "global_fields", "error_codes"}
+            | V_KEYS
+        )
+        assert resp["protocol"] == PROTOCOL_VERSION
+        assert resp["error_codes"] == list(ERROR_CODES)
+        for op, entry in resp["ops"].items():
+            assert set(entry) == {
+                "summary", "required", "optional", "mode", "cacheable"
+            }, op
+        assert resp["ops"]["blinks"]["mode"] == "read"
+        assert resp["ops"]["blinks"]["cacheable"] is True
+        assert resp["ops"]["attach"]["mode"] == "admin"
+        assert resp["ops"]["metrics"]["mode"] == "control"
+        assert set(resp["ops"]) == {
+            "blinks", "rclique", "banks", "knk", "knk_multi", "stats",
+            "metrics", "help", "create_network", "attach", "detach", "drop",
+        }
+
+
 class TestUnknownAndOverloadShapes:
     def test_unknown_op(self, service):
         resp = service.execute({"op": "explode"})
         assert set(resp) == ERROR_KEYS
         assert "unknown op" in resp["error"]
+        assert resp["code"] == "bad_request"
 
     def test_overloaded_is_retryable(self, small_public_private):
         pub, _ = small_public_private
@@ -232,3 +295,14 @@ class TestUnknownAndOverloadShapes:
         resp = svc.execute({"op": "stats", "network": "x"})
         assert set(resp) == ERROR_KEYS
         assert resp["retryable"] is True
+        assert resp["code"] == "overloaded"
+
+    def test_bad_protocol_version(self, service):
+        resp = service.execute({"op": "stats", "network": "net", "v": 2})
+        assert set(resp) == ERROR_KEYS
+        assert resp["code"] == "bad_request"
+        assert "protocol version" in resp["error"]
+
+    def test_pinned_protocol_version_accepted(self, service):
+        resp = service.execute({"op": "stats", "network": "net", "v": 1})
+        assert resp["status"] == "ok"

@@ -1,0 +1,147 @@
+"""Tests for the writer-preferring reader-writer lock."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving import RWLock
+
+
+def run_thread(target) -> threading.Thread:
+    t = threading.Thread(target=target, daemon=True)
+    t.start()
+    return t
+
+
+class TestReadSide:
+    def test_many_readers_hold_concurrently(self):
+        lock = RWLock()
+        inside = threading.Barrier(4, timeout=5)  # 3 readers + this test
+        done = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three must be inside at once
+                done.wait(5)
+
+        threads = [run_thread(reader) for _ in range(3)]
+        inside.wait()
+        assert lock.readers == 3
+        done.set()
+        for t in threads:
+            t.join(5)
+        assert lock.readers == 0
+
+    def test_read_released_on_exception(self):
+        lock = RWLock()
+        try:
+            with lock.read_locked():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert lock.readers == 0
+        with lock.write_locked():  # would deadlock if the read leaked
+            pass
+
+
+class TestWriteSide:
+    def test_writer_is_exclusive_against_readers(self):
+        lock = RWLock()
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+        reader_got_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                release_writer.wait(5)
+
+        def reader():
+            with lock.read_locked():
+                reader_got_in.set()
+
+        wt = run_thread(writer)
+        assert writer_in.wait(5)
+        rt = run_thread(reader)
+        # the reader must block while the writer holds the lock
+        assert not reader_got_in.wait(0.1)
+        assert lock.write_active
+        release_writer.set()
+        assert reader_got_in.wait(5)
+        wt.join(5)
+        rt.join(5)
+
+    def test_writers_are_mutually_exclusive(self):
+        lock = RWLock()
+        order = []
+        first_in = threading.Event()
+        release_first = threading.Event()
+
+        def writer(tag, gate):
+            if gate is not None:
+                gate.wait(5)
+            with lock.write_locked():
+                if tag == "a":
+                    first_in.set()
+                    release_first.wait(5)
+                order.append(tag)
+
+        ta = run_thread(lambda: writer("a", None))
+        assert first_in.wait(5)
+        tb = run_thread(lambda: writer("b", None))
+        tb.join(0.1)
+        assert order == []  # b is still waiting on a
+        release_first.set()
+        ta.join(5)
+        tb.join(5)
+        assert order == ["a", "b"]
+
+    def test_write_released_on_exception(self):
+        lock = RWLock()
+        try:
+            with lock.write_locked():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not lock.write_active
+        with lock.read_locked():
+            pass
+
+
+class TestWriterPreference:
+    def test_new_readers_queue_behind_waiting_writer(self):
+        """Once a writer waits, fresh readers must not jump the queue —
+        otherwise sustained query traffic starves every attach."""
+        lock = RWLock()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+        writer_done = threading.Event()
+        late_reader_in = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                release_reader.wait(5)
+
+        def writer():
+            with lock.write_locked():
+                writer_done.set()
+
+        def late_reader():
+            with lock.read_locked():
+                late_reader_in.set()
+
+        rt = run_thread(first_reader)
+        assert reader_in.wait(5)
+        wt = run_thread(writer)
+        # give the writer time to register as waiting
+        wt.join(0.1)
+        lt = run_thread(late_reader)
+        # the late reader must NOT get in while a writer is waiting
+        assert not late_reader_in.wait(0.1)
+        assert not writer_done.is_set()
+        release_reader.set()
+        assert writer_done.wait(5)  # writer goes first ...
+        assert late_reader_in.wait(5)  # ... then the late reader
+        for t in (rt, wt, lt):
+            t.join(5)
