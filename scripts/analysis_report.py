@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Diff ``repro.analysis`` findings between two git revisions.
+
+Extracts each revision into a temp directory with ``git archive``, runs
+the *current* analyzer (the one on ``sys.path`` — so rule changes apply
+uniformly to both sides) over ``src tests benchmarks`` in each, and
+reports findings that were fixed, introduced, or carried over.  Findings
+are keyed by ``(rule, path, message)`` — not line number — so pure code
+motion does not show up as churn.
+
+Usage::
+
+    python scripts/analysis_report.py OLD_REV NEW_REV [--format text|json]
+
+``NEW_REV`` may be ``WORKTREE`` to compare against the working tree
+(including uncommitted changes).  Exit code 0 when nothing was
+introduced, 1 when the new revision has findings the old one did not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tarfile
+import tempfile
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis import analyze_paths  # noqa: E402
+
+SCAN_ROOTS = ("src", "tests", "benchmarks")
+
+Key = Tuple[str, str, str]
+
+
+def _extract_revision(rev: str, dest: str) -> None:
+    """Materialize ``rev`` under ``dest`` via ``git archive``."""
+    archive = os.path.join(dest, "rev.tar")
+    with open(archive, "wb") as fh:
+        subprocess.run(
+            ["git", "-C", REPO_ROOT, "archive", rev],
+            stdout=fh,
+            check=True,
+        )
+    with tarfile.open(archive) as tar:
+        tar.extractall(dest)  # trusted input: our own repo's history
+    os.unlink(archive)
+
+
+def _findings_for_tree(root: str) -> Dict[Key, int]:
+    """Run the analyzer over a tree; map (rule, relpath, message) -> line."""
+    roots = [os.path.join(root, r) for r in SCAN_ROOTS if os.path.isdir(os.path.join(root, r))]
+    result = analyze_paths(roots)
+    out: Dict[Key, int] = {}
+    for f in result.findings:
+        rel = os.path.relpath(f.path, root)
+        out[(f.rule, rel, f.message)] = f.line
+    return out
+
+
+def _findings_for_rev(rev: str) -> Dict[Key, int]:
+    if rev == "WORKTREE":
+        return _findings_for_tree(REPO_ROOT)
+    with tempfile.TemporaryDirectory(prefix="ra-diff-") as tmp:
+        _extract_revision(rev, tmp)
+        return _findings_for_tree(tmp)
+
+
+def _render_section(title: str, keys: List[Key], lines: Dict[Key, int]) -> List[str]:
+    out = [f"{title} ({len(keys)}):"]
+    for rule, path, message in sorted(keys):
+        out.append(f"  {path}:{lines[(rule, path, message)]}: {rule} {message}")
+    return out
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old_rev", help="baseline revision (e.g. origin/main)")
+    parser.add_argument("new_rev", help="candidate revision, or WORKTREE")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    opts = parser.parse_args(argv)
+
+    try:
+        old = _findings_for_rev(opts.old_rev)
+        new = _findings_for_rev(opts.new_rev)
+    except subprocess.CalledProcessError as exc:
+        print(f"git archive failed: {exc}", file=sys.stderr)
+        return 2
+
+    fixed = [k for k in old if k not in new]
+    introduced = [k for k in new if k not in old]
+    carried = [k for k in new if k in old]
+
+    if opts.format == "json":
+        doc = {
+            "old_rev": opts.old_rev,
+            "new_rev": opts.new_rev,
+            "fixed": [
+                {"rule": r, "path": p, "message": m} for r, p, m in sorted(fixed)
+            ],
+            "introduced": [
+                {"rule": r, "path": p, "message": m, "line": new[(r, p, m)]}
+                for r, p, m in sorted(introduced)
+            ],
+            "carried": [
+                {"rule": r, "path": p, "message": m, "line": new[(r, p, m)]}
+                for r, p, m in sorted(carried)
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"analysis diff: {opts.old_rev} -> {opts.new_rev}")
+        for line in _render_section("fixed", fixed, old):
+            print(line)
+        for line in _render_section("introduced", introduced, new):
+            print(line)
+        for line in _render_section("carried over", carried, new):
+            print(line)
+
+    return 1 if introduced else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

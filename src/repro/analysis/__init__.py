@@ -1,0 +1,51 @@
+"""``repro.analysis`` — AST-based invariant linter for the PPKWS tree.
+
+The serving stack accumulated cross-cutting contracts that ordinary
+linters cannot see: registry maps may only be written under their locks,
+errors must come from the :class:`~repro.exceptions.ReproError` taxonomy,
+metric names must be drawn from the generated catalogue
+(:mod:`repro.obs.catalogue`), expansion loops must honour query budgets,
+algorithm layers must stay behind the :class:`~repro.graph.protocol.GraphLike`
+protocol, and durations must never be measured with the wall clock.
+Each contract is a :class:`~repro.analysis.engine.Rule` with a stable
+``RAxxx`` id; the engine parses every file once and dispatches the
+selected rules over the tree.
+
+Run it as a module::
+
+    python -m repro.analysis [--format json] [--select RA001,RA005] paths...
+
+Findings can be suppressed per line with ``# ra: ignore[RA001]`` (or
+``# ra: ignore`` for every rule) and per file with a
+``# ra: ignore-file[RA003]`` comment; suppressions should carry a
+justification in the surrounding comment.  See the README's
+"Static analysis & typing" section for the rule table.
+"""
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    FileContext,
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+]

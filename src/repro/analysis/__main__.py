@@ -1,0 +1,138 @@
+"""CLI for the invariant linter.
+
+Usage::
+
+    python -m repro.analysis [--format text|json] [--select RA001,RA004]
+                             [--list-rules] [--check-catalogue] paths...
+
+Exit status: 0 clean, 1 findings (or catalogue drift), 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import analyze_paths, iter_python_files
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, rules_by_id
+
+_METRIC_LITERAL = re.compile(r'"(ppkws_[a-z0-9_]+)"')
+
+
+def _list_rules() -> str:
+    lines = ["available rules:"]
+    for rule in ALL_RULES:
+        lines.append(f"  {rule.id}  {rule.title}")
+        lines.append(f"         {rule.rationale}")
+    return "\n".join(lines)
+
+
+def check_catalogue(
+    src_root: str = "src/repro", readme_path: str = "README.md"
+) -> List[str]:
+    """Both directions of catalogue sync; returns problem descriptions."""
+    from repro.obs.catalogue import metric_names, missing_from_text
+
+    problems: List[str] = []
+    catalogued = metric_names()
+
+    used = set()
+    for file_path in iter_python_files([src_root]):
+        if Path(file_path).name == "catalogue.py":
+            continue
+        text = Path(file_path).read_text(encoding="utf-8")
+        used.update(_METRIC_LITERAL.findall(text))
+    for name in sorted(used - catalogued):
+        problems.append(
+            f"metric `{name}` is recorded in {src_root} but missing from "
+            f"repro/obs/catalogue.py"
+        )
+    for name in sorted(catalogued - used):
+        problems.append(
+            f"catalogue entry `{name}` is no longer used anywhere in "
+            f"{src_root} (stale entry)"
+        )
+
+    readme = Path(readme_path)
+    if readme.exists():
+        for name in missing_from_text(readme.read_text(encoding="utf-8")):
+            problems.append(
+                f"catalogue entry `{name}` is missing from {readme_path}'s "
+                f"metric table"
+            )
+    else:
+        problems.append(f"README not found at {readme_path}")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the PPKWS tree.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--check-catalogue",
+        action="store_true",
+        help="verify src metrics, repro/obs/catalogue.py and the README "
+        "metric table agree",
+    )
+    parser.add_argument(
+        "--readme", default="README.md", help="README path for --check-catalogue"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    if args.check_catalogue:
+        src_root = args.paths[0] if args.paths else "src/repro"
+        problems = check_catalogue(src_root=src_root, readme_path=args.readme)
+        for problem in problems:
+            print(problem)
+        if not problems:
+            print("catalogue, source and README metric tables are in sync")
+        return 1 if problems else 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = set(s.upper() for s in select) - set(rules_by_id())
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    result = analyze_paths(args.paths, select=select)
+    output = render_json(result) if args.fmt == "json" else render_text(result)
+    print(output)
+    if result.errors:
+        return 2
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

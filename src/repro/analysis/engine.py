@@ -1,0 +1,341 @@
+"""The rule engine: file contexts, suppressions and rule dispatch.
+
+Design
+------
+A :class:`Rule` declares a stable id (``RA001`` ...), a one-line
+invariant, and two methods:
+
+* :meth:`Rule.applies_to` — a cheap path/module predicate so rules
+  scoped to (say) ``repro.semantics.*`` never walk unrelated trees;
+* :meth:`Rule.check` — yields :class:`Finding` objects for one parsed
+  file (:class:`FileContext` carries the source, the ``ast`` tree, the
+  dotted module guess and the raw lines).
+
+The engine parses each file exactly once, runs every selected rule whose
+scope matches, then drops findings suppressed by ``# ra: ignore[...]``
+comments (collected with :mod:`tokenize`, so strings that merely contain
+the marker text do not suppress anything).
+
+Fixture testing uses ``force=True``: scope predicates are bypassed so a
+rule can be exercised against ``tests/analysis_fixtures/*`` files that
+live outside its production scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Suppressions",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "module_name_for",
+]
+
+#: Directory names never descended into when walking path arguments.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", ".hypothesis"})
+
+#: Directories holding deliberately-violating rule fixtures; skipped when
+#: walking, still analyzable when a file inside is named explicitly.
+FIXTURE_DIRS = frozenset({"analysis_fixtures"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+#: ``# ra: ignore``, ``# ra: ignore[RA001, RA002]``,
+#: ``# ra: ignore-file[RA003]`` — an empty bracket list means "all rules".
+_SUPPRESS_RE = re.compile(
+    r"ra:\s*(?P<kind>ignore-file|ignore)\s*"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+#: Sentinel rule set meaning "every rule".
+_ALL = frozenset({"*"})
+
+
+def _parse_rule_list(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return _ALL
+    names = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    return names or _ALL
+
+
+@dataclass
+class Suppressions:
+    """Per-file and per-line ``ra: ignore`` directives."""
+
+    file_rules: FrozenSet[str] = frozenset()
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "*" in self.file_rules or rule in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line, frozenset())
+        return "*" in at_line or rule in at_line
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Collect ``ra: ignore`` directives from real comment tokens.
+
+    An inline directive suppresses its own line; a directive on a
+    standalone comment line suppresses the next *code* line (so a
+    justification block above the flagged statement works).
+    """
+    out = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    lines = source.splitlines()
+
+    def is_blank_or_comment(lineno: int) -> bool:
+        if not (1 <= lineno <= len(lines)):
+            return False
+        stripped = lines[lineno - 1].strip()
+        return not stripped or stripped.startswith("#")
+
+    file_rules: FrozenSet[str] = out.file_rules
+    for line, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        if match.group("kind") == "ignore-file":
+            file_rules = file_rules | rules
+            continue
+        target = line
+        if lines[line - 1].strip().startswith("#"):
+            # Standalone comment: walk down to the statement it documents.
+            target = line + 1
+            while target <= len(lines) and is_blank_or_comment(target):
+                target += 1
+        out.line_rules[target] = out.line_rules.get(target, frozenset()) | rules
+    out.file_rules = file_rules
+    return out
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name for a file path.
+
+    ``src/repro/core/budget.py`` -> ``repro.core.budget``;
+    ``tests/test_obs.py`` -> ``tests.test_obs``.  Used by rule scope
+    predicates, so only the ``repro``-rooted shape needs to be exact.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    for anchor in ("repro", "tests", "benchmarks", "scripts", "examples"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one parsed file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: str
+    lines: List[str]
+    force: bool = False
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def has_comment_on_line(self, lineno: int) -> bool:
+        """Whether the physical line carries a (justification) comment."""
+        text = self.line_text(lineno)
+        return "#" in text
+
+
+class Rule:
+    """Base class for one ``RAxxx`` invariant."""
+
+    id: str = "RA000"
+    title: str = "unnamed rule"
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus bookkeeping from one ``analyze_paths`` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    force: bool = False,
+) -> Tuple[List[Finding], int]:
+    """Run ``rules`` over one source blob; returns (findings, suppressed)."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=module_name_for(path),
+        lines=source.splitlines(),
+        force=force,
+    )
+    raw: List[Finding] = []
+    for rule in rules:
+        if force or rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    if not raw:
+        return [], 0
+    suppressions = parse_suppressions(source)
+    kept = [f for f in raw if not suppressions.is_suppressed(f.rule, f.line)]
+    return sorted(kept), len(raw) - len(kept)
+
+
+def analyze_file(
+    path: str, rules: Sequence[Rule], force: bool = False
+) -> Tuple[List[Finding], int]:
+    """Parse and analyze one file (see :func:`analyze_source`)."""
+    source = Path(path).read_text(encoding="utf-8")
+    return analyze_source(source, path, rules, force=force)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths``, skipping cache/fixture dirs.
+
+    A path naming a file directly is always yielded, even inside a
+    fixture directory — that is how fixture tests opt in.
+    """
+    seen = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            key = str(p)
+            if key not in seen:
+                seen.add(key)
+                yield key
+            continue
+        for sub in sorted(p.rglob("*.py")):
+            parts = set(sub.parts)
+            if parts & SKIP_DIRS or parts & FIXTURE_DIRS:
+                continue
+            key = str(sub)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Sequence[str]] = None,
+    force: bool = False,
+) -> AnalysisResult:
+    """Analyze every Python file reachable from ``paths``.
+
+    ``select`` filters rules by id (case-insensitive); unknown ids raise
+    ``ValueError`` so typos fail loudly instead of silently passing.
+    """
+    from repro.analysis.rules import ALL_RULES
+
+    active: List[Rule] = list(ALL_RULES if rules is None else rules)
+    if select is not None:
+        wanted = {s.upper() for s in select}
+        known = {r.id for r in active}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        active = [r for r in active if r.id in wanted]
+
+    result = AnalysisResult()
+    for file_path in iter_python_files(paths):
+        try:
+            findings, suppressed = analyze_file(file_path, active, force=force)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append(f"{file_path}: {exc}")
+            continue
+        result.files_checked += 1
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+    result.findings.sort()
+    return result

@@ -1,0 +1,39 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    """``path:line:col: RAxxx message`` lines plus a summary footer."""
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts_by_rule()
+    by_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+    summary = (
+        f"{len(result.findings)} finding(s)"
+        + (f" [{by_rule}]" if by_rule else "")
+        + f", {result.suppressed} suppressed, "
+        f"{result.files_checked} file(s) checked"
+    )
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """A stable JSON document (consumed by ``scripts/analysis_report.py``)."""
+    doc = {
+        "version": 1,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": result.suppressed,
+        "files_checked": result.files_checked,
+        "errors": list(result.errors),
+        "counts_by_rule": result.counts_by_rule(),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

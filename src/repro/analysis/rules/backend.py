@@ -1,0 +1,104 @@
+"""RA005 — backend purity outside :mod:`repro.graph`.
+
+The traversal/sketch/portal/semantics layers run over three graph
+backends through the :class:`~repro.graph.protocol.GraphLike` protocol;
+code that reaches into a concrete backend's internals (the dict
+backend's ``_adj``/``_label_index``, the CSR backend's
+``_indptr``/``_indices``/``_weights``/id tables, or the backend-specific
+``csr()`` accessor) silently breaks the other backends and the
+bit-identical frozen/dict equivalence suite.
+
+The rule flags any access to a backend-internal member from a module
+outside ``repro.graph``, with two escapes:
+
+* ``self.<attr>`` accesses in a module that itself assigns that
+  attribute are that module's *own* state (e.g. the portal distance
+  map's private ``_adj``), not a graph-backend poke;
+* deliberate int-specialised fast paths may keep a justified
+  ``# ra: ignore[RA005]`` on the access line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["BackendPurityRule", "BACKEND_INTERNAL_MEMBERS"]
+
+#: Private members of LabeledGraph / FrozenGraph, plus the
+#: backend-specific public ``csr()`` accessor (not part of GraphLike).
+BACKEND_INTERNAL_MEMBERS = frozenset(
+    {
+        "_adj",
+        "_label_index",
+        "_set_labels",
+        "_indptr",
+        "_indices",
+        "_weights",
+        "_id_of",
+        "_vertex_of",
+        "_label_ids",
+        "_labels_by_id",
+        "csr",
+    }
+)
+
+
+def _own_attributes(tree: ast.Module) -> Set[str]:
+    """Attributes the module assigns on ``self`` (its own state)."""
+    own: Set[str] = set()
+
+    def collect(target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect(element)
+        elif isinstance(target, ast.Attribute):
+            own.add(target.attr)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                collect(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            collect(node.target)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            own.add(node.name)  # a locally-defined method is not a poke
+    return own
+
+
+class BackendPurityRule(Rule):
+    id = "RA005"
+    title = "only GraphLike members outside repro.graph"
+    rationale = (
+        "Algorithms must run identically over the dict and CSR backends; "
+        "internal pokes pin code to one backend and break equivalence."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
+            return False
+        if ctx.module.startswith("repro.graph"):
+            return False
+        return not ctx.module.startswith("repro.analysis")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        own = _own_attributes(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if attr not in BACKEND_INTERNAL_MEMBERS or attr in own:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"access to backend-internal `{attr}` outside "
+                    f"repro.graph (use the GraphLike protocol, or justify "
+                    f"a fast path with `# ra: ignore[RA005]`)",
+                )
+            )
+        return findings

@@ -1,0 +1,144 @@
+"""RA004 — budget discipline in the expansion loops.
+
+PR 1 threaded :class:`~repro.core.budget.QueryBudget` through every
+vertex-expanding loop so a single adversarial query cannot pin a worker.
+That invariant decays silently: a new loop that forgets to checkpoint
+reintroduces unbounded latency without failing any functional test.
+
+Within the budgeted modules (``repro.graph.traversal``,
+``repro.semantics.*`` and ``repro.core.pp_*``), any function taking a
+``budget`` parameter must reference ``budget`` inside each outermost
+*expanding* loop — a loop whose body pops a heap
+(``heappop`` / ``heappushpop``) or walks adjacency
+(``neighbor_items`` / ``neighbors``).  Passing the budget down to a
+callee inside the loop counts: the callee checkpoints on our behalf.
+
+Everywhere under ``repro``, the rule also flags handlers that *swallow*
+a budget exception (``except BudgetError: pass``): graceful degradation
+must record what was interrupted, never discard the signal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import (
+    call_name,
+    handler_type_names,
+    is_trivial_body,
+)
+
+__all__ = ["BudgetDisciplineRule"]
+
+_EXPANSION_CALLS = frozenset(
+    {"heappop", "heappushpop", "neighbor_items", "neighbors"}
+)
+
+_BUDGET_EXCEPTIONS = frozenset(
+    {
+        "BudgetError",
+        "BudgetExhaustedError",
+        "DeadlineExceededError",
+        "QueryCancelledError",
+    }
+)
+
+_LOOP_MODULE_PREFIXES = ("repro.semantics.", "repro.core.pp_")
+_LOOP_MODULES = ("repro.graph.traversal",)
+
+
+def _in_loop_scope(module: str) -> bool:
+    return module in _LOOP_MODULES or module.startswith(_LOOP_MODULE_PREFIXES)
+
+
+def _is_expanding(loop: ast.AST) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Call):
+            name = call_name(node.func)
+            if name in _EXPANSION_CALLS:
+                return True
+    return False
+
+
+def _mentions_budget(loop: ast.AST) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and node.id == "budget":
+            return True
+        if isinstance(node, ast.keyword) and node.arg == "budget":
+            return True
+    return False
+
+
+class BudgetDisciplineRule(Rule):
+    id = "RA004"
+    title = "expanding loops must honour an in-scope budget"
+    rationale = (
+        "A budget parameter that a loop ignores reintroduces unbounded "
+        "query latency; a swallowed BudgetError hides the degradation."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module == "repro" or ctx.module.startswith("repro.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if ctx.force or _in_loop_scope(ctx.module):
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if self._takes_budget(node):
+                        self._check_function(ctx, node, findings)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                caught = handler_type_names(node) & _BUDGET_EXCEPTIONS
+                if caught and is_trivial_body(node.body):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"`except {sorted(caught)[0]}` swallows the "
+                            f"budget signal (record degradation or re-raise)",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _takes_budget(func: ast.FunctionDef) -> bool:
+        args = func.args
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        return any(a.arg == "budget" for a in every)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef,
+        findings: List[Finding],
+    ) -> None:
+        """Flag outermost expanding loops that never mention ``budget``."""
+
+        def scan(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.While, ast.For, ast.AsyncFor)):
+                    if _is_expanding(child):
+                        if not _mentions_budget(child):
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    child,
+                                    "vertex-expanding loop ignores the "
+                                    "in-scope `budget` (call "
+                                    "budget.checkpoint()/expired() or pass "
+                                    "budget to the callee)",
+                                )
+                            )
+                        continue  # one finding per outermost expanding loop
+                    scan(child)
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue  # nested defs have their own parameter scope
+                else:
+                    scan(child)
+
+        scan(func)

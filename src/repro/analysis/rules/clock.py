@@ -1,0 +1,70 @@
+"""RA006 — monotonic-time discipline.
+
+``time.time()`` jumps with NTP slews and DST/leap adjustments, so
+durations, deadlines and rate computations measured with it can go
+negative or silently stretch.  Library and benchmark code must measure
+with ``time.monotonic()`` / ``time.perf_counter()`` or accept an
+injected ``clock`` callable (as :class:`~repro.core.budget.QueryBudget`
+does).  Genuine wall-clock *timestamps* (log lines, report metadata) are
+rare; justify them with ``# ra: ignore[RA006]`` on the call line.
+
+The rule flags ``time.time()`` calls and ``from time import time``
+(which hides the tainted name behind an innocent one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["MonotonicClockRule"]
+
+
+class MonotonicClockRule(Rule):
+    id = "RA006"
+    title = "time.time() is banned for durations"
+    rationale = (
+        "Wall clocks are not monotonic; deadlines and latency metrics "
+        "computed from them misfire under clock adjustments."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module == "repro" or ctx.module.startswith("repro."):
+            return True
+        return ctx.module.startswith(("benchmarks", "scripts", "examples"))
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "time"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "time.time() call (use time.monotonic() / "
+                            "time.perf_counter() or an injected clock)",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and any(
+                    alias.name == "time" for alias in node.names
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "`from time import time` (import monotonic/"
+                            "perf_counter instead; wall clock is banned "
+                            "for durations)",
+                        )
+                    )
+        return findings

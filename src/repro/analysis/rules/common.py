@@ -1,0 +1,87 @@
+"""Shared AST helpers for the ``RAxxx`` rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+__all__ = [
+    "call_name",
+    "exception_names",
+    "handler_type_names",
+    "is_trivial_body",
+    "receiver_of",
+    "walk_stopping_at_functions",
+]
+
+
+def call_name(func: ast.expr) -> Optional[str]:
+    """The terminal name of a call target (``a.b.C(...)`` -> ``C``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def receiver_of(node: ast.Attribute) -> Optional[str]:
+    """The simple-name receiver of an attribute access, if any.
+
+    ``self._adj`` -> ``"self"``; ``graph._adj`` -> ``"graph"``;
+    ``f()._adj`` -> ``None``.
+    """
+    if isinstance(node.value, ast.Name):
+        return node.value.id
+    return None
+
+
+def handler_type_names(handler: ast.ExceptHandler) -> FrozenSet[str]:
+    """The class names an ``except`` clause catches (empty for bare)."""
+    node = handler.type
+    if node is None:
+        return frozenset()
+    names = []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        name = call_name(element)
+        if name is not None:
+            names.append(name)
+    return frozenset(names)
+
+
+def is_trivial_body(body: list) -> bool:
+    """Whether a handler body does nothing (``pass`` / ``...`` / ``continue``)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+def exception_names() -> FrozenSet[str]:
+    """Every builtin exception class name (``ValueError``, ...)."""
+    import builtins
+
+    return frozenset(
+        name
+        for name in dir(builtins)
+        if isinstance(getattr(builtins, name), type)
+        and issubclass(getattr(builtins, name), BaseException)
+    )
+
+
+def walk_stopping_at_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield descendants without crossing into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(child))

@@ -1,0 +1,76 @@
+"""RA003 — every ``ppkws_*`` metric literal must be in the catalogue.
+
+Dashboards, alerts and the README's metric table are all written against
+metric *names*; a typo'd or undocumented name silently creates a fresh,
+unwatched series.  :mod:`repro.obs.catalogue` is the single source of
+truth (kept in sync with the README by ``--check-catalogue``); this rule
+flags any ``ppkws_``-prefixed string literal passed as the metric-name
+argument of a registry write/read call (``inc`` / ``observe`` /
+``set_gauge`` / ``value`` / ``histogram``) that the catalogue does not
+list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterable, List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["MetricCatalogueRule", "METRIC_CALL_NAMES"]
+
+#: Registry methods whose first argument is a metric name.
+METRIC_CALL_NAMES = frozenset(
+    {"inc", "observe", "set_gauge", "value", "histogram", "counter", "gauge"}
+)
+
+
+def _catalogue_names() -> FrozenSet[str]:
+    try:
+        from repro.obs.catalogue import metric_names
+    except Exception:  # pragma: no cover - foreign checkout without catalogue
+        return frozenset()
+    return metric_names()
+
+
+class MetricCatalogueRule(Rule):
+    id = "RA003"
+    title = "metric names must come from repro.obs.catalogue"
+    rationale = (
+        "An uncatalogued metric name is invisible to dashboards and the "
+        "README table; one catalogue keeps the fleet's eyes consistent."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module == "repro" or ctx.module.startswith("repro.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        known = _catalogue_names()
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            method = None
+            if isinstance(func, ast.Attribute):
+                method = func.attr
+            elif isinstance(func, ast.Name):
+                method = func.id
+            if method not in METRIC_CALL_NAMES or not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant) and isinstance(first.value, str)
+            ):
+                continue
+            name = first.value
+            if name.startswith("ppkws_") and name not in known:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        first,
+                        f"metric `{name}` is not in repro/obs/catalogue.py "
+                        f"(add it there and to the README metric table)",
+                    )
+                )
+        return findings

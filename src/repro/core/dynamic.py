@@ -123,6 +123,9 @@ class DynamicPrivateGraph:
             if d < INF:
                 for t in labels:
                     att.oracle.pkd.record(p, t, v, d)
+        # The maps changed in place: move the epoch or the answer/batch
+        # caches keep returning answers computed without the new labels.
+        self.engine._bump_attachment_epoch()
 
     # ------------------------------------------------------------------
     # non-monotone updates: rebuild
@@ -213,7 +216,7 @@ class DynamicPrivateGraph:
                 att.oracle.public,
             ),
         )
-        self.engine._attachments[self.owner] = new_att
+        self.engine._replace_attachment(self.owner, new_att)
 
     def _rebuild(self) -> None:
         """Full per-user rebuild (used for non-monotone changes)."""

@@ -372,6 +372,31 @@ class PPKWS:
             del self._attachments[owner]
             self._attachment_epoch += 1
 
+    def _replace_attachment(self, owner: str, attachment: Attachment) -> None:
+        """Swap in repaired per-user state (dynamic incremental updates).
+
+        Takes the attachment lock like :meth:`attach`/:meth:`detach` and
+        bumps the epoch: the repaired maps can change which answers are
+        current, so cached results keyed on the old epoch must die with
+        it.  (An unlocked write here used to race with ``owners()`` and
+        concurrent attach/detach; RA001 now pins the discipline.)
+        """
+        with self._attachments_lock:
+            if owner not in self._attachments:
+                raise OwnerNotAttachedError(owner)
+            self._attachments[owner] = attachment
+            self._attachment_epoch += 1
+
+    def _bump_attachment_epoch(self) -> None:
+        """Invalidate epoch-keyed caches after an in-place map mutation.
+
+        Dynamic label additions repair the portal-keyword map without
+        replacing the :class:`Attachment`; the epoch must still move or
+        the answer/batch caches keep serving pre-mutation results.
+        """
+        with self._attachments_lock:
+            self._attachment_epoch += 1
+
     def attachment(self, owner: str) -> Attachment:
         """The per-user state for ``owner``."""
         try:

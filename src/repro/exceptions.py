@@ -139,6 +139,19 @@ class QueryCancelledError(BudgetError):
         super().__init__("query was cancelled")
 
 
+class ExecutorShutdownError(ReproError, RuntimeError):
+    """Raised when work is submitted to a shut-down :class:`ServiceExecutor`.
+
+    Doubly derived from :class:`RuntimeError` for backward compatibility:
+    callers that guarded ``submit`` with ``except RuntimeError`` (the
+    pre-taxonomy behaviour) keep working, while new code can catch it as
+    a :class:`ReproError` like every other library failure.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("cannot submit to a shut-down executor")
+
+
 class ServiceOverloadedError(ReproError):
     """Raised by service admission control when too many requests run.
 

@@ -755,8 +755,21 @@ class PPKWSService:
                 if error_class == "ServiceOverloadedError":
                     registry.inc("ppkws_rejected_total")
                 registry.set_gauge("ppkws_in_flight_requests", self._in_flight)
-        except Exception:  # pragma: no cover - defensive only
-            pass
+        except (AttributeError, LookupError, TypeError, ValueError) as exc:
+            # Observability must never break a request, but a broken
+            # observer must not be silent either: these are the concrete
+            # malfunction classes shape drift in the result/trace
+            # plumbing produces, and each firing is counted so a
+            # dashboard shows the telemetry gap instead of nothing.
+            try:
+                registry = self._metrics_registry()
+                if registry is not None:
+                    registry.inc(
+                        "ppkws_internal_errors_total",
+                        labels={"error": f"observer:{type(exc).__name__}"},
+                    )
+            except Exception:  # pragma: no cover - the metrics sink itself broke
+                pass
 
     def _stash(self, result: Any, budget: Any) -> None:
         """Deposit query internals for :meth:`_observe_request`."""

@@ -36,6 +36,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.exceptions import ExecutorShutdownError
 from repro.obs.hooks import observe_executor_queue, observe_executor_request
 from repro.obs.registry import MetricsRegistry, installed
 
@@ -117,11 +118,12 @@ class ServiceExecutor:
         The future only carries an exception if the service itself
         breaks its "never raises" contract (or the executor is broken);
         normal failures are ``status: "error"`` *results*.  Raises
-        :class:`RuntimeError` after :meth:`shutdown`.
+        :class:`~repro.exceptions.ExecutorShutdownError` (a
+        ``RuntimeError`` subclass) after :meth:`shutdown`.
         """
         with self._shutdown_lock:
             if self._shutdown:
-                raise RuntimeError("cannot submit to a shut-down executor")
+                raise ExecutorShutdownError()
             future: "Future[Dict[str, Any]]" = Future()
             self._adjust_pending(+1)
         self._queue.put((request, future, time.perf_counter()))

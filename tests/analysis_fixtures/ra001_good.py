@@ -1,0 +1,33 @@
+"""RA001 good fixture: every registry write holds its guarding lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._engines = {}
+        self._engines_lock = threading.Lock()
+        self._attachments = {}
+        self._attachments_lock = threading.Lock()
+        self._attachment_epoch = 0
+
+    def register(self, name, engine):
+        with self._engines_lock:
+            self._engines[name] = engine
+
+    def forget(self, name):
+        with self._engines_lock:
+            del self._engines[name]
+
+    def evict(self, name):
+        with self._engines_lock:
+            self._engines.pop(name, None)
+
+    def swap(self, owner, attachment):
+        with self._attachments_lock:
+            self._attachments[owner] = attachment
+            self._attachment_epoch += 1
+
+    def lookup(self, name):
+        # Reads stay lock-free: single-key dict reads are atomic.
+        return self._engines.get(name)

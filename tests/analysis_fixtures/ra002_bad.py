@@ -1,0 +1,19 @@
+"""RA002 bad fixture: off-taxonomy raise plus a silent blind except."""
+
+
+def fail():
+    raise RuntimeError("library failure outside the ReproError taxonomy")
+
+
+def swallow():
+    try:
+        fail()
+    except Exception:
+        pass
+
+
+def swallow_bare():
+    try:
+        fail()
+    except:
+        return None

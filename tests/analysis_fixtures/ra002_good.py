@@ -1,0 +1,34 @@
+"""RA002 good fixture: taxonomy raises, justified/re-raising handlers."""
+
+from repro.exceptions import GraphError
+
+
+class LocalError(GraphError):
+    """A locally-defined taxonomy member (base chains to ReproError)."""
+
+
+class DerivedLocalError(LocalError):
+    """Second-level chain resolved by the rule's two-pass base scan."""
+
+
+def fail():
+    raise DerivedLocalError("still inside the taxonomy")
+
+
+def validate(k):
+    if k <= 0:
+        raise ValueError("allowlisted builtin: argument validation")
+
+
+def cleanup_and_reraise():
+    try:
+        fail()
+    except BaseException:
+        raise
+
+
+def justified():
+    try:
+        fail()
+    except Exception:  # fixture: demonstrates a justified blind handler
+        return None

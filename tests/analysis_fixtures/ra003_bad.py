@@ -1,0 +1,7 @@
+"""RA003 bad fixture: a ppkws_* metric name missing from the catalogue."""
+
+
+def record(registry):
+    registry.inc("ppkws_definitely_uncatalogued_total")
+    registry.observe("ppkws_imaginary_seconds", 0.25)
+    registry.set_gauge("ppkws_phantom_depth", 3)

@@ -1,0 +1,14 @@
+"""RA003 good fixture: catalogued names and un-prefixed ad-hoc metrics."""
+
+
+def record(registry):
+    registry.inc("ppkws_requests_total", labels={"op": "blinks", "status": "ok"})
+    registry.observe("ppkws_request_seconds", 0.003, labels={"op": "blinks"})
+    registry.set_gauge("ppkws_in_flight_requests", 2)
+    # Names without the ppkws_ prefix are test/ad-hoc series; unrestricted.
+    registry.inc("adhoc_test_counter_total")
+
+
+def dynamic(registry, name):
+    # Non-literal names cannot be checked statically; the rule skips them.
+    registry.inc(name)

@@ -1,0 +1,25 @@
+"""RA004 bad fixture: expanding loop ignoring budget; swallowed signal."""
+
+import heapq
+
+from repro.exceptions import BudgetExhaustedError
+
+
+def sweep(graph, heap, budget=None):
+    seen = set()
+    while heap:  # expanding loop: pops the heap, walks adjacency
+        d, v = heapq.heappop(heap)
+        if v in seen:
+            continue
+        seen.add(v)
+        for nbr, w in graph.neighbor_items(v):
+            if nbr not in seen:
+                heapq.heappush(heap, (d + w, nbr))
+    return seen
+
+
+def swallow(budget):
+    try:
+        budget.checkpoint()
+    except BudgetExhaustedError:
+        pass

@@ -1,0 +1,36 @@
+"""RA004 good fixture: checkpointed loops; degradation recorded."""
+
+import heapq
+
+from repro.exceptions import BudgetError
+
+
+def sweep(graph, heap, budget=None):
+    seen = set()
+    while heap:
+        if budget is not None:
+            budget.checkpoint()
+        d, v = heapq.heappop(heap)
+        if v in seen:
+            continue
+        seen.add(v)
+        for nbr, w in graph.neighbor_items(v):
+            if nbr not in seen:
+                heapq.heappush(heap, (d + w, nbr))
+    return seen
+
+
+def delegate(graph, sources, budget=None):
+    out = []
+    for source in sources:
+        # Passing the budget down counts: the callee checkpoints for us.
+        out.append(sweep(graph, [(0.0, source)], budget=budget))
+    return out
+
+
+def degrade(budget, result):
+    try:
+        budget.checkpoint()
+    except BudgetError as exc:
+        result.mark_degraded(exc)  # the signal is recorded, not dropped
+    return result

@@ -1,0 +1,14 @@
+"""RA005 bad fixture: reaching into graph-backend internals."""
+
+
+def count_edges(graph):
+    return sum(len(row) for row in graph._adj.values()) // 2
+
+
+def label_lookup(graph, label):
+    return graph._label_index.get(label, frozenset())
+
+
+def csr_poke(frozen):
+    indptr, indices, weights = frozen.csr()
+    return indptr[0], indices, weights

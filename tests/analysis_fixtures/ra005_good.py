@@ -1,0 +1,24 @@
+"""RA005 good fixture: GraphLike members only; own private state is fine."""
+
+
+def count_edges(graph):
+    return graph.num_edges
+
+
+def label_lookup(graph, label):
+    return graph.vertices_with_label(label)
+
+
+class PortalMap:
+    """A module's own `_adj` is its own state, not a backend poke."""
+
+    def __init__(self):
+        self._adj = {}
+
+    def record(self, p, q, d):
+        self._adj.setdefault(p, {})[q] = d
+
+    def copy(self):
+        out = PortalMap()
+        out._adj = {p: dict(row) for p, row in self._adj.items()}
+        return out

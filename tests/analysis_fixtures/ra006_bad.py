@@ -1,0 +1,9 @@
+"""RA006 bad fixture: wall-clock durations."""
+
+import time
+
+
+def measure(fn):
+    start = time.time()
+    fn()
+    return time.time() - start

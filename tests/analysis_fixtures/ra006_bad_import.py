@@ -1,0 +1,9 @@
+"""RA006 bad fixture: hiding the wall clock behind an innocent name."""
+
+from time import time
+
+
+def measure(fn):
+    start = time()
+    fn()
+    return time() - start

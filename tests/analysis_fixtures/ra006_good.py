@@ -1,0 +1,13 @@
+"""RA006 good fixture: monotonic clocks and injected clocks."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def deadline_in(seconds, clock=time.monotonic):
+    return clock() + seconds

@@ -185,3 +185,33 @@ def test_random_mutation_sequence_stays_consistent(seed):
                 except GraphError:
                     pass
     _state_equal(engine, "u")
+
+
+class TestEpochInvalidation:
+    """Incremental repairs must advance the attachment epoch.
+
+    The serving layer keys its cross-request answer cache on
+    ``PPKWS.attachment_epoch``; a repair that swaps or mutates per-user
+    state without bumping it would let cached answers outlive the data
+    they were computed from (regression: ``add_edge`` once wrote
+    ``_attachments`` directly and ``add_labels`` bumped nothing).
+    """
+
+    def test_add_edge_bumps_attachment_epoch(self, dynamic_setup):
+        engine, dyn = dynamic_setup
+        before = engine.attachment_epoch
+        dyn.add_edge("x1", "x3")
+        assert engine.attachment_epoch > before
+
+    def test_add_labels_bumps_attachment_epoch(self, dynamic_setup):
+        engine, dyn = dynamic_setup
+        before = engine.attachment_epoch
+        dyn.add_labels("x4", {"newkw"})
+        assert engine.attachment_epoch > before
+
+    def test_removals_bump_attachment_epoch(self, dynamic_setup):
+        engine, dyn = dynamic_setup
+        dyn.add_edge("x1", "x3")
+        before = engine.attachment_epoch
+        dyn.remove_edge("x2", "x4")
+        assert engine.attachment_epoch > before

@@ -220,6 +220,29 @@ class TestObservability:
         assert trace["interrupted_step"] == "peval"
         assert trace["network"] == "net" and trace["owner"] == "bob"
 
+    def test_broken_observer_is_counted_not_silent(self, service, monkeypatch):
+        """Regression: observer failures were swallowed blind.  A request
+        must still succeed, but the telemetry gap has to show up in
+        ``ppkws_internal_errors_total{error="observer:..."}``."""
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        service._registry = reg
+
+        def broken_record(trace):
+            raise ValueError("trace ring corrupted")
+
+        monkeypatch.setattr(service._traces, "record", broken_record)
+        resp = service.execute({
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "tau": 4.0, "deadline_ms": 0,
+        })
+        assert resp["status"] == "degraded"  # the request is unaffected
+        assert reg.value(
+            "ppkws_internal_errors_total",
+            labels={"error": "observer:ValueError"},
+        ) == 1.0
+
     def test_ok_requests_counted_but_not_ringed(self, service):
         from repro.obs import MetricsRegistry
 

@@ -7,6 +7,7 @@ import time
 
 import pytest
 
+from repro.exceptions import ExecutorShutdownError, ReproError
 from repro.obs import MetricsRegistry
 from repro.serving import ServiceExecutor
 
@@ -113,6 +114,16 @@ class TestShutdown:
         pool.shutdown()
         with pytest.raises(RuntimeError):
             pool.submit({})
+
+    def test_shutdown_error_is_in_taxonomy(self):
+        """Pin the exception type: a `ReproError` that still satisfies the
+        original `RuntimeError` contract callers may already catch."""
+        pool = ServiceExecutor(EchoService(), workers=1)
+        pool.shutdown()
+        with pytest.raises(ExecutorShutdownError) as excinfo:
+            pool.submit({})
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, RuntimeError)
 
     def test_shutdown_is_idempotent(self):
         pool = ServiceExecutor(EchoService(), workers=2)
