@@ -1,0 +1,105 @@
+"""Fault-injection fast-path micro-benchmark.
+
+The zero-overhead-when-disabled contract of :mod:`repro.faults`: with no
+schedule active every production hook is one module-global read plus a
+``None`` comparison per operation.  This benchmark drives the service
+facade (whose request path crosses the ``service.execute``, rwlock and
+cache fault points) with injection disabled vs a *benign* active
+schedule — specs armed at hit counts the workload never reaches, so the
+bookkeeping (per-point hit counters under a lock) runs but no fault
+ever fires — and asserts the disabled path does not regress against the
+armed one by more than the allowed margin.
+
+Mirrors ``test_obs_overhead.py``: one-sided, interleaved rounds.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+
+from benchmarks.conftest import STRICT, emit
+from repro import faults
+from repro.bench.reporting import write_report
+from repro.datasets.queries import generate_keyword_queries
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.points import CACHE_LOOKUP, RWLOCK_ACQUIRE_READ, SERVICE_EXECUTE
+from repro.service import PPKWSService
+
+TAU = 5.0
+NUM_QUERIES = 8
+ROUNDS = 5
+# disabled-path median must stay within 5% of the armed-schedule median
+MAX_OVERHEAD = 1.05
+#: far beyond anything ROUNDS * NUM_QUERIES requests can reach
+NEVER = 10_000_000
+
+
+def _benign_schedule() -> FaultSchedule:
+    return FaultSchedule([
+        FaultSpec(SERVICE_EXECUTE, "raise", at_hit=NEVER),
+        FaultSpec(RWLOCK_ACQUIRE_READ, "raise", at_hit=NEVER),
+        FaultSpec(CACHE_LOOKUP, "raise", at_hit=NEVER),
+    ])
+
+
+def _run_workload(service, owner, queries) -> float:
+    start = time.perf_counter()
+    for i, q in enumerate(queries):
+        response = service.execute({
+            "op": "blinks", "network": "bench", "owner": owner,
+            "keywords": list(q.keywords), "tau": q.tau, "k": 10,
+            "no_cache": True,  # hit the engine (and the hooks) every time
+        })
+        assert response["status"] in ("ok", "degraded"), response
+    return time.perf_counter() - start
+
+
+def test_faults_fast_path_overhead(setups, benchmark):
+    setup = setups("ppdblp")
+    service = PPKWSService(sketch_k=2)
+    service.create_network("bench", setup.dataset.public)
+    service.attach_user("bench", setup.owner, setup.private)
+    queries = generate_keyword_queries(
+        setup.dataset.public, setup.private,
+        num_queries=NUM_QUERIES, tau=TAU, seed=77,
+    )
+    faults.deactivate()
+    disabled_times, armed_times = [], []
+    schedule = _benign_schedule()
+    _run_workload(service, setup.owner, queries)  # warm-up
+    try:
+        for _ in range(ROUNDS):
+            faults.deactivate()
+            disabled_times.append(
+                _run_workload(service, setup.owner, queries)
+            )
+            with faults.injected(schedule):
+                armed_times.append(
+                    _run_workload(service, setup.owner, queries)
+                )
+    finally:
+        faults.deactivate()
+    disabled, armed = median(disabled_times), median(armed_times)
+    ratio = disabled / armed if armed else 1.0
+
+    report = (
+        "Fault-injection fast-path overhead (Blinks via service, ppdblp)\n"
+        f"  injection disabled median: {disabled * 1000:8.2f} ms\n"
+        f"  benign schedule    median: {armed * 1000:8.2f} ms\n"
+        f"  disabled/armed ratio: {ratio:.3f} (must be < {MAX_OVERHEAD})\n"
+        f"  hits counted at service.execute: "
+        f"{schedule.hits(SERVICE_EXECUTE)}\n"
+    )
+    emit(report)
+    write_report("faults_overhead", report)
+
+    benchmark.pedantic(
+        lambda: _run_workload(service, setup.owner, queries),
+        rounds=1, iterations=1,
+    )
+    # the armed rounds really did count hits — and injected nothing
+    assert schedule.hits(SERVICE_EXECUTE) == ROUNDS * NUM_QUERIES
+    assert schedule.total_injected() == 0
+    if STRICT:
+        assert ratio < MAX_OVERHEAD, report

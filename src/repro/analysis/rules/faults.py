@@ -1,0 +1,78 @@
+"""RA007 — fault points are named constants, never string literals.
+
+The fault-point catalogue (:mod:`repro.faults.points`) exists so a
+renamed or retired injection point breaks loudly at import time.  A
+string literal at a call site defeats that: ``fire("persist.save.writ")``
+arms nothing and a chaos schedule silently stops covering the path it
+was written for.  This rule flags any string literal passed where a
+:class:`~repro.faults.points.FaultPoint` belongs — the point argument of
+``fire`` / ``wrap_write`` / ``FaultSpec`` / ``point_named`` calls
+(positional or ``point=`` keyword) — anywhere in ``repro`` outside the
+:mod:`repro.faults` package itself (whose registry and parser *define*
+the names).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["FaultPointLiteralRule", "POINT_ARG_BY_CALL"]
+
+#: Call name -> index of its fault-point positional argument.
+POINT_ARG_BY_CALL: Dict[str, int] = {
+    "fire": 0,
+    "wrap_write": 1,
+    "FaultSpec": 0,
+    "point_named": 0,
+}
+
+
+class FaultPointLiteralRule(Rule):
+    id = "RA007"
+    title = "fault points must be named constants from repro.faults.points"
+    rationale = (
+        "A string-literal point name silently disarms chaos coverage when "
+        "the point is renamed; the catalogue constant fails at import time."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module == "repro.faults" or ctx.module.startswith("repro.faults."):
+            return False
+        return ctx.module == "repro" or ctx.module.startswith("repro.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name not in POINT_ARG_BY_CALL:
+                continue
+            candidates: List[ast.expr] = []
+            index = POINT_ARG_BY_CALL[name]
+            if len(node.args) > index:
+                candidates.append(node.args[index])
+            for kw in node.keywords:
+                if kw.arg == "point":
+                    candidates.append(kw.value)
+            for arg in candidates:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            arg,
+                            f"`{name}` takes a FaultPoint constant from "
+                            f"repro.faults.points, not the string literal "
+                            f"{arg.value!r}",
+                        )
+                    )
+        return findings

@@ -38,6 +38,8 @@ string-matching messages.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for every error raised by the PPKWS reproduction."""
@@ -146,10 +148,70 @@ class ExecutorShutdownError(ReproError, RuntimeError):
     callers that guarded ``submit`` with ``except RuntimeError`` (the
     pre-taxonomy behaviour) keep working, while new code can catch it as
     a :class:`ReproError` like every other library failure.
+
+    Also used to fail the in-flight future of a worker that dies while
+    the executor is shutting down (see ``ServiceExecutor``'s self-healing
+    contract), hence the overridable message.
     """
 
-    def __init__(self) -> None:
-        super().__init__("cannot submit to a shut-down executor")
+    def __init__(self, message: str = "cannot submit to a shut-down executor") -> None:
+        super().__init__(message)
+
+
+class IndexCorruptError(IndexBuildError):
+    """Raised when a persisted index file fails its integrity checks.
+
+    Distinct from the base :class:`IndexBuildError` (which also covers
+    *stale* files, e.g. a vertex-count mismatch after the graph changed)
+    so the service can quarantine genuinely damaged files — torn writes,
+    bit flips, missing checksum trailers, version skew — to
+    ``<path>.corrupt`` and report the event, instead of silently
+    rebuilding over evidence of disk trouble.
+    """
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"corrupt index file {path!r}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class FaultInjectedError(ReproError):
+    """Raised by :mod:`repro.faults` at an armed injection point.
+
+    Never raised in production: a fault schedule must be explicitly
+    activated (context manager or ``PPKWS_FAULTS``) for any member of
+    this family to fire.  The service facade maps the whole family to
+    the wire code ``internal`` — an injected infrastructure fault is
+    exactly an unexpected internal failure, not a caller error.
+    """
+
+    def __init__(self, point: str, message: "Optional[str]" = None) -> None:
+        super().__init__(message or f"injected fault at point {point!r}")
+        self.point = point
+
+
+class WorkerKilledError(FaultInjectedError):
+    """Injected ``kill``: simulates a worker thread dying mid-request."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point, f"injected worker kill at point {point!r}")
+
+
+class TornWriteError(FaultInjectedError):
+    """Injected ``truncate``: simulates a crash after a partial write.
+
+    Raised by the fault layer's write wrapper once ``byte_offset`` bytes
+    of the stream have been written; everything after the offset is
+    lost, exactly like a power cut mid-``write``.
+    """
+
+    def __init__(self, point: str, byte_offset: int) -> None:
+        super().__init__(
+            point,
+            f"injected torn write after {byte_offset} byte(s) "
+            f"at point {point!r}",
+        )
+        self.byte_offset = byte_offset
 
 
 class ServiceOverloadedError(ReproError):

@@ -18,8 +18,16 @@ from __future__ import annotations
 import os
 from typing import Callable, Union
 
+from repro import faults
 from repro.exceptions import GraphError
+from repro.faults.points import (
+    GRAPH_LOAD_READ,
+    GRAPH_SAVE_FSYNC,
+    GRAPH_SAVE_RENAME,
+    GRAPH_SAVE_WRITE,
+)
 from repro.graph.labeled_graph import LabeledGraph
+from repro.ioutil import atomic_write
 
 __all__ = ["save_graph", "load_graph", "mixed_vertex"]
 
@@ -41,8 +49,18 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 def save_graph(graph: LabeledGraph, path: PathLike) -> None:
-    """Write ``graph`` to ``path`` in the text format above."""
-    with open(path, "w", encoding="utf-8") as fh:
+    """Write ``graph`` to ``path`` atomically in the text format above.
+
+    Uses the same tmp + fsync + rename protocol as index persistence
+    (:func:`repro.ioutil.atomic_write`): a crash mid-save leaves the
+    previous file at ``path`` untouched rather than a torn hybrid.
+    """
+    with atomic_write(
+        os.fspath(path),
+        GRAPH_SAVE_WRITE,
+        GRAPH_SAVE_FSYNC,
+        GRAPH_SAVE_RENAME,
+    ) as fh:
         fh.write(f"# repro graph {graph.name}\n")
         fh.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
         for v in graph.vertices():
@@ -69,6 +87,7 @@ def load_graph(
         output, the default ``str`` otherwise).
     """
     g = LabeledGraph(name or os.fspath(path))
+    faults.fire(GRAPH_LOAD_READ)
     with open(path, encoding="utf-8") as fh:
         for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()

@@ -99,21 +99,27 @@ Observability (see :mod:`repro.obs` and the README's catalogue):
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro import faults
 from repro.core.framework import PIPELINE_STEPS, PPKWS, QueryOptions
 from repro.core.persist import load_index, save_index
 from repro.exceptions import (
     BudgetError,
+    FaultInjectedError,
+    IndexCorruptError,
     OwnerNotAttachedError,
     ReproError,
     ServiceOverloadedError,
     UnknownNetworkError,
 )
+from repro.faults.points import SERVICE_EXECUTE
 from repro.graph.frozen import freeze
 from repro.graph.labeled_graph import LabeledGraph
 from repro.obs import (
@@ -148,6 +154,9 @@ GLOBAL_REQUEST_FIELDS = frozenset({"op", "v", "trace", "no_cache"})
 #: The one central exception -> wire-code map (first match wins; order
 #: matters because the later entries are superclasses of earlier ones).
 _CODE_BY_EXCEPTION: Tuple[Tuple[type, str], ...] = (
+    # An injected fault is an infrastructure failure, not a caller error
+    # — before ReproError, whose subclass it is.
+    (FaultInjectedError, "internal"),
     (ServiceOverloadedError, "overloaded"),
     (UnknownNetworkError, "unknown_network"),
     (OwnerNotAttachedError, "unknown_owner"),
@@ -374,6 +383,13 @@ class PPKWSService:
         #: per-thread scratch where query handlers deposit the result /
         #: budget objects so ``execute`` can assemble the QueryTrace
         self._tls = threading.local()
+        #: executors serving this service (weak: an executor keeps the
+        #: service alive, never the reverse); feeds the ``health`` op
+        self._executors: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._executors_lock = threading.Lock()
+        #: EWMA of request latency (ms) feeding ``retry_after_ms`` hints
+        #: on overload rejections; seeded with a plausible prior
+        self._avg_request_ms = 5.0
 
     def _metrics_registry(self) -> Optional[MetricsRegistry]:
         """The effective registry: constructor-injected, else installed."""
@@ -383,6 +399,27 @@ class PPKWSService:
     def answer_cache(self) -> Optional[AnswerCache]:
         """The cross-request answer cache (``None`` when disabled)."""
         return self._answer_cache
+
+    def bind_executor(self, executor: Any) -> None:
+        """Register an executor so ``health`` can report its liveness.
+
+        Called by :class:`~repro.serving.ServiceExecutor` on
+        construction; the reference is weak, so a discarded executor
+        disappears from health output on its own.
+        """
+        with self._executors_lock:
+            self._executors.add(executor)
+
+    def _warn(self, message: str) -> None:
+        """Attach a warning to the response of the request being executed.
+
+        Handlers report non-fatal conditions (e.g. a quarantined corrupt
+        index) through here; outside a request (direct Python-API calls)
+        the warning has no response to ride on and is dropped.
+        """
+        ctx = getattr(self._tls, "ctx", None)
+        if ctx is not None:
+            ctx.setdefault("warnings", []).append(message)
 
     # ------------------------------------------------------------------
     # per-network locks and epochs
@@ -418,12 +455,16 @@ class PPKWSService:
         ``index_path`` enables index persistence: an existing file there
         is loaded instead of rebuilding the PADS/KPADS sketches (the only
         expensive artifact), and after a fresh build the index is saved
-        there for the next start.  A missing, corrupt or mismatched file
-        (e.g. the graph changed since it was written) silently falls back
-        to a fresh build that overwrites it — persistence is a cache,
-        never a correctness risk.  An *unwritable* ``index_path`` is a
-        configuration error and raises :class:`ReproError` (the network
-        is not registered).
+        there for the next start.  A missing or *stale* file (the graph
+        changed since it was written) silently falls back to a fresh
+        build that overwrites it — persistence is a cache, never a
+        correctness risk.  A *corrupt* file (failed checksum, truncation,
+        version skew — :class:`~repro.exceptions.IndexCorruptError`) is
+        quarantined to ``<index_path>.corrupt`` and reported via a
+        ``warnings`` entry on the response before the rebuild, so disk
+        trouble is visible instead of silently papered over.  An
+        *unwritable* ``index_path`` is a configuration error and raises
+        :class:`ReproError` (the network is not registered).
 
         Thread-safe: the name is reserved under the registry lock before
         the (expensive) index build starts, so concurrent creates of the
@@ -457,8 +498,13 @@ class PPKWSService:
                     index = load_index(frozen_public, index_path)
                 except FileNotFoundError:
                     index = None
+                except IndexCorruptError as exc:
+                    # Damaged file: quarantine the evidence, warn, rebuild.
+                    index = None
+                    self._quarantine_index(index_path, exc)
                 except (ReproError, OSError, ValueError, KeyError, TypeError):
-                    # Corrupt or stale index file: rebuild and replace it.
+                    # Stale (or otherwise unusable) index file: rebuild
+                    # and replace it.
                     index = None
             engine = PPKWS(
                 frozen_public,
@@ -484,6 +530,34 @@ class PPKWSService:
         with self._engines_lock:
             self._engines[name] = engine
             self._epochs[name] = self._epochs.get(name, 0) + 1
+
+    def _quarantine_index(self, index_path: str, exc: IndexCorruptError) -> None:
+        """Move a corrupt index file aside and report the event.
+
+        The damaged bytes are preserved at ``<index_path>.corrupt`` for
+        post-mortem inspection (the rebuild would otherwise overwrite
+        them), ``ppkws_index_corrupt_total`` counts the event, and the
+        in-flight request (if any) gets a ``warnings`` entry.
+        """
+        quarantine_path = f"{index_path}.corrupt"
+        try:
+            os.replace(index_path, quarantine_path)
+        except OSError:
+            # The file vanished or the directory is read-only; the
+            # rebuild path below will surface any real config error.
+            quarantine_path = None  # type: ignore[assignment]
+        registry = self._metrics_registry()
+        if registry is not None:
+            registry.inc("ppkws_index_corrupt_total")
+        where = (
+            f"quarantined to {quarantine_path!r}"
+            if quarantine_path is not None
+            else "quarantine failed; rebuilding over it"
+        )
+        self._warn(
+            f"corrupt index file {index_path!r} ({exc.reason}); "
+            f"{where}; rebuilding index"
+        )
 
     def drop_network(self, name: str) -> None:
         """Forget a network and all its attachments.  Thread-safe.
@@ -564,6 +638,7 @@ class PPKWSService:
         warnings: List[str] = []
         op = request.get("op") if isinstance(request, dict) else None
         try:
+            faults.fire(SERVICE_EXECUTE)
             if not isinstance(request, dict):
                 raise ReproError("request must be a dict with an 'op' field")
             spec = self._OPS.get(op)
@@ -610,8 +685,13 @@ class PPKWSService:
                 "code": code,
                 "retryable": getattr(exc, "retryable", False),
             }
+            if code == "overloaded":
+                # How long the caller should back off before resubmitting:
+                # roughly one average request draining from the pool.
+                response["retry_after_ms"] = self._retry_after_hint_ms()
         finally:
             self._tls.ctx = None
+        warnings += ctx.get("warnings", ())
         if warnings:
             response["warnings"] = warnings
         response["v"] = PROTOCOL_VERSION
@@ -654,14 +734,22 @@ class PPKWSService:
         if key is None:
             return spec.handler(self, request)
         epoch = self.network_epoch(request["network"])
-        hit = cache.lookup(key, epoch)
+        try:
+            hit = cache.lookup(key, epoch)
+        except FaultInjectedError:
+            # A broken cache degrades to a miss, never a failed request.
+            hit = None
         observe_answer_cache(self._metrics_registry(), hit is not None)
         if hit is not None:
             hit["cached"] = True
             return hit
         response = spec.handler(self, request)
         if response.get("status") == "ok":
-            cache.store(key, epoch, response)
+            try:
+                cache.store(key, epoch, response)
+            except FaultInjectedError:
+                # The answer is sound; only its memoization was lost.
+                self._warn("answer cache store failed; response not cached")
         return response
 
     def _cache_key(
@@ -682,6 +770,10 @@ class PPKWSService:
             return None
         return key
 
+    def _retry_after_hint_ms(self) -> float:
+        """Suggested back-off before resubmitting an overloaded request."""
+        return round(min(max(self._avg_request_ms, 1.0), 5000.0), 3)
+
     # -- observability --------------------------------------------------
     def _observe_request(
         self,
@@ -701,6 +793,9 @@ class PPKWSService:
         """
         try:
             duration_ms = (time.perf_counter() - started) * 1000.0
+            # EWMA feeding retry_after_ms; the unsynchronized read-modify-
+            # write is a benign race (the value is a hint, not an invariant).
+            self._avg_request_ms += 0.2 * (duration_ms - self._avg_request_ms)
             status = response.get("status", "error")
             op_label = op if isinstance(op, str) else repr(op)
             trace = QueryTrace(
@@ -754,6 +849,8 @@ class PPKWSService:
                     )
                 if error_class == "ServiceOverloadedError":
                     registry.inc("ppkws_rejected_total")
+                if "retry_after_ms" in response:
+                    registry.inc("ppkws_retry_after_hint_total")
                 registry.set_gauge("ppkws_in_flight_requests", self._in_flight)
         except (AttributeError, LookupError, TypeError, ValueError) as exc:
             # Observability must never break a request, but a broken
@@ -879,6 +976,35 @@ class PPKWSService:
             "prometheus": render_prometheus(registry),
         }
 
+    def _op_health(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Liveness/readiness: per-network state plus worker health.
+
+        A control op — no admission slot, no network lock — so operators
+        can still see the service while it is overloaded or mid-admin.
+        """
+        with self._engines_lock:
+            networks: Dict[str, Dict[str, Any]] = {}
+            for name, engine in self._engines.items():
+                info: Dict[str, Any] = {
+                    "ready": engine is not None,
+                    "epoch": self._epochs.get(name, 0),
+                }
+                if engine is not None:
+                    info["owners"] = len(engine.owners())
+                networks[name] = info
+        with self._admission_lock:
+            in_flight = self._in_flight
+        with self._executors_lock:
+            executors = [ex.health() for ex in self._executors]
+        return {
+            "status": "ok",
+            "networks": networks,
+            "in_flight": in_flight,
+            "max_in_flight": self._max_in_flight,
+            "executors": executors,
+            "faults_active": faults.is_active(),
+        }
+
     def _op_help(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """The op catalogue, straight from the registry."""
         ops = {
@@ -972,6 +1098,10 @@ class PPKWSService:
             OpSpec(
                 "help", _op_help, mode="control",
                 summary="This catalogue: ops, fields, modes, error codes.",
+            ),
+            OpSpec(
+                "health", _op_health, mode="control",
+                summary="Per-network readiness plus executor worker liveness.",
             ),
             OpSpec(
                 "create_network", _op_create_network, mode="admin",

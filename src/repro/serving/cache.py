@@ -32,6 +32,9 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from repro import faults
+from repro.faults.points import CACHE_LOOKUP, CACHE_STORE
+
 __all__ = ["AnswerCache"]
 
 
@@ -75,6 +78,7 @@ class AnswerCache:
         and counts as a miss.  Hits return a deep copy and refresh the
         entry's LRU position.
         """
+        faults.fire(CACHE_LOOKUP)
         with self._lock:
             entry = self._table.get(key)
             if entry is None:
@@ -97,6 +101,7 @@ class AnswerCache:
 
     def store(self, key: Hashable, epoch: int, value: Any) -> None:
         """Insert (a deep copy of) ``value`` computed under ``epoch``."""
+        faults.fire(CACHE_STORE)
         snapshot = copy.deepcopy(value)
         with self._lock:
             if key in self._table:

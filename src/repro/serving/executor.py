@@ -15,6 +15,21 @@ Two entry points::
         future = pool.submit({"op": "knk", ...})       # -> Future
         responses = pool.execute_many(batch_of_dicts)  # ordered list
 
+Self-healing
+------------
+A worker thread that *dies* — anything escaping the worker loop, e.g.
+an injected :class:`~repro.exceptions.WorkerKilledError` at the
+``serving.executor.worker`` fault point — no longer strands the queue:
+the same thread re-enters its loop immediately (a logical respawn,
+counted in ``ppkws_worker_respawns_total`` and :meth:`health`), and the
+request it was holding is *quarantined*: its future resolves to a
+well-formed ``status: "error"`` / ``code: "internal"`` response rather
+than hanging forever or poisoning the next request.  If the death
+happens while the executor is shutting down the future instead fails
+with :class:`~repro.exceptions.ExecutorShutdownError`.  Either way the
+drain guarantee stands: every future returned by :meth:`submit`
+resolves.
+
 Observability (recorded into the service's effective metrics registry,
 see :func:`repro.obs.hooks.observe_executor_request`):
 
@@ -26,6 +41,8 @@ see :func:`repro.obs.hooks.observe_executor_request`):
     Per-worker latency histogram.
 ``ppkws_executor_completed_total{worker}``
     Per-worker completion counter.
+``ppkws_worker_respawns_total``
+    Counter: worker deaths recovered by respawn.
 """
 
 from __future__ import annotations
@@ -36,7 +53,9 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.exceptions import ExecutorShutdownError
+from repro.faults.points import EXECUTOR_WORKER
 from repro.obs.hooks import observe_executor_queue, observe_executor_request
 from repro.obs.registry import MetricsRegistry, installed
 
@@ -44,6 +63,27 @@ __all__ = ["ServiceExecutor"]
 
 #: queue sentinel telling a worker to exit
 _STOP = object()
+
+
+class _Item:
+    """One queued request with its recovery bookkeeping.
+
+    ``accounted`` flips once the normal path has decremented the
+    pending gauge, so crash recovery never double-decrements.
+    """
+
+    __slots__ = ("request", "future", "submitted", "accounted")
+
+    def __init__(
+        self,
+        request: Dict[str, Any],
+        future: "Future[Dict[str, Any]]",
+        submitted: float,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.submitted = submitted
+        self.accounted = False
 
 
 class ServiceExecutor:
@@ -60,6 +100,9 @@ class ServiceExecutor:
     ``registry`` overrides where executor metrics go; by default the
     service's effective registry (constructor-injected or process-wide
     installed) is used.
+
+    If the service exposes ``bind_executor``, the executor registers
+    itself so the service's ``health`` op can report worker liveness.
     """
 
     def __init__(
@@ -79,9 +122,13 @@ class ServiceExecutor:
         #: submitted but not yet completed (the queue-depth gauge source)
         self._pending = 0
         self._pending_lock = threading.Lock()
+        #: worker id -> the item it is executing right now
+        self._current: Dict[int, _Item] = {}
+        self._current_lock = threading.Lock()
+        self._respawns = 0
         self._workers = [
             threading.Thread(
-                target=self._worker_loop,
+                target=self._worker_main,
                 args=(i,),
                 name=f"ppkws-exec-{i}",
                 daemon=True,
@@ -90,6 +137,9 @@ class ServiceExecutor:
         ]
         for t in self._workers:
             t.start()
+        bind = getattr(service, "bind_executor", None)
+        if callable(bind):
+            bind(self)
 
     @property
     def workers(self) -> int:
@@ -116,9 +166,12 @@ class ServiceExecutor:
         """Enqueue one request; resolves to its response dict.
 
         The future only carries an exception if the service itself
-        breaks its "never raises" contract (or the executor is broken);
-        normal failures are ``status: "error"`` *results*.  Raises
-        :class:`~repro.exceptions.ExecutorShutdownError` (a
+        breaks its "never raises" contract, the executor is broken, or
+        a worker dies during shutdown while holding the request
+        (:class:`~repro.exceptions.ExecutorShutdownError`); normal
+        failures — including a worker death outside shutdown, surfaced
+        as ``code: "internal"`` — are ``status: "error"`` *results*.
+        Raises :class:`~repro.exceptions.ExecutorShutdownError` (a
         ``RuntimeError`` subclass) after :meth:`shutdown`.
         """
         with self._shutdown_lock:
@@ -126,7 +179,7 @@ class ServiceExecutor:
                 raise ExecutorShutdownError()
             future: "Future[Dict[str, Any]]" = Future()
             self._adjust_pending(+1)
-        self._queue.put((request, future, time.perf_counter()))
+        self._queue.put(_Item(request, future, time.perf_counter()))
         return future
 
     def execute_many(
@@ -137,32 +190,110 @@ class ServiceExecutor:
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------
+    def _worker_main(self, worker_id: int) -> None:
+        """Thread body: run the loop forever, respawning after a death."""
+        while True:
+            try:
+                self._worker_loop(worker_id)
+                return
+            except BaseException as exc:  # worker death: recover + respawn
+                self._recover_worker(worker_id, exc)
+                # Always re-enter the loop — even mid-shutdown the
+                # worker must keep draining until it eats its _STOP,
+                # or queued futures would never resolve.
+
     def _worker_loop(self, worker_id: int) -> None:
         label = str(worker_id)
         while True:
             item = self._queue.get()
             if item is _STOP:
                 return
-            request, future, submitted = item
-            if not future.set_running_or_notify_cancel():
+            if not item.future.set_running_or_notify_cancel():
                 self._adjust_pending(-1)
                 continue
+            with self._current_lock:
+                self._current[worker_id] = item
+            # An exception anywhere between here and the pop below is a
+            # worker death: it escapes to _worker_main with the item
+            # still registered in _current, so _recover_worker can
+            # resolve its future.  The injected kill fires outside the
+            # response try for exactly that reason.
+            faults.fire(EXECUTOR_WORKER)
             started = time.perf_counter()
             try:
-                response = self._service.execute(request)
+                response = self._service.execute(item.request)
             except BaseException as exc:  # pragma: no cover - contract break
-                future.set_exception(exc)
+                item.future.set_exception(exc)
             else:
-                future.set_result(response)
+                item.future.set_result(response)
             finally:
                 done = time.perf_counter()
                 self._adjust_pending(-1)
+                item.accounted = True
                 observe_executor_request(
                     self._registry_for(),
                     worker=label,
-                    wait_s=started - submitted,
+                    wait_s=started - item.submitted,
                     run_s=done - started,
                 )
+            with self._current_lock:
+                self._current.pop(worker_id, None)
+
+    def _recover_worker(self, worker_id: int, exc: BaseException) -> None:
+        """Resolve whatever a dead worker was holding; count the respawn."""
+        with self._current_lock:
+            item = self._current.pop(worker_id, None)
+            self._respawns += 1
+        if item is not None:
+            if not item.accounted:
+                self._adjust_pending(-1)
+                item.accounted = True
+            if not item.future.done():
+                with self._shutdown_lock:
+                    shutting_down = self._shutdown
+                if shutting_down:
+                    item.future.set_exception(ExecutorShutdownError(
+                        "worker died while the executor was shutting down; "
+                        f"request abandoned ({type(exc).__name__}: {exc})"
+                    ))
+                else:
+                    # Quarantine: a well-formed v1 error response, so the
+                    # caller sees an ordinary internal failure rather than
+                    # a hung future.  The protocol version is the literal
+                    # 1 — importing repro.service here would be a cycle;
+                    # tests pin it against service.PROTOCOL_VERSION.
+                    item.future.set_result({
+                        "v": 1,
+                        "status": "error",
+                        "error": (
+                            "worker died while executing this request: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                        "code": "internal",
+                        "retryable": False,
+                    })
+        registry = self._registry_for()
+        if registry is not None:
+            registry.inc("ppkws_worker_respawns_total")
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """A JSON-friendly liveness snapshot (used by the ``health`` op)."""
+        with self._current_lock:
+            busy = len(self._current)
+            respawns = self._respawns
+        with self._pending_lock:
+            pending = self._pending
+        with self._shutdown_lock:
+            shutdown = self._shutdown
+        return {
+            "workers": len(self._workers),
+            "alive": sum(1 for t in self._workers if t.is_alive()),
+            "busy": busy,
+            "pending": pending,
+            "respawns": respawns,
+            "shutdown": shutdown,
+        }
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -25,6 +25,9 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro import faults
+from repro.faults.points import RWLOCK_ACQUIRE_READ, RWLOCK_ACQUIRE_WRITE
+
 __all__ = ["RWLock"]
 
 
@@ -40,6 +43,9 @@ class RWLock:
     # -- read side ------------------------------------------------------
     def acquire_read(self) -> None:
         """Block until no writer is active or waiting, then enter shared."""
+        # The fault point fires *before* the lock is touched, so an
+        # injected raise or delay can never leak a partially-held lock.
+        faults.fire(RWLOCK_ACQUIRE_READ)
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
@@ -54,6 +60,8 @@ class RWLock:
     # -- write side -----------------------------------------------------
     def acquire_write(self) -> None:
         """Block until the lock is free, then enter exclusive."""
+        # Before the lock for the same leak-freedom reason as acquire_read.
+        faults.fire(RWLOCK_ACQUIRE_WRITE)
         with self._cond:
             self._writers_waiting += 1
             try:

@@ -1,0 +1,19 @@
+"""RA007 bad fixture: string-literal fault points at call sites."""
+
+from repro import faults
+from repro.faults import FaultSpec
+from repro.faults.points import point_named
+
+
+def hooks(fh):
+    faults.fire("persist.save.write")
+    faults.wrap_write(fh, "graph.save.write")
+    faults.fire(point="serving.cache.lookup")
+
+
+def schedule():
+    return [
+        FaultSpec("serving.executor.worker", "kill"),
+        FaultSpec(point="service.execute", kind="raise"),
+        point_named("serving.rwlock.acquire_read"),
+    ]

@@ -1,0 +1,23 @@
+"""RA007 good fixture: fault points referenced via catalogue constants."""
+
+from repro import faults
+from repro.faults import FaultSpec
+from repro.faults.points import (
+    EXECUTOR_WORKER,
+    GRAPH_SAVE_WRITE,
+    PERSIST_SAVE_WRITE,
+    SERVICE_EXECUTE,
+)
+
+
+def hooks(fh):
+    faults.fire(PERSIST_SAVE_WRITE)
+    faults.wrap_write(fh, GRAPH_SAVE_WRITE)
+    faults.fire(point=SERVICE_EXECUTE)
+
+
+def schedule():
+    return [
+        FaultSpec(EXECUTOR_WORKER, "kill"),
+        FaultSpec(point=SERVICE_EXECUTE, kind="raise"),
+    ]

@@ -31,7 +31,7 @@ from repro.analysis.engine import module_name_for, parse_suppressions
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 
-RULE_IDS = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006")
+RULE_IDS = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007")
 
 
 def _run_rule(rule_id: str, fixture: str):

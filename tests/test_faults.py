@@ -1,0 +1,565 @@
+"""Tests for :mod:`repro.faults` and the crash-safety it proves.
+
+Four layers:
+
+* the framework itself (points catalogue, specs, schedules, activation,
+  the env grammar, seeded determinism);
+* the atomic-write protocol (:mod:`repro.ioutil`) under injected
+  crashes at every stage;
+* the ``save_index`` torn-write regression: a truncation at *every*
+  record boundary must leave the previous index intact and loadable;
+* corrupt-index detection across all record types (bit flip,
+  truncation, version skew) and the service's quarantine behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.core import PublicIndex, load_index, save_index
+from repro.exceptions import (
+    FaultInjectedError,
+    IndexBuildError,
+    IndexCorruptError,
+    TornWriteError,
+    WorkerKilledError,
+)
+from repro.faults import FaultSchedule, FaultSpec, schedule_from_env, seeded_schedule
+from repro.faults import points as fp
+from repro.graph import LabeledGraph
+from repro.graph.io import load_graph, save_graph
+from repro.ioutil import atomic_write
+from repro.obs import MetricsRegistry, install, uninstall
+from repro.service import PPKWSService
+from tests.conftest import random_connected_graph
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_schedule():
+    """Every test starts and ends with fault injection off."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+@pytest.fixture
+def index_and_graph():
+    g = random_connected_graph(12, 4, seed=7)
+    return PublicIndex.build(g, k=2), g
+
+
+# ----------------------------------------------------------------------
+# the point catalogue
+# ----------------------------------------------------------------------
+class TestPointCatalogue:
+    def test_names_are_unique_and_registered(self):
+        points = fp.all_points()
+        names = [p.name for p in points]
+        assert len(names) == len(set(names))
+        for p in points:
+            assert fp.point_named(p.name) is p
+
+    def test_unknown_point_raises_with_known_list(self):
+        with pytest.raises(ValueError, match="known points"):
+            fp.point_named("no.such.point")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            fp._point(fp.SERVICE_EXECUTE.name, "service", "dup")
+
+    def test_stream_points_are_the_write_streams(self):
+        streams = {p.name for p in fp.all_points() if p.stream}
+        assert streams == {"persist.save.write", "graph.save.write"}
+
+    def test_readme_documents_every_point(self):
+        with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as fh:
+            readme = fh.read()
+        missing = [p.name for p in fp.all_points() if f"`{p.name}`" not in readme]
+        assert missing == [], f"points missing from README: {missing}"
+
+
+# ----------------------------------------------------------------------
+# specs and schedules
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_rejects_string_point(self):
+        with pytest.raises(ValueError, match="FaultPoint"):
+            FaultSpec("service.execute", "raise")  # ra: ignore[RA007]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(fp.SERVICE_EXECUTE, "explode")
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError):
+            FaultSpec(fp.SERVICE_EXECUTE, "raise", at_hit=0)
+        with pytest.raises(ValueError):
+            FaultSpec(fp.SERVICE_EXECUTE, "delay", delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(fp.PERSIST_SAVE_WRITE, "truncate", truncate_at=-1)
+
+    def test_matches_nth_and_every(self):
+        once = FaultSpec(fp.SERVICE_EXECUTE, "raise", at_hit=3)
+        assert [once.matches(h) for h in (1, 2, 3, 4)] == [False, False, True, False]
+        onward = FaultSpec(fp.SERVICE_EXECUTE, "raise", at_hit=3, every=True)
+        assert [onward.matches(h) for h in (2, 3, 4, 9)] == [False, True, True, True]
+
+
+class TestSchedule:
+    def test_fires_on_nth_hit_only(self):
+        sched = FaultSchedule([FaultSpec(fp.SERVICE_EXECUTE, "raise", at_hit=2)])
+        sched.fire(fp.SERVICE_EXECUTE)  # hit 1: armed but not due
+        with pytest.raises(FaultInjectedError) as excinfo:
+            sched.fire(fp.SERVICE_EXECUTE)
+        assert excinfo.value.point == fp.SERVICE_EXECUTE.name
+        sched.fire(fp.SERVICE_EXECUTE)  # hit 3: past it
+        assert sched.hits(fp.SERVICE_EXECUTE) == 3
+        assert sched.injections() == {fp.SERVICE_EXECUTE.name: 1}
+        assert sched.total_injected() == 1
+
+    def test_kill_raises_worker_killed(self):
+        sched = FaultSchedule([FaultSpec(fp.EXECUTOR_WORKER, "kill")])
+        with pytest.raises(WorkerKilledError):
+            sched.fire(fp.EXECUTOR_WORKER)
+
+    def test_delay_sleeps_and_counts(self):
+        sched = FaultSchedule([FaultSpec(fp.CACHE_LOOKUP, "delay", delay_s=0.0)])
+        sched.fire(fp.CACHE_LOOKUP)  # no raise
+        assert sched.total_injected() == 1
+
+    def test_truncate_at_non_stream_point_degrades_to_raise(self):
+        sched = FaultSchedule([FaultSpec(fp.CACHE_STORE, "truncate", truncate_at=9)])
+        with pytest.raises(TornWriteError) as excinfo:
+            sched.fire(fp.CACHE_STORE)
+        assert excinfo.value.byte_offset == 0
+
+    def test_injections_are_counted_in_the_metrics_registry(self):
+        reg = MetricsRegistry()
+        install(reg)
+        try:
+            sched = FaultSchedule([FaultSpec(fp.SERVICE_EXECUTE, "raise")])
+            with pytest.raises(FaultInjectedError):
+                sched.fire(fp.SERVICE_EXECUTE)
+        finally:
+            uninstall()
+        assert reg.value(
+            "ppkws_faults_injected_total",
+            labels={"point": fp.SERVICE_EXECUTE.name},
+        ) == 1.0
+
+    def test_wrap_write_truncates_at_byte_offset(self):
+        sched = FaultSchedule(
+            [FaultSpec(fp.PERSIST_SAVE_WRITE, "truncate", truncate_at=7)]
+        )
+        sink = io.StringIO()
+        wrapped = sched.wrap_write(sink, fp.PERSIST_SAVE_WRITE)
+        wrapped.write("0123")
+        with pytest.raises(TornWriteError) as excinfo:
+            wrapped.write("456789")
+        assert sink.getvalue() == "0123456"
+        assert excinfo.value.byte_offset == 7
+        assert sched.total_injected() == 1
+
+    def test_wrap_write_with_no_due_spec_returns_stream(self):
+        sched = FaultSchedule(
+            [FaultSpec(fp.PERSIST_SAVE_WRITE, "truncate", at_hit=5, truncate_at=0)]
+        )
+        sink = io.StringIO()
+        assert sched.wrap_write(sink, fp.PERSIST_SAVE_WRITE) is sink
+
+
+# ----------------------------------------------------------------------
+# activation
+# ----------------------------------------------------------------------
+class TestActivation:
+    def test_inactive_hooks_are_no_ops(self):
+        assert not faults.is_active()
+        faults.fire(fp.SERVICE_EXECUTE)  # must not raise
+        sink = io.StringIO()
+        assert faults.wrap_write(sink, fp.PERSIST_SAVE_WRITE) is sink
+
+    def test_injected_activates_and_restores(self):
+        sched = FaultSchedule([FaultSpec(fp.SERVICE_EXECUTE, "raise")])
+        with faults.injected(sched) as active:
+            assert active is sched
+            assert faults.is_active()
+            assert faults.active() is sched
+            with pytest.raises(FaultInjectedError):
+                faults.fire(fp.SERVICE_EXECUTE)
+        assert not faults.is_active()
+
+    def test_injected_nests(self):
+        outer = FaultSchedule([])
+        inner = FaultSchedule([])
+        with faults.injected(outer):
+            with faults.injected(inner):
+                assert faults.active() is inner
+            assert faults.active() is outer
+
+    def test_deactivate_clears(self):
+        with faults.injected(FaultSchedule([])):
+            faults.deactivate()
+            assert not faults.is_active()
+
+    def test_env_activation_hook(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "service.execute:raise")
+        faults._activate_from_env()
+        assert faults.is_active()
+        schedule = faults.active()
+        assert schedule is not None
+        assert schedule.specs[0].point is fp.SERVICE_EXECUTE
+
+
+class TestEnvGrammar:
+    def test_simple_entry(self):
+        sched = schedule_from_env("service.execute:raise")
+        (spec,) = sched.specs
+        assert spec.point is fp.SERVICE_EXECUTE
+        assert spec.kind == "raise" and spec.at_hit == 1 and not spec.every
+
+    def test_full_grammar(self):
+        sched = schedule_from_env(
+            "persist.save.write:truncate@2:137; serving.cache.lookup:delay@3+:0.5"
+        )
+        trunc, delay = sched.specs
+        assert trunc.point is fp.PERSIST_SAVE_WRITE
+        assert trunc.at_hit == 2 and trunc.truncate_at == 137 and not trunc.every
+        assert delay.point is fp.CACHE_LOOKUP
+        assert delay.at_hit == 3 and delay.every and delay.delay_s == 0.5
+
+    def test_seed_form(self):
+        sched = schedule_from_env("seed:42")
+        assert sched.seed == 42
+        assert sched.specs  # non-empty
+
+    @pytest.mark.parametrize("bad", [
+        "", "service.execute", "no.such.point:raise",
+        "service.execute:explode", "service.execute:raise@x",
+        "service.execute:raise:1.0", "seed:abc",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            schedule_from_env(bad)
+
+    def test_seeded_schedule_is_deterministic(self):
+        a, b = seeded_schedule(5), seeded_schedule(5)
+        assert a.specs == b.specs
+        assert seeded_schedule(6).specs != a.specs
+
+    def test_seeded_schedule_truncates_only_streams(self):
+        for seed in range(20):
+            for spec in seeded_schedule(seed).specs:
+                if spec.kind == "truncate":
+                    assert spec.point.stream
+
+
+# ----------------------------------------------------------------------
+# the atomic-write protocol
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    POINTS = (fp.GRAPH_SAVE_WRITE, fp.GRAPH_SAVE_FSYNC, fp.GRAPH_SAVE_RENAME)
+
+    def test_success_is_visible_and_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(str(path), *self.POINTS) as fh:
+            fh.write("hello\n")
+        assert path.read_text() == "hello\n"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_caller_exception_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old\n")
+        with pytest.raises(RuntimeError):
+            with atomic_write(str(path), *self.POINTS) as fh:
+                fh.write("new\n")
+                raise RuntimeError("mid-write crash")
+        assert path.read_text() == "old\n"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    @pytest.mark.parametrize("crash_point", ["fsync", "rename"])
+    def test_injected_crash_before_publish(self, tmp_path, crash_point):
+        point = (
+            fp.GRAPH_SAVE_FSYNC if crash_point == "fsync" else fp.GRAPH_SAVE_RENAME
+        )
+        path = tmp_path / "out.txt"
+        path.write_text("old\n")
+        with faults.injected(FaultSchedule([FaultSpec(point, "raise")])):
+            with pytest.raises(FaultInjectedError):
+                with atomic_write(str(path), *self.POINTS) as fh:
+                    fh.write("new\n")
+        assert path.read_text() == "old\n"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestGraphIOAtomicity:
+    def test_torn_graph_save_preserves_previous_file(self, tmp_path):
+        g1 = random_connected_graph(8, 2, seed=1)
+        g2 = random_connected_graph(8, 2, seed=2)
+        path = tmp_path / "g.txt"
+        save_graph(g1, path)
+        before = path.read_bytes()
+        sched = FaultSchedule(
+            [FaultSpec(fp.GRAPH_SAVE_WRITE, "truncate", truncate_at=10)]
+        )
+        with faults.injected(sched):
+            with pytest.raises(TornWriteError):
+                save_graph(g2, path)
+        assert path.read_bytes() == before
+        reloaded = load_graph(path, vertex_type=int)
+        assert reloaded.num_vertices == g1.num_vertices
+        assert reloaded.num_edges == g1.num_edges
+
+    def test_load_read_fault_point(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_graph(random_connected_graph(5, 1, seed=3), path)
+        sched = FaultSchedule([FaultSpec(fp.GRAPH_LOAD_READ, "raise")])
+        with faults.injected(sched):
+            with pytest.raises(FaultInjectedError):
+                load_graph(path)
+
+
+# ----------------------------------------------------------------------
+# the save_index torn-write regression (satellite 1)
+# ----------------------------------------------------------------------
+class TestIndexTornWriteRegression:
+    def test_truncation_at_every_record_boundary(self, tmp_path, index_and_graph):
+        """A crash after any whole number of records must be harmless.
+
+        Before v2, ``save_index`` wrote straight to ``path``: a torn
+        write left a parseable prefix that ``load_index`` accepted.
+        Now, for every record boundary K, an injected truncation at K
+        bytes must leave the previous file byte-identical and loadable.
+        """
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        good_bytes = path.read_bytes()
+        lines = good_bytes.decode("utf-8").splitlines(keepends=True)
+        assert len(lines) >= 5  # header + records + trailer
+        boundaries = [0]
+        for line in lines:
+            boundaries.append(boundaries[-1] + len(line))
+        for offset in boundaries[:-1]:  # the full length would succeed
+            sched = FaultSchedule([
+                FaultSpec(fp.PERSIST_SAVE_WRITE, "truncate", truncate_at=offset)
+            ])
+            with faults.injected(sched):
+                with pytest.raises(TornWriteError):
+                    save_index(index, path)
+            assert sched.total_injected() == 1, f"offset {offset} never fired"
+            assert path.read_bytes() == good_bytes, f"torn at {offset}"
+            load_index(g, path)  # still loadable
+        assert sorted(os.listdir(tmp_path)) == ["idx.jsonl"]  # no tmp debris
+
+    def test_crash_with_no_previous_file_leaves_nothing(self, tmp_path, index_and_graph):
+        index, _ = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        sched = FaultSchedule([
+            FaultSpec(fp.PERSIST_SAVE_WRITE, "truncate", truncate_at=40)
+        ])
+        with faults.injected(sched):
+            with pytest.raises(TornWriteError):
+                save_index(index, path)
+        assert os.listdir(tmp_path) == []
+
+    def test_load_read_fault_point(self, tmp_path, index_and_graph):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        with faults.injected(
+            FaultSchedule([FaultSpec(fp.PERSIST_LOAD_READ, "raise")])
+        ):
+            with pytest.raises(FaultInjectedError):
+                load_index(g, path)
+
+
+# ----------------------------------------------------------------------
+# corrupt-index detection (satellite 4)
+# ----------------------------------------------------------------------
+def _lines(path) -> list:
+    return path.read_text(encoding="utf-8").splitlines(keepends=True)
+
+
+def _line_index(lines, kind: str) -> int:
+    for i, line in enumerate(lines):
+        if json.loads(line).get("record") == kind:
+            return i
+    raise AssertionError(f"no {kind!r} record")
+
+
+def _with_trailer(body_lines) -> str:
+    """Rebuild a file with a *correct* trailer over ``body_lines``."""
+    digest = hashlib.sha256("".join(body_lines).encode("utf-8")).hexdigest()
+    trailer = json.dumps(
+        {"record": "trailer", "records": len(body_lines), "sha256": digest}
+    )
+    return "".join(body_lines) + trailer + "\n"
+
+
+class TestCorruptIndexDetection:
+    @pytest.mark.parametrize("kind", ["header", "pagerank", "pads", "kpads"])
+    def test_bit_flip_in_each_record_type(self, tmp_path, index_and_graph, kind):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        lines = _lines(path)
+        i = _line_index(lines, kind)
+        # flip one character inside the record payload
+        flipped = lines[i].replace('"record"', '"recorE"', 1)
+        assert flipped != lines[i]
+        lines[i] = flipped
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(IndexCorruptError, match="checksum mismatch"):
+            load_index(g, path)
+
+    def test_truncation_at_every_line_boundary_is_detected(
+        self, tmp_path, index_and_graph
+    ):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        lines = _lines(path)
+        for n in range(len(lines)):  # keep first n lines only
+            path.write_text("".join(lines[:n]), encoding="utf-8")
+            with pytest.raises(IndexCorruptError):
+                load_index(g, path)
+
+    def test_mid_line_truncation_is_detected(self, tmp_path, index_and_graph):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 9])  # tear the trailer line
+        with pytest.raises(IndexCorruptError, match="not valid JSON|missing checksum"):
+            load_index(g, path)
+
+    def test_version_skew_with_valid_checksum(self, tmp_path, index_and_graph):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        lines = _lines(path)
+        i = _line_index(lines, "header")
+        header = json.loads(lines[i])
+        header["version"] = 99
+        lines[i] = json.dumps(header) + "\n"
+        path.write_text(_with_trailer(lines[:-1]), encoding="utf-8")
+        with pytest.raises(IndexCorruptError, match="version"):
+            load_index(g, path)
+
+    def test_record_count_mismatch(self, tmp_path, index_and_graph):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        lines = _lines(path)
+        trailer = json.loads(lines[-1])
+        trailer["records"] += 1
+        lines[-1] = json.dumps(trailer) + "\n"
+        path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(IndexCorruptError, match="record"):
+            load_index(g, path)
+
+    def test_undecodable_record_behind_valid_checksum(
+        self, tmp_path, index_and_graph
+    ):
+        index, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        lines = _lines(path)
+        i = _line_index(lines, "pagerank")
+        rec = json.loads(lines[i])
+        del rec["score"]
+        lines[i] = json.dumps(rec) + "\n"
+        path.write_text(_with_trailer(lines[:-1]), encoding="utf-8")
+        with pytest.raises(IndexCorruptError, match="undecodable"):
+            load_index(g, path)
+
+    def test_empty_file(self, tmp_path, index_and_graph):
+        _, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        path.write_text("")
+        with pytest.raises(IndexCorruptError, match="empty"):
+            load_index(g, path)
+
+    def test_stale_index_is_not_corrupt(self, tmp_path, index_and_graph):
+        """A vertex-count mismatch means *stale*, and must stay a plain
+        IndexBuildError so the silent-rebuild path still applies."""
+        index, _ = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        save_index(index, path)
+        other = LabeledGraph.from_edges([(1, 2)])
+        with pytest.raises(IndexBuildError) as excinfo:
+            load_index(other, path)
+        assert not isinstance(excinfo.value, IndexCorruptError)
+
+    def test_corrupt_is_an_index_build_error(self, tmp_path, index_and_graph):
+        """Callers catching IndexBuildError (the pre-v2 contract) still
+        catch corruption."""
+        _, g = index_and_graph
+        path = tmp_path / "idx.jsonl"
+        path.write_text("")
+        with pytest.raises(IndexBuildError):
+            load_index(g, path)
+
+
+# ----------------------------------------------------------------------
+# service quarantine of corrupt index files
+# ----------------------------------------------------------------------
+class TestServiceQuarantine:
+    def _make_graph(self):
+        return random_connected_graph(10, 3, seed=11)
+
+    def test_corrupt_index_is_quarantined_with_warning(self, tmp_path):
+        g = self._make_graph()
+        index_path = str(tmp_path / "net.idx")
+        save_index(PublicIndex.build(g, k=2), index_path)
+        with open(index_path, "a", encoding="utf-8") as fh:
+            fh.write("garbage that breaks the trailer\n")
+        corrupt_bytes = open(index_path, "rb").read()
+        reg = MetricsRegistry()
+        svc = PPKWSService(sketch_k=2, registry=reg)
+        resp = svc.execute({
+            "op": "create_network", "network": "net",
+            "public": g, "index_path": index_path,
+        })
+        assert resp["status"] == "ok"
+        assert any("corrupt index" in w for w in resp["warnings"])
+        assert any(".corrupt" in w for w in resp["warnings"])
+        # evidence preserved at <path>.corrupt, fresh index rebuilt at path
+        assert open(index_path + ".corrupt", "rb").read() == corrupt_bytes
+        assert load_index(svc._engine("net").public, index_path)
+        assert reg.value("ppkws_index_corrupt_total") == 1.0
+        # the rebuilt network works
+        assert svc.execute({"op": "stats", "network": "net"})["status"] == "ok"
+
+    def test_stale_index_rebuilds_silently(self, tmp_path):
+        g = self._make_graph()
+        other = random_connected_graph(20, 5, seed=12)
+        index_path = str(tmp_path / "net.idx")
+        save_index(PublicIndex.build(other, k=2), index_path)  # wrong graph
+        svc = PPKWSService(sketch_k=2)
+        resp = svc.execute({
+            "op": "create_network", "network": "net",
+            "public": g, "index_path": index_path,
+        })
+        assert resp["status"] == "ok"
+        assert "warnings" not in resp
+        assert not os.path.exists(index_path + ".corrupt")
+
+    def test_direct_api_quarantines_without_a_request(self, tmp_path):
+        """_warn outside a request must be a no-op, not a crash."""
+        g = self._make_graph()
+        index_path = str(tmp_path / "net.idx")
+        with open(index_path, "w", encoding="utf-8") as fh:
+            fh.write("not an index\n")
+        svc = PPKWSService(sketch_k=2)
+        svc.create_network("net", g, index_path=index_path)
+        assert os.path.exists(index_path + ".corrupt")
+        assert svc.networks() == ["net"]

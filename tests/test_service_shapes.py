@@ -278,7 +278,8 @@ class TestHelpOpShape:
         assert resp["ops"]["metrics"]["mode"] == "control"
         assert set(resp["ops"]) == {
             "blinks", "rclique", "banks", "knk", "knk_multi", "stats",
-            "metrics", "help", "create_network", "attach", "detach", "drop",
+            "metrics", "help", "health", "create_network", "attach",
+            "detach", "drop",
         }
 
 
@@ -293,9 +294,10 @@ class TestUnknownAndOverloadShapes:
         pub, _ = small_public_private
         svc = PPKWSService(sketch_k=2, max_in_flight=0)
         resp = svc.execute({"op": "stats", "network": "x"})
-        assert set(resp) == ERROR_KEYS
+        assert set(resp) == ERROR_KEYS | {"retry_after_ms"}
         assert resp["retryable"] is True
         assert resp["code"] == "overloaded"
+        assert 1.0 <= resp["retry_after_ms"] <= 5000.0
 
     def test_bad_protocol_version(self, service):
         resp = service.execute({"op": "stats", "network": "net", "v": 2})

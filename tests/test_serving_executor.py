@@ -7,9 +7,13 @@ import time
 
 import pytest
 
+from repro import faults
 from repro.exceptions import ExecutorShutdownError, ReproError
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.points import EXECUTOR_WORKER
 from repro.obs import MetricsRegistry
 from repro.serving import ServiceExecutor
+from repro.service import PROTOCOL_VERSION
 
 
 class EchoService:
@@ -139,6 +143,100 @@ class TestShutdown:
     def test_workers_property(self):
         with ServiceExecutor(EchoService(), workers=3) as pool:
             assert pool.workers == 3
+
+
+class GateService:
+    """``execute`` blocks on an event the test controls."""
+
+    def __init__(self) -> None:
+        self.gate = threading.Event()
+
+    def execute(self, request):
+        assert self.gate.wait(timeout=10)
+        return {"status": "ok", "n": request.get("n")}
+
+
+class TestSelfHealing:
+    """Worker deaths (injected kills at ``serving.executor.worker``)."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_schedule(self):
+        faults.deactivate()
+        yield
+        faults.deactivate()
+
+    def test_worker_death_quarantines_request_and_respawns(self):
+        reg = MetricsRegistry()
+        with ServiceExecutor(EchoService(), workers=2, registry=reg) as pool:
+            sched = FaultSchedule([FaultSpec(EXECUTOR_WORKER, "kill", at_hit=1)])
+            with faults.injected(sched):
+                resp = pool.submit({"n": 1}).result(timeout=10)
+                # the poison request resolves to a well-formed quarantine
+                # response, not a hung future or a raised exception
+                assert resp["status"] == "error"
+                assert resp["code"] == "internal"
+                assert resp["retryable"] is False
+                assert "worker died" in resp["error"]
+                # the literal version in executor.py must track the
+                # service protocol (the import would be a cycle)
+                assert resp["v"] == PROTOCOL_VERSION
+                # the pool still works: the next request is served
+                assert pool.submit({"n": 2}).result(timeout=10)["echo"] == 2
+            health = pool.health()
+            assert health["workers"] == 2
+            assert health["alive"] == 2  # the dead worker respawned
+            assert health["respawns"] == 1
+            assert health["pending"] == 0
+            assert health["shutdown"] is False
+        assert reg.value("ppkws_worker_respawns_total") == 1.0
+
+    def test_every_future_resolves_under_repeated_kills(self):
+        """Drain guarantee: kill on *every* hit still resolves all futures."""
+        with ServiceExecutor(EchoService(), workers=1) as pool:
+            sched = FaultSchedule(
+                [FaultSpec(EXECUTOR_WORKER, "kill", at_hit=1, every=True)]
+            )
+            with faults.injected(sched):
+                futures = [pool.submit({"n": i}) for i in range(5)]
+                responses = [f.result(timeout=10) for f in futures]
+            assert all(r["code"] == "internal" for r in responses)
+            assert pool.health()["respawns"] == 5
+            # fault off: the same pool serves again
+            assert pool.submit({"n": 9}).result(timeout=10)["echo"] == 9
+
+    def test_death_during_shutdown_fails_inflight_future(self):
+        """A worker dying mid-shutdown must fail its request loudly
+        (ExecutorShutdownError), not fabricate a quarantine response —
+        and the pool must still drain to a clean exit."""
+        svc = GateService()
+        pool = ServiceExecutor(svc, workers=1)
+        sched = FaultSchedule([FaultSpec(EXECUTOR_WORKER, "kill", at_hit=2)])
+        with faults.injected(sched):
+            first = pool.submit({"n": 1})   # hit 1: survives, blocks on gate
+            second = pool.submit({"n": 2})  # hit 2: killed after dequeue
+            pool.shutdown(wait=False)       # shutdown before the kill lands
+            svc.gate.set()
+            assert first.result(timeout=10)["status"] == "ok"
+            with pytest.raises(ExecutorShutdownError, match="worker died"):
+                second.result(timeout=10)
+        for t in pool._workers:
+            t.join(timeout=10)
+        health = pool.health()
+        assert health["shutdown"] is True
+        assert health["pending"] == 0
+
+    def test_bind_executor_registration(self):
+        class BindService(EchoService):
+            def __init__(self):
+                super().__init__()
+                self.bound = []
+
+            def bind_executor(self, executor):
+                self.bound.append(executor)
+
+        svc = BindService()
+        with ServiceExecutor(svc, workers=1) as pool:
+            assert svc.bound == [pool]
 
 
 class TestMetrics:
