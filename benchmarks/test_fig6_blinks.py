@@ -19,6 +19,8 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     render_breakdown,
     render_query_comparison,
+    timings_payload,
+    write_json_report,
     write_report,
 )
 from repro.datasets.queries import generate_keyword_queries
@@ -26,6 +28,7 @@ from repro.datasets.queries import generate_keyword_queries
 TAU = 5.0
 NUM_QUERIES = 10
 REPORTS: dict = {}
+JSON_REPORTS: dict = {}
 
 
 @pytest.mark.parametrize("name", ["yago", "dbpedia", "ppdblp"])
@@ -45,6 +48,7 @@ def test_fig6_blinks(name, setups, benchmark):
         )
         + render_breakdown(f"Fig 6j-l (Blinks, {name}): breakdown", chosen)
     )
+    JSON_REPORTS[name] = timings_payload(chosen)
 
     q = queries[0]
     benchmark.pedantic(
@@ -62,4 +66,7 @@ def test_fig6_blinks_report(setups, benchmark):
     report = "\n".join(REPORTS[n] for n in REPORTS)
     emit(report)
     write_report("fig6_blinks", report)
+    write_json_report(
+        "fig6_blinks", {"figure": "fig6_blinks", "datasets": JSON_REPORTS}
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -19,12 +19,15 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     render_breakdown,
     render_query_comparison,
+    timings_payload,
+    write_json_report,
     write_report,
 )
 from repro.datasets.queries import generate_knk_queries
 
 NUM_QUERIES = 10
 REPORTS: dict = {}
+JSON_REPORTS: dict = {}
 
 
 @pytest.mark.parametrize("name", ["yago", "dbpedia", "ppdblp"])
@@ -39,6 +42,7 @@ def test_fig6_knk(name, setups, benchmark):
         render_query_comparison(f"Fig 6m-o (k-nk, {name}): PP vs baseline", chosen)
         + render_breakdown(f"Fig 6p-r (k-nk, {name}): breakdown", chosen)
     )
+    JSON_REPORTS[name] = timings_payload(chosen)
 
     q = queries[0]
     benchmark.pedantic(
@@ -56,4 +60,7 @@ def test_fig6_knk_report(setups, benchmark):
     report = "\n".join(REPORTS[n] for n in REPORTS)
     emit(report)
     write_report("fig6_knk", report)
+    write_json_report(
+        "fig6_knk", {"figure": "fig6_knk", "datasets": JSON_REPORTS}
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -13,13 +13,14 @@ import time
 import pytest
 
 from benchmarks.conftest import STRICT, emit
-from repro.bench.reporting import render_table, write_report
+from repro.bench.reporting import render_table, write_json_report, write_report
 from repro.core.framework import PPKWS, QueryOptions
 from repro.datasets.queries import generate_keyword_queries
 
 TAU = 5.0
 NUM_QUERIES = 10
 REPORTS: dict = {}
+JSON_REPORTS: dict = {}
 
 
 @pytest.mark.parametrize("name", ["yago", "ppdblp"])
@@ -52,6 +53,7 @@ def test_fig6_optimizations(name, setups, benchmark):
         return best
 
     rows = []
+    json_queries = []
     total_on = total_off = steps_on = steps_off = 0.0
     for i, q in enumerate(queries, start=1):
         t_on, s_on, r_on = timed(on_engine, q)
@@ -61,6 +63,12 @@ def test_fig6_optimizations(name, setups, benchmark):
         steps_on += s_on
         steps_off += s_off
         rows.append([f"Q{i}", t_on * 1000, t_off * 1000, f"{t_off / t_on:.2f}x"])
+        json_queries.append({
+            "query": f"Q{i}",
+            "with_opt_ms": t_on * 1000,
+            "without_opt_ms": t_off * 1000,
+            "ratio": t_off / t_on if t_on else None,
+        })
         # Optimizations must not change the answers.
         assert [a.sort_key() for a in r_on.answers] == [
             a.sort_key() for a in r_off.answers
@@ -75,6 +83,11 @@ def test_fig6_optimizations(name, setups, benchmark):
         ["query", "with OPT (ms)", "without OPT (ms)", "ratio"],
         rows,
     )
+    JSON_REPORTS[name] = {
+        "queries": json_queries,
+        "improvement": improvement,
+        "step_improvement": step_improvement,
+    }
 
     q = queries[0]
     benchmark.pedantic(
@@ -94,4 +107,8 @@ def test_fig6_optimizations_report(setups, benchmark):
     report = "\n".join(REPORTS[n] for n in REPORTS)
     emit(report)
     write_report("fig6_optimizations", report)
+    write_json_report(
+        "fig6_optimizations",
+        {"figure": "fig6_optimizations", "datasets": JSON_REPORTS},
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

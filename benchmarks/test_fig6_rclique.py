@@ -18,6 +18,8 @@ from repro.bench.harness import (
 from repro.bench.reporting import (
     render_breakdown,
     render_query_comparison,
+    timings_payload,
+    write_json_report,
     write_report,
 )
 from repro.datasets.queries import generate_keyword_queries
@@ -25,6 +27,7 @@ from repro.datasets.queries import generate_keyword_queries
 TAU = 5.0
 NUM_QUERIES = 10
 REPORTS: dict = {}
+JSON_REPORTS: dict = {}
 
 
 @pytest.mark.parametrize("name", ["yago", "dbpedia", "ppdblp"])
@@ -44,6 +47,7 @@ def test_fig6_rclique(name, setups, benchmark):
         )
         + render_breakdown(f"Fig 6d-f (r-clique, {name}): breakdown", chosen)
     )
+    JSON_REPORTS[name] = timings_payload(chosen)
 
     # Benchmark one representative PP query.
     q = queries[0]
@@ -63,4 +67,7 @@ def test_fig6_rclique_report(setups, benchmark):
     report = "\n".join(REPORTS[n] for n in REPORTS)
     emit(report)
     write_report("fig6_rclique", report)
+    write_json_report(
+        "fig6_rclique", {"figure": "fig6_rclique", "datasets": JSON_REPORTS}
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -15,10 +15,14 @@ throughput, so the comparison is between the two *serving models*:
   without touching the engine.
 
 The workload is deliberately repetitive (each distinct query recurs
-``REPEATS`` times across the batch), which is exactly the regime the
-answer cache targets; the distinct-query count is reported so the
-repetition factor is visible.  Everything is persisted to
-``bench_results/serving_throughput.json``.
+``REPEATS`` times across the batch on average), which is exactly the
+regime the answer cache targets, and requests are spread over the
+networks by the Zipfian tenant-popularity model
+(:func:`repro.datasets.queries.zipfian_tenant_workload`) rather than
+round-robin: a couple of hot tenants take most of the traffic, like real
+multi-tenant serving.  The distinct-query count and the per-tenant
+request distribution are reported so both skews are visible.
+Everything is persisted to ``bench_results/serving_throughput.json``.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from statistics import median
 
 from benchmarks.conftest import SCALE, STRICT, emit
 from repro.bench.reporting import write_report
+from repro.datasets.queries import zipfian_tenant_workload
 from repro.graph import LabeledGraph
 from repro.graph.generators import assign_zipf_labels, barabasi_albert_graph
 from repro.service import PPKWSService
@@ -39,6 +44,8 @@ N_VERTICES = 300 if SCALE == "small" else 700
 NETWORKS = 4
 WORKERS = 4
 REPEATS = 5
+ZIPF_EXPONENT = 1.1
+WORKLOAD_SEED = 53
 TAU = 5.0
 VOCABULARY = [f"kw{i}" for i in range(16)]
 
@@ -84,16 +91,21 @@ def _build_service(cached: bool) -> PPKWSService:
 
 
 def _workload() -> list:
-    """NETWORKS x QUERY_SHAPES x REPEATS requests, interleaved so the
-    same key never runs back-to-back (repeats are spread out the way a
-    real request mix would be)."""
+    """NETWORKS x QUERY_SHAPES x REPEATS requests, Zipf-skewed by tenant.
+
+    The query shape cycles (so the same key never runs back-to-back) while
+    each request's network comes from the seeded Zipfian tenant draw —
+    ``net0`` is the hot tenant, ``net3`` the cold tail."""
+    total = NETWORKS * len(QUERY_SHAPES) * REPEATS
+    tenants = zipfian_tenant_workload(
+        [f"net{n}" for n in range(NETWORKS)], total,
+        exponent=ZIPF_EXPONENT, seed=WORKLOAD_SEED,
+    )
     requests = []
-    for _ in range(REPEATS):
-        for shape in QUERY_SHAPES:
-            for n in range(NETWORKS):
-                req = dict(shape)
-                req.update({"network": f"net{n}", "owner": "u"})
-                requests.append(req)
+    for i, network in enumerate(tenants):
+        req = dict(QUERY_SHAPES[i % len(QUERY_SHAPES)])
+        req.update({"network": network, "owner": "u"})
+        requests.append(req)
     return requests
 
 
@@ -143,7 +155,10 @@ def _cache_latencies(svc) -> tuple:
 
 def test_serving_throughput(benchmark):
     requests = _workload()
-    distinct = NETWORKS * len(QUERY_SHAPES)
+    distinct = len({json.dumps(r, sort_keys=True) for r in requests})
+    tenant_counts: dict = {}
+    for r in requests:
+        tenant_counts[r["network"]] = tenant_counts.get(r["network"], 0) + 1
 
     serial_svc = _build_service(cached=False)
     serial_svc.execute(requests[0])  # warm-up
@@ -165,6 +180,8 @@ def test_serving_throughput(benchmark):
         "workers": WORKERS,
         "requests": n,
         "distinct_requests": distinct,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "tenant_requests": tenant_counts,
         "serial_no_cache": {"seconds": serial_s, "rps": n / serial_s},
         "workers_no_cache": {
             "seconds": pooled_nocache_s, "rps": n / pooled_nocache_s,
@@ -186,9 +203,13 @@ def test_serving_throughput(benchmark):
     with open(os.path.join(out_dir, "serving_throughput.json"), "w") as fh:
         json.dump(results, fh, indent=2)
 
+    tenant_mix = ", ".join(
+        f"{net}={tenant_counts.get(net, 0)}"
+        for net in sorted(tenant_counts)
+    )
     report = (
         f"Concurrent serving ({NETWORKS} networks, {n} requests, "
-        f"{distinct} distinct)\n"
+        f"{distinct} distinct; Zipf s={ZIPF_EXPONENT}: {tenant_mix})\n"
         f"  serial, no cache   : {serial_s:7.3f}s "
         f"({n / serial_s:7.1f} req/s)\n"
         f"  {WORKERS} workers, no cache: {pooled_nocache_s:7.3f}s "

@@ -14,6 +14,7 @@ from repro.analysis.engine import Rule
 from repro.analysis.rules.backend import BackendPurityRule
 from repro.analysis.rules.budget import BudgetDisciplineRule
 from repro.analysis.rules.clock import MonotonicClockRule
+from repro.analysis.rules.engine_steps import EngineStepDisciplineRule
 from repro.analysis.rules.faults import FaultPointLiteralRule
 from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.metrics import MetricCatalogueRule
@@ -29,6 +30,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BackendPurityRule(),
     MonotonicClockRule(),
     FaultPointLiteralRule(),
+    EngineStepDisciplineRule(),
 )
 
 

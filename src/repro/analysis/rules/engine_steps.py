@@ -1,0 +1,156 @@
+"""RA008 — semantics modules do not hand-roll the step loop.
+
+:func:`repro.core.engine.run_pipeline` is the single place that times
+steps, checks budgets at step boundaries, observes
+``ppkws_step_seconds`` / ``ppkws_query_work_total`` and assembles
+degraded results.  The whole point of the refactor that introduced it is
+that a ``repro/core/pp_*.py`` module contributes *step functions* and a
+:class:`~repro.core.engine.SemanticsSpec` — nothing else.  A pipeline
+module that re-grows its own ``_Timer`` / ``breakdown.peval = ...`` /
+``except BudgetError`` scaffolding silently forks the degradation
+contract: its timings drift from the engine's, its salvage path skips
+fault injection, and the equivalence suite no longer pins it.
+
+This rule flags, inside ``repro.core.pp_*`` modules only:
+
+* any reference to the engine's ``_Timer`` helper;
+* assignments to attributes of a ``breakdown`` object (including
+  ``result.breakdown.peval = ...``) and ``setattr(breakdown, ...)``;
+* ``interrupted_step=`` / ``completed_steps=`` keyword arguments —
+  manual degradation bookkeeping belongs to the engine;
+* ``except BudgetError`` handlers;
+* direct calls to ``observe_pipeline``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["EngineStepDisciplineRule"]
+
+#: Keyword arguments that only the engine's degradation path may pass.
+_DEGRADATION_KEYWORDS = frozenset({"interrupted_step", "completed_steps"})
+
+
+def _is_breakdown_expr(node: ast.expr) -> bool:
+    """Whether ``node`` denotes a step-breakdown object.
+
+    Matches the bare name ``breakdown`` and any attribute access ending
+    in ``.breakdown`` (e.g. ``result.breakdown``, ``self.breakdown``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id == "breakdown"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "breakdown"
+    return False
+
+
+class EngineStepDisciplineRule(Rule):
+    id = "RA008"
+    title = "pipeline modules must not hand-roll the engine's step loop"
+    rationale = (
+        "Step timing, budget boundary checks, observation and degraded-"
+        "result assembly live in repro.core.engine.run_pipeline; a pp_* "
+        "module that re-implements them forks the degradation contract "
+        "and escapes the equivalence suite."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro.core.pp_")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and node.id == "_Timer":
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "step timing belongs to run_pipeline; do not use "
+                        "the engine's `_Timer` in a pipeline module",
+                    )
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and _is_breakdown_expr(
+                        target.value
+                    ):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                target,
+                                f"assigning `breakdown.{target.attr}` by hand; "
+                                "run_pipeline records step timings via "
+                                "StepBreakdown.record",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if (
+                    name == "setattr"
+                    and node.args
+                    and _is_breakdown_expr(node.args[0])
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "`setattr(breakdown, ...)` hand-rolls the step "
+                            "loop; run_pipeline owns breakdown bookkeeping",
+                        )
+                    )
+                if name == "observe_pipeline":
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "`observe_pipeline` is called exactly once by "
+                            "run_pipeline; pipeline modules must not call it",
+                        )
+                    )
+                for kw in node.keywords:
+                    if kw.arg in _DEGRADATION_KEYWORDS:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                kw.value,
+                                f"`{kw.arg}=` is degradation bookkeeping owned "
+                                "by run_pipeline's salvage path",
+                            )
+                        )
+            elif isinstance(node, ast.ExceptHandler):
+                typ = node.type
+                handler_names: List[str] = []
+                candidates = (
+                    typ.elts if isinstance(typ, ast.Tuple) else [typ] if typ else []
+                )
+                for cand in candidates:
+                    if isinstance(cand, ast.Name):
+                        handler_names.append(cand.id)
+                    elif isinstance(cand, ast.Attribute):
+                        handler_names.append(cand.attr)
+                if "BudgetError" in handler_names:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "catching BudgetError outside run_pipeline forks "
+                            "the degradation contract; let the engine salvage",
+                        )
+                    )
+        return findings

@@ -23,6 +23,8 @@ from repro.bench.reporting import (
     render_query_comparison,
     render_series,
     render_table,
+    timings_payload,
+    write_json_report,
     write_report,
 )
 
@@ -43,5 +45,7 @@ __all__ = [
     "run_knk_experiment",
     "select_representative",
     "speedups",
+    "timings_payload",
+    "write_json_report",
     "write_report",
 ]

@@ -1,14 +1,22 @@
 """Paper-style table and series rendering for the benchmark harness.
 
-All output is plain monospaced text: the benchmark files print it and
+Human output is plain monospaced text: the benchmark files print it and
 also persist it under ``bench_results/`` so the figures' rows/series can
 be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+
+Each figure additionally persists a machine-readable twin —
+``bench_results/<name>.json`` next to ``<name>.txt`` — via
+:func:`write_json_report`, so plots and regression dashboards consume
+the same numbers the text tables show without re-parsing ASCII.
+:func:`timings_payload` is the canonical JSON shape for a
+:class:`~repro.bench.harness.QueryTiming` sequence.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.bench.harness import QueryTiming, speedups
 from repro.bench.plotting import ascii_breakdown_bars, ascii_grouped_bars
@@ -18,7 +26,9 @@ __all__ = [
     "render_query_comparison",
     "render_breakdown",
     "render_series",
+    "timings_payload",
     "write_report",
+    "write_json_report",
 ]
 
 
@@ -132,13 +142,71 @@ def render_series(
     return render_table(title, headers, rows)
 
 
-def write_report(name: str, content: str, directory: Optional[str] = None) -> str:
-    """Persist a rendered report under ``bench_results/`` and return its path."""
+def timings_payload(timings: Sequence[QueryTiming]) -> Dict[str, Any]:
+    """The machine-readable twin of the comparison + breakdown tables.
+
+    One entry per query (times in milliseconds, ``m1_ms`` only when the
+    experiment measured M1) plus the aggregate ``speedups`` block the
+    text footer prints.
+    """
+    queries: List[Dict[str, Any]] = []
+    for t in timings:
+        entry: Dict[str, Any] = {
+            "query": t.label,
+            "pp_ms": t.pp_seconds * 1000,
+            "baseline_ms": t.baseline_seconds * 1000,
+            "speedup": t.speedup,
+            "pp_answers": t.pp_answers,
+            "baseline_answers": t.baseline_answers,
+            "breakdown_ms": {
+                "peval": t.breakdown.peval * 1000,
+                "arefine": t.breakdown.arefine * 1000,
+                "acomplete": t.breakdown.acomplete * 1000,
+            },
+        }
+        if t.m1_seconds is not None:
+            entry["m1_ms"] = t.m1_seconds * 1000
+        queries.append(entry)
+    return {"queries": queries, "speedups": speedups(timings)}
+
+
+def _bench_dir(directory: Optional[str]) -> str:
     out_dir = directory or os.environ.get(
         "REPRO_BENCH_DIR", os.path.join(os.getcwd(), "bench_results")
     )
     os.makedirs(out_dir, exist_ok=True)
-    path = os.path.join(out_dir, f"{name}.txt")
+    return out_dir
+
+
+def write_report(name: str, content: str, directory: Optional[str] = None) -> str:
+    """Persist a rendered report under ``bench_results/`` and return its path."""
+    path = os.path.join(_bench_dir(directory), f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(content)
+    return path
+
+
+def write_json_report(
+    name: str, payload: Dict[str, Any], directory: Optional[str] = None
+) -> str:
+    """Persist ``payload`` as ``bench_results/<name>.json``; returns the path.
+
+    ``Infinity`` is legal in Python's JSON writer but not in strict
+    parsers, so infinite speedups (a 0ms PPKWS run) are serialized as
+    ``null``.
+    """
+
+    def _finite(obj: Any) -> Any:
+        if isinstance(obj, float) and (obj != obj or obj in (float("inf"), float("-inf"))):
+            return None
+        if isinstance(obj, dict):
+            return {k: _finite(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [_finite(v) for v in obj]
+        return obj
+
+    path = os.path.join(_bench_dir(directory), f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_finite(payload), fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

@@ -23,6 +23,15 @@ from repro.core.partial import (
 )
 from repro.core.batch import BatchBudget, BatchSession, PersistentCompletionCache
 from repro.core.dynamic import DynamicPrivateGraph
+from repro.core.engine import (
+    PipelineContext,
+    SemanticsSpec,
+    StepSpec,
+    register_semantics,
+    registered_semantics,
+    run_pipeline,
+    semantics_spec,
+)
 from repro.core.persist import load_index, save_index
 from repro.core.pp_rclique import CompletionCache
 from repro.core.qualify import answer_sides, is_public_private_answer
@@ -42,17 +51,24 @@ __all__ = [
     "PairIndicator",
     "PartialAnswer",
     "PartialKnkAnswer",
+    "PipelineContext",
     "PublicIndex",
     "QueryBudget",
     "QueryCounters",
     "QueryOptions",
     "QueryResult",
+    "SemanticsSpec",
     "StepBreakdown",
+    "StepSpec",
     "answer_sides",
     "is_public_private_answer",
     "load_index",
     "query_model_m1",
     "query_model_m2",
+    "register_semantics",
+    "registered_semantics",
+    "run_pipeline",
     "salvage_rooted_answers",
     "save_index",
+    "semantics_spec",
 ]

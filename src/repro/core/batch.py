@@ -210,6 +210,34 @@ class BatchSession:
         finally:
             self._observe_cache(marks)
 
+    def query(
+        self,
+        semantics: str,
+        budget: Optional[QueryBudget] = None,
+        **params: object,
+    ):
+        """One query of any registered semantics through the shared cache.
+
+        The generic counterpart of the named methods above: ``semantics``
+        is looked up in the engine registry and run with ``params`` as
+        its pipeline parameters — so a newly registered semantics is
+        batchable without this class growing a method.  The session's
+        persistent cache is passed through; specs that do not use a
+        completion cache simply ignore it.
+        """
+        from repro.core.engine import semantics_spec
+
+        spec = semantics_spec(semantics)
+        self._refresh_if_stale()
+        marks = self._cache_marks()
+        try:
+            return spec.run(
+                self.engine, self.attachment, dict(params),
+                budget=budget, cache=self.cache,
+            )
+        finally:
+            self._observe_cache(marks)
+
     # ------------------------------------------------------------------
     def run_keyword_queries(
         self,

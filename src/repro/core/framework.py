@@ -161,6 +161,16 @@ class StepBreakdown:
     arefine: float = 0.0
     acomplete: float = 0.0
 
+    def record(self, step: str, seconds: float) -> None:
+        """Store ``seconds`` into ``step``'s slot.
+
+        Non-standard steps (e.g. BANKS' ``materialize``) have no slot
+        and are silently dropped — the breakdown reports the three
+        framework steps only, matching its wire serialization.
+        """
+        if step in PIPELINE_STEPS:
+            setattr(self, step, seconds)
+
     @property
     def total(self) -> float:
         """Total query time."""
@@ -561,6 +571,34 @@ class PPKWS:
         return pp_knk_multi_query(
             self, self.attachment(owner), source, list(keywords), k, mode,
             budget=self.make_budget(deadline_ms, max_expansions, budget),
+        )
+
+    def query(
+        self,
+        semantics: str,
+        owner: str,
+        *,
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
+        cache: Optional[object] = None,
+        **params: object,
+    ) -> object:
+        """Run any registered semantics by name through the engine.
+
+        The named methods above (``blinks``, ``knk``, …) are sugar over
+        this generic entry point; plugins registered via
+        :func:`repro.core.engine.register_semantics` are reachable only
+        here (and on the wire).  Unknown names raise
+        :class:`~repro.exceptions.QueryError`.
+        """
+        from repro.core.engine import semantics_spec
+
+        spec = semantics_spec(semantics)
+        return spec.run(
+            self, self.attachment(owner), dict(params),
+            budget=self.make_budget(deadline_ms, max_expansions, budget),
+            cache=cache,
         )
 
 

@@ -5,8 +5,9 @@ framework part is exactly PP-Blinks; only the *presentation* differs.
 Reconstructing trees during search would defeat PPKWS (it would traverse
 the combined graph), so PP-BANKS:
 
-1. runs the full PP-Blinks pipeline (PEval / ARefine / AComplete) to get
-   the top-k rooted answers, then
+1. runs the PP-Blinks steps (PEval / ARefine / AComplete — the spec
+   literally shares the step functions of :mod:`repro.core.pp_blinks`)
+   to get the top-k rooted answers, then
 2. materializes each answer's tree by shortest-path reconstruction over
    the *lazy* combined view (:func:`repro.graph.views.combine_lazy`) —
    ``O(k)`` point-to-point searches, no graph copy.
@@ -14,6 +15,11 @@ the combined graph), so PP-BANKS:
 A pleasant side effect: reconstruction computes exact combined-graph
 paths, so the returned match distances are exact (they can only improve
 on the sketch estimates that ranked the answers).
+
+The ``materialize`` step is engine-timed like any other but has no
+:class:`~repro.core.framework.StepBreakdown` slot (the breakdown is the
+paper's three-step accounting); a budget expiring mid-materialization
+salvages the trees already built plus the remaining rooted answers.
 """
 
 from __future__ import annotations
@@ -21,16 +27,95 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.budget import QueryBudget
-from repro.core.framework import PIPELINE_STEPS, Attachment, PPKWS, QueryResult
-from repro.exceptions import BudgetError
+from repro.core.engine import (
+    PipelineContext,
+    SemanticsSpec,
+    StepSpec,
+    register_semantics,
+)
+from repro.core.framework import Attachment, PPKWS, QueryResult
+from repro.core.pp_blinks import (
+    init_blinks_state,
+    salvage_blinks,
+    step_acomplete,
+    step_arefine,
+    step_peval,
+    validate_blinks_params,
+)
 from repro.graph.labeled_graph import Label
 from repro.graph.traversal import shortest_path
 from repro.graph.views import combine_lazy
-from repro.obs import observe_pipeline
 from repro.semantics.answers import RootedAnswer
 from repro.semantics.banks import TreeAnswer
+from repro.semantics.wire import (
+    rooted_cache_params,
+    rooted_payload,
+    rooted_wire_params,
+)
 
 __all__ = ["pp_banks_query"]
+
+
+def _step_materialize(ctx: PipelineContext) -> None:
+    """Step 4: reconstruct each answer's tree on the lazy combined view."""
+    view = combine_lazy(ctx.engine.public, ctx.attachment.private)
+    trees: List[RootedAnswer] = ctx.scratch.setdefault("trees", [])
+    for idx, answer in enumerate(ctx.answers):
+        # Progress markers for salvage: trees built so far, index of the
+        # answer being materialized when the budget expired.
+        ctx.scratch["idx"] = idx
+        tree = TreeAnswer(answer.root, {})
+        for q, m in answer.matches.items():
+            tree.matches[q] = m.copy()
+            if m.vertex is None or m.vertex == answer.root:
+                continue
+            path = shortest_path(view, answer.root, m.vertex, budget=ctx.budget)
+            if path is None:  # pragma: no cover - answers are connected
+                continue
+            total = 0.0
+            for u, v in zip(path, path[1:]):
+                tree.edges.add(frozenset((u, v)))
+                total += view.weight(u, v)
+            # Exact path length can only improve on the sketch estimate.
+            if total < tree.matches[q].distance:
+                tree.matches[q].distance = total
+        trees.append(tree)
+    trees.sort(key=RootedAnswer.sort_key)
+    ctx.answers = list(trees)
+
+
+def _salvage(ctx: PipelineContext, step: str) -> List[RootedAnswer]:
+    if step == "materialize":
+        # Trees already materialized keep their edges / exact paths; the
+        # remaining rooted answers ride along as-is (ranked, no edges).
+        trees: List[RootedAnswer] = ctx.scratch.get("trees", [])
+        idx: int = ctx.scratch.get("idx", 0)
+        salvaged = list(trees) + list(ctx.answers[idx:])
+        salvaged.sort(key=RootedAnswer.sort_key)
+        return salvaged
+    return salvage_blinks(ctx, step)
+
+
+BANKS = register_semantics(SemanticsSpec(
+    name="banks",
+    summary="Top-k tree answers (PP-BANKS: Blinks + lazy materialization).",
+    steps=(
+        StepSpec("peval", step_peval),
+        StepSpec("arefine", step_arefine),
+        StepSpec("acomplete", step_acomplete),
+        StepSpec("materialize", _step_materialize),
+    ),
+    validate=validate_blinks_params,
+    init=init_blinks_state,
+    salvage=_salvage,
+    count_answers=len,
+    result_type=QueryResult,
+    wire_required=("network", "owner", "keywords"),
+    wire_optional=("tau", "k"),
+    wire_params=rooted_wire_params,
+    wire_payload=rooted_payload,
+    wire_cache_params=rooted_cache_params,
+))
 
 
 def pp_banks_query(
@@ -43,54 +128,13 @@ def pp_banks_query(
     budget: Optional[QueryBudget] = None,
 ) -> QueryResult:
     """PP-Blinks followed by lazy tree materialization."""
-    from repro.core.pp_blinks import pp_blinks_query
-
-    result = pp_blinks_query(
-        engine, attachment, keywords, tau, k, require_public_private,
-        budget=budget, obs_pipeline=None,  # observed below as "banks"
+    return BANKS.run(
+        engine, attachment,
+        {
+            "keywords": list(keywords),
+            "tau": tau,
+            "k": k,
+            "require_public_private": require_public_private,
+        },
+        budget=budget,
     )
-    if result.degraded:
-        # The budget expired during the Blinks pipeline: return the
-        # salvaged rooted answers as-is.  Tree materialization runs
-        # point-to-point searches on the combined view — exactly the
-        # work a spent budget no longer pays for.
-        observe_pipeline("banks", result)
-        return result
-    view = combine_lazy(engine.public, attachment.private)
-    trees: List[RootedAnswer] = []
-    for idx, answer in enumerate(result.answers):
-        tree = TreeAnswer(answer.root, {})
-        try:
-            for q, m in answer.matches.items():
-                tree.matches[q] = m.copy()
-                if m.vertex is None or m.vertex == answer.root:
-                    continue
-                path = shortest_path(view, answer.root, m.vertex, budget=budget)
-                if path is None:  # pragma: no cover - answers are connected
-                    continue
-                total = 0.0
-                for u, v in zip(path, path[1:]):
-                    tree.edges.add(frozenset((u, v)))
-                    total += view.weight(u, v)
-                # Exact path length can only improve on the sketch estimate.
-                if total < tree.matches[q].distance:
-                    tree.matches[q].distance = total
-        except BudgetError:
-            # The budget expired mid-materialization.  Salvage what we
-            # have: trees already materialized plus the remaining rooted
-            # answers as-is (ranked, but without edges / exact paths).
-            salvaged = trees + list(result.answers[idx:])
-            salvaged.sort(key=RootedAnswer.sort_key)
-            degraded = QueryResult(
-                salvaged, result.breakdown, result.counters,
-                degraded=True,
-                completed_steps=PIPELINE_STEPS,
-                interrupted_step="materialize",
-            )
-            observe_pipeline("banks", degraded)
-            return degraded
-        trees.append(tree)
-    trees.sort(key=RootedAnswer.sort_key)
-    final = QueryResult(trees, result.breakdown, result.counters)
-    observe_pipeline("banks", final)
-    return final

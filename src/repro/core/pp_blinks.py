@@ -15,6 +15,10 @@
   keyword with a public-side route (a KPADS lookup for public roots, the
   best portal detour for private roots); (c) *qualification* — distance
   bound, completeness and the Def.-II.2 public-private test.
+
+Budget checkpoints, step timing, degradation bookkeeping and obs hooks
+all live in :mod:`repro.core.engine` (rule RA008); this module only
+declares the steps and registers the :data:`BLINKS` spec.
 """
 
 from __future__ import annotations
@@ -24,23 +28,31 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.budget import QueryBudget
+from repro.core.engine import (
+    PipelineContext,
+    SemanticsSpec,
+    StepSpec,
+    register_semantics,
+)
 from repro.core.framework import (
     Attachment,
     PPKWS,
     QueryCounters,
     QueryResult,
-    StepBreakdown,
-    _Timer,
 )
 from repro.core.partial import KeywordIndicator, PartialAnswer, salvage_rooted_answers
 from repro.core.pp_rclique import CompletionCache
 from repro.core.repair import try_requalify
-from repro.exceptions import BudgetError, QueryError
+from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
-from repro.obs import observe_pipeline
 from repro.graph.traversal import INF
 from repro.semantics.answers import Match, RootedAnswer
 from repro.semantics.blinks import keyword_expansion
+from repro.semantics.wire import (
+    rooted_cache_params,
+    rooted_payload,
+    rooted_wire_params,
+)
 
 __all__ = ["pp_blinks_query", "peval_blinks", "arefine_keywords"]
 
@@ -75,7 +87,10 @@ def peval_blinks(
             roots.add(v)
 
     partials: Dict[Vertex, PartialAnswer] = {}
-    for r in roots:
+    # repr order: which roots get processed before a budget expiry — and
+    # hence the salvaged prefix of a degraded run — must not depend on
+    # set iteration order (PYTHONHASHSEED).
+    for r in sorted(roots, key=repr):
         if budget is not None:
             budget.checkpoint()
         partial = PartialAnswer(answer=RootedAnswer(r, {}))
@@ -125,99 +140,6 @@ def arefine_keywords(
                 counters.refinements_applied += 1
                 if witness is not None:
                     match.vertex = witness
-
-
-def pp_blinks_query(
-    engine: PPKWS,
-    attachment: Attachment,
-    keywords: List[Label],
-    tau: float,
-    k: int,
-    require_public_private: bool,
-    cache: "CompletionCache | None" = None,
-    budget: Optional[QueryBudget] = None,
-    obs_pipeline: Optional[str] = "blinks",
-) -> QueryResult:
-    """Run the full PEval -> ARefine -> AComplete pipeline for Blinks.
-
-    ``cache`` lets batch sessions share one completion cache across
-    queries; by default each query gets a fresh one (the paper's PKA).
-
-    ``budget`` enables cooperative cancellation: expiry mid-step degrades
-    the query to the best answers completed so far (salvaged from the
-    partial answers) instead of raising, with ``QueryResult.degraded``,
-    ``completed_steps`` and ``interrupted_step`` recording what ran.
-
-    ``obs_pipeline`` labels the metrics this query records into an
-    installed :mod:`repro.obs` registry; wrappers that post-process the
-    result (PP-BANKS) pass ``None`` and observe the final result
-    themselves so queries are never double-counted.
-    """
-    if not keywords:
-        raise QueryError("Blinks query needs at least one keyword")
-    unique_keywords = list(dict.fromkeys(keywords))
-    counters = QueryCounters()
-    breakdown = StepBreakdown()
-    options = engine.options
-
-    partials: Dict[Vertex, PartialAnswer] = {}
-    answers: List[RootedAnswer] = []
-    completed: List[str] = []
-    step = "peval"
-    t = _Timer()
-    try:
-        with _Timer() as t:
-            partials = peval_blinks(attachment, unique_keywords, tau, budget)
-        breakdown.peval = t.elapsed
-        completed.append("peval")
-        counters.partial_answers = len(partials)
-
-        step = "arefine"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            arefine_keywords(
-                attachment, partials, counters, options.reduced_refinement, budget
-            )
-        breakdown.arefine = t.elapsed
-        completed.append("arefine")
-
-        step = "acomplete"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            if cache is None:
-                cache = CompletionCache(options.dp_completion)
-            answers = _acomplete(
-                engine, attachment, partials, unique_keywords, tau, k, counters,
-                cache, require_public_private, budget,
-            )
-            counters.completion_lookups = cache.misses + cache.hits
-            counters.completion_cache_hits = cache.hits
-        breakdown.acomplete = t.elapsed
-        completed.append("acomplete")
-    except BudgetError:
-        # Graceful degradation: keep the answers that are already
-        # complete and within bound.  AComplete mutates partials in
-        # place, so improvements it made before expiry are kept too.
-        setattr(breakdown, step, t.elapsed)
-        answers = salvage_rooted_answers(partials.values(), tau, k)
-        counters.final_answers = len(answers)
-        result = QueryResult(
-            answers, breakdown, counters,
-            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
-        )
-        if obs_pipeline is not None:
-            observe_pipeline(obs_pipeline, result)
-        return result
-
-    answers.sort(key=RootedAnswer.sort_key)
-    top = answers[:k]
-    counters.final_answers = len(top)
-    result = QueryResult(top, breakdown, counters)
-    if obs_pipeline is not None:
-        observe_pipeline(obs_pipeline, result)
-    return result
 
 
 def _offset_sweep(
@@ -282,7 +204,7 @@ def _acomplete(
     answers: Dict[Vertex, PartialAnswer] = dict(partials)
     portal_seeds: List[Tuple[Vertex, PartialAnswer]] = [
         (p, partials[p])
-        for p in attachment.portals
+        for p in sorted(attachment.portals, key=repr)
         if p in partials and p in public
     ]
     swept: Dict[Label, Dict[Vertex, Match]] = {}
@@ -296,7 +218,7 @@ def _acomplete(
     touched: Set[Vertex] = set()
     for cover in swept.values():
         touched.update(cover)
-    for u in touched:
+    for u in sorted(touched, key=repr):
         if budget is not None:
             budget.checkpoint()
         if u in answers:
@@ -367,3 +289,106 @@ def _acomplete(
             continue
         final.append(partial.answer)
     return final
+
+
+# ----------------------------------------------------------------------
+# the spec (its steps are shared by PP-BANKS, see repro.core.pp_banks)
+# ----------------------------------------------------------------------
+def validate_blinks_params(ctx: PipelineContext) -> None:
+    if not ctx.params["keywords"]:
+        raise QueryError("Blinks query needs at least one keyword")
+
+
+def init_blinks_state(ctx: PipelineContext) -> None:
+    ctx.params["keywords"] = list(dict.fromkeys(ctx.params["keywords"]))
+    ctx.state = {}
+
+
+def step_peval(ctx: PipelineContext) -> None:
+    p = ctx.params
+    ctx.state = peval_blinks(ctx.attachment, p["keywords"], p["tau"], ctx.budget)
+    ctx.counters.partial_answers = len(ctx.state)
+
+
+def step_arefine(ctx: PipelineContext) -> None:
+    arefine_keywords(
+        ctx.attachment, ctx.state, ctx.counters,
+        ctx.options.reduced_refinement, ctx.budget,
+    )
+
+
+def step_acomplete(ctx: PipelineContext) -> None:
+    p = ctx.params
+    if ctx.cache is None:
+        ctx.cache = CompletionCache(ctx.options.dp_completion)
+    answers = _acomplete(
+        ctx.engine, ctx.attachment, ctx.state, p["keywords"], p["tau"],
+        p["k"], ctx.counters, ctx.cache, p["require_public_private"],
+        ctx.budget,
+    )
+    ctx.counters.completion_lookups = ctx.cache.misses + ctx.cache.hits
+    ctx.counters.completion_cache_hits = ctx.cache.hits
+    answers.sort(key=RootedAnswer.sort_key)
+    ctx.answers = answers[: p["k"]]
+
+
+def salvage_blinks(ctx: PipelineContext, step: str) -> List[RootedAnswer]:
+    # AComplete mutates partials in place, so improvements it made before
+    # expiry are kept by the salvage too.
+    return salvage_rooted_answers(
+        ctx.state.values(), ctx.params["tau"], ctx.params["k"]
+    )
+
+
+BLINKS = register_semantics(SemanticsSpec(
+    name="blinks",
+    summary="Top-k rooted-tree answers (PP-Blinks, Sec. IV-B).",
+    steps=(
+        StepSpec("peval", step_peval),
+        StepSpec("arefine", step_arefine),
+        StepSpec("acomplete", step_acomplete),
+    ),
+    validate=validate_blinks_params,
+    init=init_blinks_state,
+    salvage=salvage_blinks,
+    count_answers=len,
+    result_type=QueryResult,
+    wire_required=("network", "owner", "keywords"),
+    wire_optional=("tau", "k"),
+    wire_params=rooted_wire_params,
+    wire_payload=rooted_payload,
+    wire_cache_params=rooted_cache_params,
+))
+
+
+def pp_blinks_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    require_public_private: bool,
+    cache: Optional[CompletionCache] = None,
+    budget: Optional[QueryBudget] = None,
+) -> QueryResult:
+    """Run the full PEval -> ARefine -> AComplete pipeline for Blinks.
+
+    ``cache`` lets batch sessions share one completion cache across
+    queries; by default each query gets a fresh one (the paper's PKA).
+
+    ``budget`` enables cooperative cancellation: expiry mid-step degrades
+    the query to the best answers completed so far (salvaged from the
+    partial answers) instead of raising, with ``QueryResult.degraded``,
+    ``completed_steps`` and ``interrupted_step`` recording what ran.
+    """
+    return BLINKS.run(
+        engine, attachment,
+        {
+            "keywords": list(keywords),
+            "tau": tau,
+            "k": k,
+            "require_public_private": require_public_private,
+        },
+        budget=budget,
+        cache=cache,
+    )

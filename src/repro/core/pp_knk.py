@@ -14,6 +14,10 @@ Lemma A.1/A.4 guarantee: every private vertex belonging to the true
 combined-graph top-k is returned, because private match distances are
 exact on ``Gc`` after refinement while public candidates only ever carry
 over-estimates.
+
+Budget checkpoints, step timing, degradation bookkeeping and obs hooks
+all live in :mod:`repro.core.engine` (rule RA008); this module only
+declares the steps and registers the :data:`KNK` spec.
 """
 
 from __future__ import annotations
@@ -21,21 +25,25 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.budget import QueryBudget
+from repro.core.engine import (
+    PipelineContext,
+    SemanticsSpec,
+    StepSpec,
+    register_semantics,
+)
 from repro.core.framework import (
     Attachment,
     KnkQueryResult,
     PPKWS,
     QueryCounters,
-    StepBreakdown,
-    _Timer,
 )
 from repro.core.partial import PairIndicator, PartialKnkAnswer
 from repro.core.pp_rclique import CompletionCache
-from repro.exceptions import BudgetError, QueryError
+from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.graph.traversal import INF, dijkstra_ordered
-from repro.obs import observe_pipeline
 from repro.semantics.answers import KnkAnswer, Match
+from repro.semantics.wire import knk_cache_params, knk_payload, knk_wire_params
 
 __all__ = ["pp_knk_query", "peval_knk", "salvage_knk_answer"]
 
@@ -83,81 +91,6 @@ def peval_knk(
             if len(answer.matches) >= k:
                 break
     return partial
-
-
-def pp_knk_query(
-    engine: PPKWS,
-    attachment: Attachment,
-    source: Vertex,
-    keyword: Label,
-    k: int,
-    cache: "CompletionCache | None" = None,
-    budget: Optional[QueryBudget] = None,
-) -> KnkQueryResult:
-    """Run the full PEval -> ARefine -> AComplete pipeline for k-nk.
-
-    ``cache`` lets batch sessions share one completion cache across
-    queries; by default each query gets a fresh one (the paper's PKA).
-
-    ``budget`` enables cooperative cancellation: expiry mid-step degrades
-    the query to the private matches found so far (see
-    :class:`~repro.core.framework.KnkQueryResult`).
-    """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    if source not in attachment.private:
-        raise QueryError(
-            f"k-nk query vertex {source!r} must belong to the private graph"
-        )
-    counters = QueryCounters()
-    breakdown = StepBreakdown()
-    options = engine.options
-
-    partial = PartialKnkAnswer(answer=KnkAnswer(source, keyword, []))
-    completed: List[str] = []
-    step = "peval"
-    t = _Timer()
-    try:
-        with _Timer() as t:
-            partial = peval_knk(attachment, source, keyword, k, budget, partial)
-        breakdown.peval = t.elapsed
-        completed.append("peval")
-        counters.partial_answers = len(partial.answer.matches)
-
-        step = "arefine"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            _arefine(attachment, partial, counters, options.reduced_refinement, budget)
-        breakdown.arefine = t.elapsed
-        completed.append("arefine")
-
-        step = "acomplete"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            if cache is None:
-                cache = CompletionCache(options.dp_completion)
-            final = _acomplete(engine, attachment, partial, keyword, k, cache, budget)
-            counters.completion_lookups = cache.misses + cache.hits
-            counters.completion_cache_hits = cache.hits
-        breakdown.acomplete = t.elapsed
-        completed.append("acomplete")
-    except BudgetError:
-        setattr(breakdown, step, t.elapsed)
-        final = salvage_knk_answer(partial, k)
-        counters.final_answers = len(final.matches)
-        result = KnkQueryResult(
-            final, breakdown, counters,
-            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
-        )
-        observe_pipeline("knk", result)
-        return result
-
-    counters.final_answers = len(final.matches)
-    result = KnkQueryResult(final, breakdown, counters)
-    observe_pipeline("knk", result)
-    return result
 
 
 def _arefine(
@@ -225,3 +158,101 @@ def _acomplete(
     final = KnkAnswer(partial.answer.source, keyword, [])
     final.matches = [Match(v, d) for v, d in ranked[:k]]
     return final
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+def _validate(ctx: PipelineContext) -> None:
+    p = ctx.params
+    if p["k"] < 1:
+        raise QueryError(f"k must be >= 1, got {p['k']}")
+    if p["source"] not in ctx.attachment.private:
+        raise QueryError(
+            f"k-nk query vertex {p['source']!r} must belong to the private graph"
+        )
+
+
+def _init(ctx: PipelineContext) -> None:
+    # The partial exists before the sweep starts so a budget expiring
+    # mid-peval still has matches to salvage.
+    p = ctx.params
+    ctx.state = PartialKnkAnswer(answer=KnkAnswer(p["source"], p["keyword"], []))
+
+
+def _step_peval(ctx: PipelineContext) -> None:
+    p = ctx.params
+    ctx.state = peval_knk(
+        ctx.attachment, p["source"], p["keyword"], p["k"], ctx.budget, ctx.state
+    )
+    ctx.counters.partial_answers = len(ctx.state.answer.matches)
+
+
+def _step_arefine(ctx: PipelineContext) -> None:
+    _arefine(
+        ctx.attachment, ctx.state, ctx.counters,
+        ctx.options.reduced_refinement, ctx.budget,
+    )
+
+
+def _step_acomplete(ctx: PipelineContext) -> None:
+    p = ctx.params
+    if ctx.cache is None:
+        ctx.cache = CompletionCache(ctx.options.dp_completion)
+    ctx.answers = _acomplete(
+        ctx.engine, ctx.attachment, ctx.state, p["keyword"], p["k"],
+        ctx.cache, ctx.budget,
+    )
+    ctx.counters.completion_lookups = ctx.cache.misses + ctx.cache.hits
+    ctx.counters.completion_cache_hits = ctx.cache.hits
+
+
+def _salvage(ctx: PipelineContext, step: str) -> KnkAnswer:
+    return salvage_knk_answer(ctx.state, ctx.params["k"])
+
+
+KNK = register_semantics(SemanticsSpec(
+    name="knk",
+    summary="Top-k nearest keyword matches (PP-knk, Sec. IV-C).",
+    steps=(
+        StepSpec("peval", _step_peval),
+        StepSpec("arefine", _step_arefine),
+        StepSpec("acomplete", _step_acomplete),
+    ),
+    validate=_validate,
+    init=_init,
+    salvage=_salvage,
+    count_answers=lambda a: len(a.matches),
+    result_type=KnkQueryResult,
+    wire_required=("network", "owner", "source", "keyword"),
+    wire_optional=("k",),
+    wire_params=knk_wire_params,
+    wire_payload=knk_payload,
+    wire_cache_params=knk_cache_params,
+))
+
+
+def pp_knk_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    source: Vertex,
+    keyword: Label,
+    k: int,
+    cache: "CompletionCache | None" = None,
+    budget: Optional[QueryBudget] = None,
+) -> KnkQueryResult:
+    """Run the full PEval -> ARefine -> AComplete pipeline for k-nk.
+
+    ``cache`` lets batch sessions share one completion cache across
+    queries; by default each query gets a fresh one (the paper's PKA).
+
+    ``budget`` enables cooperative cancellation: expiry mid-step degrades
+    the query to the private matches found so far (see
+    :class:`~repro.core.framework.KnkQueryResult`).
+    """
+    return KNK.run(
+        engine, attachment,
+        {"source": source, "keyword": keyword, "k": k},
+        budget=budget,
+        cache=cache,
+    )

@@ -13,6 +13,10 @@ Extends :mod:`repro.core.pp_knk` to the multi-keyword k-nk semantics
   classic rarest-first strategy for conjunctive retrieval; candidates
   the sketch does not surface may be missed, so the conjunctive variant
   is approximate on the public side — private-side answers remain exact.
+
+Budget checkpoints, step timing, degradation bookkeeping and obs hooks
+all live in :mod:`repro.core.engine` (rule RA008); this module only
+declares the steps and registers the :data:`KNK_MULTI` spec.
 """
 
 from __future__ import annotations
@@ -20,23 +24,30 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.budget import QueryBudget
+from repro.core.engine import (
+    PipelineContext,
+    SemanticsSpec,
+    StepSpec,
+    register_semantics,
+)
 from repro.core.framework import (
     Attachment,
     KnkQueryResult,
     PPKWS,
-    QueryCounters,
-    StepBreakdown,
-    _Timer,
 )
 from repro.core.partial import PairIndicator, PartialKnkAnswer
 from repro.core.pp_knk import _arefine, salvage_knk_answer
 from repro.core.pp_rclique import CompletionCache
-from repro.exceptions import BudgetError, QueryError
+from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.graph.traversal import INF, dijkstra_ordered
-from repro.obs import observe_pipeline
 from repro.semantics.answers import KnkAnswer, Match
 from repro.semantics.knk_multi import match_predicate
+from repro.semantics.wire import (
+    knk_multi_cache_params,
+    knk_multi_wire_params,
+    knk_payload,
+)
 
 __all__ = ["pp_knk_multi_query"]
 
@@ -73,86 +84,6 @@ def _peval_multi(
             if len(answer.matches) >= k:
                 break
     return partial
-
-
-def pp_knk_multi_query(
-    engine: PPKWS,
-    attachment: Attachment,
-    source: Vertex,
-    keywords: Sequence[Label],
-    k: int,
-    mode: str = "and",
-    budget: Optional[QueryBudget] = None,
-) -> KnkQueryResult:
-    """PEval -> ARefine -> AComplete for multi-keyword k-nk.
-
-    ``budget`` enables cooperative cancellation with graceful
-    degradation, as in :func:`repro.core.pp_knk.pp_knk_query`.
-    """
-    if k < 1:
-        raise QueryError(f"k must be >= 1, got {k}")
-    if not keywords:
-        raise QueryError("multi-keyword k-nk needs at least one keyword")
-    if source not in attachment.private:
-        raise QueryError(
-            f"k-nk query vertex {source!r} must belong to the private graph"
-        )
-    unique_keywords = list(dict.fromkeys(keywords))
-    counters = QueryCounters()
-    breakdown = StepBreakdown()
-    options = engine.options
-
-    joiner = "&" if mode == "and" else "|"
-    partial = PartialKnkAnswer(
-        answer=KnkAnswer(source, joiner.join(unique_keywords), [])
-    )
-    completed: List[str] = []
-    step = "peval"
-    t = _Timer()
-    try:
-        with _Timer() as t:
-            partial = _peval_multi(
-                attachment, source, unique_keywords, mode, k, budget, partial
-            )
-        breakdown.peval = t.elapsed
-        completed.append("peval")
-        counters.partial_answers = len(partial.answer.matches)
-
-        step = "arefine"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            _arefine(attachment, partial, counters, options.reduced_refinement, budget)
-        breakdown.arefine = t.elapsed
-        completed.append("arefine")
-
-        step = "acomplete"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            cache = CompletionCache(options.dp_completion)
-            final = _acomplete_multi(
-                engine, attachment, partial, unique_keywords, mode, k, cache, budget
-            )
-            counters.completion_lookups = cache.misses + cache.hits
-            counters.completion_cache_hits = cache.hits
-        breakdown.acomplete = t.elapsed
-        completed.append("acomplete")
-    except BudgetError:
-        setattr(breakdown, step, t.elapsed)
-        final = salvage_knk_answer(partial, k)
-        counters.final_answers = len(final.matches)
-        result = KnkQueryResult(
-            final, breakdown, counters,
-            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
-        )
-        observe_pipeline("knk_multi", result)
-        return result
-
-    counters.final_answers = len(final.matches)
-    result = KnkQueryResult(final, breakdown, counters)
-    observe_pipeline("knk_multi", result)
-    return result
 
 
 def _rarest_keyword(engine: PPKWS, keywords: Sequence[Label]) -> Label:
@@ -199,3 +130,103 @@ def _acomplete_multi(
     final = KnkAnswer(partial.answer.source, partial.answer.keyword, [])
     final.matches = [Match(v, d) for v, d in ranked[:k]]
     return final
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+def _validate(ctx: PipelineContext) -> None:
+    p = ctx.params
+    if p["k"] < 1:
+        raise QueryError(f"k must be >= 1, got {p['k']}")
+    if not p["keywords"]:
+        raise QueryError("multi-keyword k-nk needs at least one keyword")
+    if p["source"] not in ctx.attachment.private:
+        raise QueryError(
+            f"k-nk query vertex {p['source']!r} must belong to the private graph"
+        )
+
+
+def _init(ctx: PipelineContext) -> None:
+    p = ctx.params
+    p["keywords"] = list(dict.fromkeys(p["keywords"]))
+    joiner = "&" if p["mode"] == "and" else "|"
+    ctx.state = PartialKnkAnswer(
+        answer=KnkAnswer(p["source"], joiner.join(p["keywords"]), [])
+    )
+
+
+def _step_peval(ctx: PipelineContext) -> None:
+    p = ctx.params
+    ctx.state = _peval_multi(
+        ctx.attachment, p["source"], p["keywords"], p["mode"], p["k"],
+        ctx.budget, ctx.state,
+    )
+    ctx.counters.partial_answers = len(ctx.state.answer.matches)
+
+
+def _step_arefine(ctx: PipelineContext) -> None:
+    _arefine(
+        ctx.attachment, ctx.state, ctx.counters,
+        ctx.options.reduced_refinement, ctx.budget,
+    )
+
+
+def _step_acomplete(ctx: PipelineContext) -> None:
+    # Multi-keyword completion never shares a caller-provided cache: its
+    # list-table entries are keyed per probe keyword and the conjunctive
+    # filter consults live public labels, so each query gets a fresh PKA.
+    p = ctx.params
+    cache = CompletionCache(ctx.options.dp_completion)
+    ctx.answers = _acomplete_multi(
+        ctx.engine, ctx.attachment, ctx.state, p["keywords"], p["mode"],
+        p["k"], cache, ctx.budget,
+    )
+    ctx.counters.completion_lookups = cache.misses + cache.hits
+    ctx.counters.completion_cache_hits = cache.hits
+
+
+def _salvage(ctx: PipelineContext, step: str) -> KnkAnswer:
+    return salvage_knk_answer(ctx.state, ctx.params["k"])
+
+
+KNK_MULTI = register_semantics(SemanticsSpec(
+    name="knk_multi",
+    summary="Multi-keyword k-nk, conjunctive or disjunctive (Sec. II ext.).",
+    steps=(
+        StepSpec("peval", _step_peval),
+        StepSpec("arefine", _step_arefine),
+        StepSpec("acomplete", _step_acomplete),
+    ),
+    validate=_validate,
+    init=_init,
+    salvage=_salvage,
+    count_answers=lambda a: len(a.matches),
+    result_type=KnkQueryResult,
+    wire_required=("network", "owner", "source", "keywords"),
+    wire_optional=("k", "mode"),
+    wire_params=knk_multi_wire_params,
+    wire_payload=knk_payload,
+    wire_cache_params=knk_multi_cache_params,
+))
+
+
+def pp_knk_multi_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    source: Vertex,
+    keywords: Sequence[Label],
+    k: int,
+    mode: str = "and",
+    budget: Optional[QueryBudget] = None,
+) -> KnkQueryResult:
+    """PEval -> ARefine -> AComplete for multi-keyword k-nk.
+
+    ``budget`` enables cooperative cancellation with graceful
+    degradation, as in :func:`repro.core.pp_knk.pp_knk_query`.
+    """
+    return KNK_MULTI.run(
+        engine, attachment,
+        {"source": source, "keywords": list(keywords), "k": k, "mode": mode},
+        budget=budget,
+    )

@@ -12,6 +12,10 @@
   KPADS lookup on the public side (``d_hat(p, q)`` plus the recorded
   ``d'(root, p)``), prunes answers that exceed ``tau`` or fail the
   public-private qualification (Def. II.2), and ranks by star weight.
+
+Budget checkpoints, step timing, degradation bookkeeping and obs hooks
+all live in :mod:`repro.core.engine` (rule RA008); this module only
+declares the steps and registers the :data:`RCLIQUE` spec.
 """
 
 from __future__ import annotations
@@ -19,21 +23,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.budget import QueryBudget
+from repro.core.engine import (
+    PipelineContext,
+    SemanticsSpec,
+    StepSpec,
+    register_semantics,
+)
 from repro.core.framework import (
     Attachment,
     PPKWS,
     QueryCounters,
     QueryResult,
-    StepBreakdown,
-    _Timer,
 )
 from repro.core.partial import PairIndicator, PartialAnswer, salvage_rooted_answers
 from repro.core.repair import try_requalify
-from repro.exceptions import BudgetError, QueryError
+from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, Vertex
-from repro.obs import observe_pipeline
 from repro.semantics.answers import RootedAnswer
 from repro.semantics.rclique import rclique_search
+from repro.semantics.wire import (
+    rooted_cache_params,
+    rooted_payload,
+    rooted_wire_params,
+)
 
 __all__ = ["pp_rclique_query", "peval_rclique", "arefine_pairs", "CompletionCache"]
 
@@ -170,89 +182,6 @@ def arefine_pairs(
                 counters.refinements_applied += 1
 
 
-def pp_rclique_query(
-    engine: PPKWS,
-    attachment: Attachment,
-    keywords: List[Label],
-    tau: float,
-    k: int,
-    require_public_private: bool,
-    cache: Optional[CompletionCache] = None,
-    budget: Optional[QueryBudget] = None,
-) -> QueryResult:
-    """Run the full PEval -> ARefine -> AComplete pipeline for r-clique.
-
-    ``cache`` lets batch sessions share one completion cache across
-    queries; by default each query gets a fresh one (the paper's PKA).
-
-    ``budget`` enables cooperative cancellation: expiry mid-step degrades
-    the query to the best answers completed so far (see
-    :class:`~repro.core.framework.QueryResult`).
-    """
-    if not keywords:
-        raise QueryError("r-clique query needs at least one keyword")
-    unique_keywords = list(dict.fromkeys(keywords))
-    counters = QueryCounters()
-    breakdown = StepBreakdown()
-    options = engine.options
-
-    partials: List[PartialAnswer] = []
-    final: List[RootedAnswer] = []
-    completed: List[str] = []
-    step = "peval"
-    t = _Timer()
-    try:
-        with _Timer() as t:
-            partials = peval_rclique(
-                attachment, unique_keywords, tau, options.peval_answers, budget
-            )
-        breakdown.peval = t.elapsed
-        completed.append("peval")
-        counters.partial_answers = len(partials)
-
-        step = "arefine"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            arefine_pairs(
-                attachment, partials, counters, options.reduced_refinement, budget
-            )
-        breakdown.arefine = t.elapsed
-        completed.append("arefine")
-
-        step = "acomplete"
-        if budget is not None:
-            budget.recheck()
-        with _Timer() as t:
-            if cache is None:
-                cache = CompletionCache(options.dp_completion)
-            final = _acomplete(
-                engine, attachment, partials, unique_keywords, tau, counters,
-                cache, require_public_private, budget,
-            )
-            counters.completion_lookups = cache.misses + cache.hits
-            counters.completion_cache_hits = cache.hits
-        breakdown.acomplete = t.elapsed
-        completed.append("acomplete")
-    except BudgetError:
-        setattr(breakdown, step, t.elapsed)
-        answers = salvage_rooted_answers(partials, tau, k)
-        counters.final_answers = len(answers)
-        result = QueryResult(
-            answers, breakdown, counters,
-            degraded=True, completed_steps=tuple(completed), interrupted_step=step,
-        )
-        observe_pipeline("rclique", result)
-        return result
-
-    final.sort(key=RootedAnswer.sort_key)
-    answers = final[:k]
-    counters.final_answers = len(answers)
-    result = QueryResult(answers, breakdown, counters)
-    observe_pipeline("rclique", result)
-    return result
-
-
 def _acomplete(
     engine: PPKWS,
     attachment: Attachment,
@@ -294,3 +223,103 @@ def _acomplete(
             continue
         completed.append(partial.answer)
     return completed
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+def _validate(ctx: PipelineContext) -> None:
+    if not ctx.params["keywords"]:
+        raise QueryError("r-clique query needs at least one keyword")
+
+
+def _init(ctx: PipelineContext) -> None:
+    ctx.params["keywords"] = list(dict.fromkeys(ctx.params["keywords"]))
+    ctx.state = []
+
+
+def _step_peval(ctx: PipelineContext) -> None:
+    p = ctx.params
+    ctx.state = peval_rclique(
+        ctx.attachment, p["keywords"], p["tau"], ctx.options.peval_answers,
+        ctx.budget,
+    )
+    ctx.counters.partial_answers = len(ctx.state)
+
+
+def _step_arefine(ctx: PipelineContext) -> None:
+    arefine_pairs(
+        ctx.attachment, ctx.state, ctx.counters,
+        ctx.options.reduced_refinement, ctx.budget,
+    )
+
+
+def _step_acomplete(ctx: PipelineContext) -> None:
+    p = ctx.params
+    if ctx.cache is None:
+        ctx.cache = CompletionCache(ctx.options.dp_completion)
+    final = _acomplete(
+        ctx.engine, ctx.attachment, ctx.state, p["keywords"], p["tau"],
+        ctx.counters, ctx.cache, p["require_public_private"], ctx.budget,
+    )
+    ctx.counters.completion_lookups = ctx.cache.misses + ctx.cache.hits
+    ctx.counters.completion_cache_hits = ctx.cache.hits
+    final.sort(key=RootedAnswer.sort_key)
+    ctx.answers = final[: p["k"]]
+
+
+def _salvage(ctx: PipelineContext, step: str) -> List[RootedAnswer]:
+    return salvage_rooted_answers(ctx.state, ctx.params["tau"], ctx.params["k"])
+
+
+RCLIQUE = register_semantics(SemanticsSpec(
+    name="rclique",
+    summary="Top-k star answers (PP-r-clique, Sec. IV-A).",
+    steps=(
+        StepSpec("peval", _step_peval),
+        StepSpec("arefine", _step_arefine),
+        StepSpec("acomplete", _step_acomplete),
+    ),
+    validate=_validate,
+    init=_init,
+    salvage=_salvage,
+    count_answers=len,
+    result_type=QueryResult,
+    wire_required=("network", "owner", "keywords"),
+    wire_optional=("tau", "k"),
+    wire_params=rooted_wire_params,
+    wire_payload=rooted_payload,
+    wire_cache_params=rooted_cache_params,
+))
+
+
+def pp_rclique_query(
+    engine: PPKWS,
+    attachment: Attachment,
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    require_public_private: bool,
+    cache: Optional[CompletionCache] = None,
+    budget: Optional[QueryBudget] = None,
+) -> QueryResult:
+    """Run the full PEval -> ARefine -> AComplete pipeline for r-clique.
+
+    ``cache`` lets batch sessions share one completion cache across
+    queries; by default each query gets a fresh one (the paper's PKA).
+
+    ``budget`` enables cooperative cancellation: expiry mid-step degrades
+    the query to the best answers completed so far (see
+    :class:`~repro.core.framework.QueryResult`).
+    """
+    return RCLIQUE.run(
+        engine, attachment,
+        {
+            "keywords": list(keywords),
+            "tau": tau,
+            "k": k,
+            "require_public_private": require_public_private,
+        },
+        budget=budget,
+        cache=cache,
+    )

@@ -5,6 +5,8 @@ from repro.datasets.queries import (
     KnkQuery,
     generate_keyword_queries,
     generate_knk_queries,
+    zipfian_tenant_workload,
+    zipfian_weights,
 )
 from repro.datasets.synthetic import (
     DATASET_BUILDERS,
@@ -26,4 +28,6 @@ __all__ = [
     "generate_knk_queries",
     "ppdblp_like",
     "yago_like",
+    "zipfian_tenant_workload",
+    "zipfian_weights",
 ]

@@ -26,6 +26,8 @@ __all__ = [
     "KnkQuery",
     "generate_keyword_queries",
     "generate_knk_queries",
+    "zipfian_tenant_workload",
+    "zipfian_weights",
 ]
 
 
@@ -47,6 +49,44 @@ class KnkQuery:
     source: Vertex
     keyword: Label
     k: int
+
+
+def zipfian_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Unnormalized Zipf weights ``1 / rank^exponent`` for ranks 1..n.
+
+    ``exponent=0`` degenerates to a uniform distribution; larger
+    exponents concentrate mass on the first ranks.
+    """
+    if n < 0:
+        raise QueryError(f"need a non-negative rank count, got {n}")
+    if exponent < 0:
+        raise QueryError(f"Zipf exponent must be >= 0, got {exponent}")
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+def zipfian_tenant_workload(
+    tenants: Sequence[str],
+    num_requests: int,
+    exponent: float = 1.0,
+    seed: Optional[int] = None,
+) -> List[str]:
+    """Assign each of ``num_requests`` requests to a tenant, Zipf-style.
+
+    Multi-tenant serving traffic is famously skewed: a few hot tenants
+    take most of the requests while a long tail stays nearly idle.  This
+    draws a request-to-tenant sequence with popularity ``1 / rank^s``
+    where rank follows the order of ``tenants`` (first = most popular) —
+    the standard Zipfian tenant-popularity model serving benchmarks use,
+    and the regime a cross-request answer cache actually faces (hot
+    tenants re-ask the same queries; cold tenants barely warm theirs).
+    """
+    if not tenants:
+        raise QueryError("need at least one tenant to spread requests over")
+    if num_requests < 0:
+        raise QueryError(f"need a non-negative request count, got {num_requests}")
+    rng = random.Random(seed)
+    weights = zipfian_weights(len(tenants), exponent)
+    return rng.choices(list(tenants), weights=weights, k=num_requests)
 
 
 def _weighted_label_choice(

@@ -32,6 +32,7 @@ __all__ = [
     "RWLOCK_ACQUIRE_READ",
     "RWLOCK_ACQUIRE_WRITE",
     "SERVICE_EXECUTE",
+    "ENGINE_STEP",
     "all_points",
     "point_named",
 ]
@@ -48,7 +49,7 @@ class FaultPoint:
     """
 
     name: str
-    layer: str  # "persist" | "graph-io" | "serving" | "service"
+    layer: str  # "persist" | "graph-io" | "serving" | "service" | "core"
     description: str
     stream: bool = False
 
@@ -130,6 +131,12 @@ RWLOCK_ACQUIRE_WRITE = _point(
 SERVICE_EXECUTE = _point(
     "service.execute", "service",
     "top of PPKWSService.execute, inside the error boundary",
+)
+
+# -- the query engine (repro.core.engine) ------------------------------
+ENGINE_STEP = _point(
+    "core.engine.step", "core",
+    "before each pipeline step in run_pipeline (raise = failed step)",
 )
 
 

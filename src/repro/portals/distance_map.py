@@ -106,7 +106,7 @@ def all_pairs_portal_distances(
     are settled.  Portals absent from ``graph`` simply stay unreachable —
     this happens for private-only analysis of portals of another owner.
     """
-    portal_list = [p for p in portals]
+    portal_list = sorted(portals, key=repr)
     pmap = PortalDistanceMap(portal_list)
     present = [p for p in portal_list if p in graph]
     target_set = set(present)

@@ -95,7 +95,9 @@ def build_private_maps(
     portals: Iterable[Vertex],
 ) -> Tuple[PortalKeywordDistanceMap, VertexPortalDistanceMap]:
     """Build PKD and the vertex-portal map with one Dijkstra per portal."""
-    portal_list = [p for p in portals if p in private]
+    # repr order: per-vertex portal-distance dicts keep a deterministic
+    # iteration order, so downstream min()-style tie-breaks are stable.
+    portal_list = sorted((p for p in portals if p in private), key=repr)
     pkd = PortalKeywordDistanceMap()
     vpm = VertexPortalDistanceMap(portal_list)
     for p in portal_list:

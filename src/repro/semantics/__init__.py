@@ -16,6 +16,7 @@ from repro.semantics.rclique import (
     build_neighbor_lists,
     rclique_search,
 )
+from repro.semantics.truss import TrussAnswer, truss_search
 
 __all__ = [
     "KnkAnswer",
@@ -23,6 +24,7 @@ __all__ = [
     "NeighborLists",
     "RootedAnswer",
     "TreeAnswer",
+    "TrussAnswer",
     "banks_search",
     "blinks_search",
     "build_neighbor_lists",
@@ -30,4 +32,5 @@ __all__ = [
     "knk_multi_search",
     "knk_search",
     "rclique_search",
+    "truss_search",
 ]

@@ -89,7 +89,9 @@ def keyword_expansion_with_paths(
     tentative: Dict[Vertex, float] = {}
     counter = itertools.count()
     heap: List[Tuple[float, int, Vertex, Vertex, Optional[Vertex]]] = []
-    for o in origins:
+    # Seed in repr order so equal-distance witness ties resolve the same
+    # way regardless of set iteration order (PYTHONHASHSEED).
+    for o in sorted(origins, key=repr):
         if o in graph:
             heap.append((0.0, next(counter), o, o, None))
     heapq.heapify(heap)

@@ -45,7 +45,9 @@ def keyword_expansion(
     reached: Dict[Vertex, Match] = {}
     heap: List[Tuple[float, int, Vertex, Vertex]] = []
     counter = 0
-    for o in origins:
+    # Seed in repr order so equal-distance witness ties resolve the same
+    # way regardless of set iteration order (PYTHONHASHSEED).
+    for o in sorted(origins, key=repr):
         if o in graph:
             heap.append((0.0, counter, o, o))
             counter += 1

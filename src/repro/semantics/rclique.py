@@ -82,7 +82,9 @@ def build_neighbor_lists(
         lists: Dict[Vertex, List[Tuple[float, Vertex]]] = {}
         heap: List[Tuple[float, int, Vertex, Vertex]] = []
         counter = itertools.count()
-        for o in origins:
+        # Seed in repr order so equal-distance ties resolve the same way
+        # regardless of set iteration order (PYTHONHASHSEED).
+        for o in sorted(origins, key=repr):
             if o in graph:
                 heap.append((0.0, next(counter), o, o))
         heapq.heapify(heap)
@@ -113,7 +115,8 @@ def _find_top_answer(
     best: Optional[RootedAnswer] = None
     best_weight = INF
     for i, qi in enumerate(keywords):
-        for root in candidates[qi]:
+        # repr order: equal-weight stars tie-break deterministically.
+        for root in sorted(candidates[qi], key=repr):
             if budget is not None:
                 budget.checkpoint()
             if root in exclusions[i]:

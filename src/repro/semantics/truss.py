@@ -1,0 +1,184 @@
+"""k-truss community search (the sixth registered semantics' ground truth).
+
+A *k-truss* (k >= 2) is the maximal subgraph in which every edge is
+supported by at least ``k - 2`` triangles; it is the classic cohesive
+community model that, unlike cliques, is computable by edge peeling in
+polynomial time.  Keyword search over trusses returns the connected
+components of the k-truss that cover the query keywords.
+
+This module is the single-graph algorithm: :func:`truss_search` runs on
+any read-only graph (including a materialized or lazy combined view) and
+is the brute-force oracle the public-private pipeline
+(:mod:`repro.core.pp_truss`) is validated against.  The peeling core
+(:func:`peel_truss`, :func:`truss_components`) is shared by both — the
+pipeline differs only in *how supports are obtained*, not in how the
+truss is extracted from them.
+
+All iteration orders are fixed by ``repr`` so results are independent of
+hash seeding (the same discipline as the rest of :mod:`repro.semantics`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Label, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.budget import QueryBudget
+
+__all__ = [
+    "TrussAnswer",
+    "edge_key",
+    "peel_truss",
+    "truss_components",
+    "covers_keywords",
+    "truss_search",
+]
+
+EdgeKey = Tuple[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class TrussAnswer:
+    """One connected component of the k-truss.
+
+    ``vertices`` and ``edges`` are repr-sorted tuples, so two answers
+    over the same component compare equal regardless of how they were
+    computed — the equivalence tests rely on this.
+    """
+
+    vertices: Tuple[Vertex, ...]
+    edges: Tuple[EdgeKey, ...]
+
+    def sort_key(self) -> Tuple[int, int, str]:
+        """Larger communities first; repr of the vertex tuple ties."""
+        return (-len(self.vertices), -len(self.edges), repr(self.vertices))
+
+
+def edge_key(u: Vertex, v: Vertex) -> EdgeKey:
+    """Canonical undirected-edge key (repr-ordered endpoint pair)."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def peel_truss(
+    adj: Dict[Vertex, Set[Vertex]],
+    support: Dict[EdgeKey, int],
+    k: int,
+    budget: Optional["QueryBudget"] = None,
+) -> Set[EdgeKey]:
+    """Peel ``adj``/``support`` down to the k-truss; returns survivors.
+
+    ``adj`` is mutated in place (removed edges disappear from it), so on
+    return it is exactly the adjacency of the k-truss.  Edges absent
+    from ``support`` are ignored.  The fixpoint — the *maximal* subgraph
+    with all supports >= k - 2 — is unique, so the processing order only
+    matters for budget-expiry reproducibility, hence the repr sorts.
+    """
+    threshold = k - 2
+    queue: deque = deque(
+        sorted((e for e, s in support.items() if s < threshold), key=repr)
+    )
+    removed: Set[EdgeKey] = set()
+    while queue:
+        if budget is not None:
+            budget.checkpoint()
+        e = queue.popleft()
+        if e in removed:
+            continue
+        removed.add(e)
+        u, v = e
+        adj[u].discard(v)
+        adj[v].discard(u)
+        # Each common neighbor w loses the triangle (u, v, w): both of
+        # its other edges drop one support.
+        for w in sorted(adj[u] & adj[v], key=repr):
+            for f in (edge_key(u, w), edge_key(v, w)):
+                if f in removed or f not in support:
+                    continue
+                support[f] -= 1
+                if support[f] < threshold:
+                    queue.append(f)
+    return {e for e in support if e not in removed}
+
+
+def truss_components(
+    adj: Dict[Vertex, Set[Vertex]], surviving: Set[EdgeKey]
+) -> List[TrussAnswer]:
+    """Connected components of the peeled graph, as sorted answers.
+
+    Isolated vertices (everything a peel stripped bare) are skipped: a
+    truss community is edge-defined.
+    """
+    answers: List[TrussAnswer] = []
+    seen: Set[Vertex] = set()
+    for start in sorted((v for v, ns in adj.items() if ns), key=repr):
+        if start in seen:
+            continue
+        component = {start}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in adj[v]:
+                    if u not in component:
+                        component.add(u)
+                        nxt.append(u)
+            frontier = nxt
+        seen |= component
+        edges = tuple(
+            sorted((e for e in surviving if e[0] in component), key=repr)
+        )
+        answers.append(
+            TrussAnswer(tuple(sorted(component, key=repr)), edges)
+        )
+    answers.sort(key=TrussAnswer.sort_key)
+    return answers
+
+
+def covers_keywords(
+    labels_of, vertices: Sequence[Vertex], keywords: Sequence[Label]
+) -> bool:
+    """Whether every query keyword appears on some vertex of the answer."""
+    return all(
+        any(q in labels_of(v) for v in vertices) for q in keywords
+    )
+
+
+def truss_search(
+    graph, k: int, keywords: Sequence[Label] = ()
+) -> List[TrussAnswer]:
+    """Exact k-truss keyword search on a single (or combined-view) graph.
+
+    Returns the connected components of the k-truss whose vertices cover
+    all of ``keywords`` (every keyword on at least one member vertex),
+    largest first.  This is the brute-force oracle for
+    :mod:`repro.core.pp_truss`.
+    """
+    if k < 2:
+        raise QueryError(f"k-truss requires k >= 2, got {k}")
+    adj: Dict[Vertex, Set[Vertex]] = {
+        v: set(graph.neighbors(v)) for v in graph.vertices()
+    }
+    support: Dict[EdgeKey, int] = {}
+    for u, v, _ in graph.edges():
+        support[edge_key(u, v)] = len(adj[u] & adj[v])
+    surviving = peel_truss(adj, support, k)
+    answers = truss_components(adj, surviving)
+    if keywords:
+        answers = [
+            a for a in answers
+            if covers_keywords(graph.labels, a.vertices, keywords)
+        ]
+    return answers

@@ -1,0 +1,164 @@
+"""Wire-protocol adapters shared by the semantics specs and the service.
+
+Each :class:`~repro.core.engine.SemanticsSpec` carries three wire
+callables — request → params, result → payload, request → cache key —
+and :mod:`repro.service` generates its query ops straight from them.
+This module holds the two families those callables come in:
+
+* **rooted** (Blinks / r-clique / BANKS / truss): ``answers`` list plus
+  the per-step ``breakdown``;
+* **k-nk** (single- and multi-keyword): a single ``answer``, no
+  breakdown (the k-nk wire format predates the breakdown field and is
+  pinned by the protocol tests);
+* **truss**: community ``answers`` (vertex/edge lists) plus the
+  breakdown.
+
+Defaults applied here (``tau`` 5.0, ``k`` 10, ``mode`` ``"and"``) are
+part of the wire contract: the cache-key functions apply the same
+defaults so ``{"k": 10}`` and an omitted ``k`` hit the same cache line.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "serialize_rooted",
+    "serialize_knk",
+    "serialize_truss",
+    "rooted_payload",
+    "knk_payload",
+    "truss_payload",
+    "rooted_wire_params",
+    "knk_wire_params",
+    "knk_multi_wire_params",
+    "truss_wire_params",
+    "rooted_cache_params",
+    "knk_cache_params",
+    "knk_multi_cache_params",
+    "truss_cache_params",
+]
+
+
+def serialize_rooted(answer: Any) -> Dict[str, Any]:
+    """JSON-able form of a rooted answer (tree edges when present)."""
+    out: Dict[str, Any] = {
+        "root": answer.root,
+        "weight": answer.weight(),
+        "matches": {
+            q: {"vertex": m.vertex, "distance": m.distance}
+            for q, m in answer.matches.items()
+        },
+    }
+    edges = getattr(answer, "edges", None)
+    if edges:
+        out["tree_edges"] = [sorted(e, key=repr) for e in edges]
+    return out
+
+
+def serialize_knk(answer: Any) -> Dict[str, Any]:
+    """JSON-able form of a k-nk answer."""
+    return {
+        "source": answer.source,
+        "keyword": answer.keyword,
+        "matches": [
+            {"vertex": m.vertex, "distance": m.distance}
+            for m in answer.matches
+        ],
+    }
+
+
+def rooted_payload(result: Any) -> Dict[str, Any]:
+    """Response payload for a rooted-semantics :class:`QueryResult`."""
+    return {
+        "answers": [serialize_rooted(a) for a in result.answers],
+        "breakdown": {
+            "peval": result.breakdown.peval,
+            "arefine": result.breakdown.arefine,
+            "acomplete": result.breakdown.acomplete,
+        },
+    }
+
+
+def knk_payload(result: Any) -> Dict[str, Any]:
+    """Response payload for a :class:`KnkQueryResult` (no breakdown)."""
+    return {"answer": serialize_knk(result.answer)}
+
+
+def serialize_truss(answer: Any) -> Dict[str, Any]:
+    """JSON-able form of a truss community answer."""
+    return {
+        "vertices": list(answer.vertices),
+        "edges": [list(e) for e in answer.edges],
+    }
+
+
+def truss_payload(result: Any) -> Dict[str, Any]:
+    """Response payload for a truss :class:`QueryResult`."""
+    return {
+        "answers": [serialize_truss(a) for a in result.answers],
+        "breakdown": {
+            "peval": result.breakdown.peval,
+            "arefine": result.breakdown.arefine,
+            "acomplete": result.breakdown.acomplete,
+        },
+    }
+
+
+def rooted_wire_params(request: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "keywords": list(request["keywords"]),
+        "tau": float(request.get("tau", 5.0)),
+        "k": int(request.get("k", 10)),
+        "require_public_private": True,
+    }
+
+
+def knk_wire_params(request: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "source": request["source"],
+        "keyword": request["keyword"],
+        "k": int(request.get("k", 10)),
+    }
+
+
+def knk_multi_wire_params(request: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "source": request["source"],
+        "keywords": list(request["keywords"]),
+        "k": int(request.get("k", 10)),
+        "mode": str(request.get("mode", "and")),
+    }
+
+
+def truss_wire_params(request: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "k": int(request["k"]),
+        "keywords": list(request.get("keywords", [])),
+        "require_public_private": True,
+    }
+
+
+def rooted_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (
+        tuple(request["keywords"]),
+        float(request.get("tau", 5.0)),
+        int(request.get("k", 10)),
+    )
+
+
+def knk_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (request["source"], request["keyword"], int(request.get("k", 10)))
+
+
+def knk_multi_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (
+        request["source"],
+        tuple(request["keywords"]),
+        int(request.get("k", 10)),
+        str(request.get("mode", "and")),
+    )
+
+
+def truss_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
+    return (int(request["k"]), tuple(request.get("keywords", ())))

@@ -108,6 +108,11 @@ from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro import faults
+from repro.core.engine import (
+    SemanticsSpec,
+    registered_semantics,
+    semantics_spec,
+)
 from repro.core.framework import PIPELINE_STEPS, PPKWS, QueryOptions
 from repro.core.persist import load_index, save_index
 from repro.exceptions import (
@@ -130,7 +135,6 @@ from repro.obs import (
     observe_answer_cache,
     render_prometheus,
 )
-from repro.semantics.answers import KnkAnswer, RootedAnswer
 from repro.serving import AnswerCache, RWLock
 
 __all__ = ["OpSpec", "PPKWSService", "PROTOCOL_VERSION", "ERROR_CODES"]
@@ -171,32 +175,6 @@ def _error_code(exc: BaseException) -> str:
         if isinstance(exc, exc_type):
             return code
     return "internal"
-
-
-def _serialize_rooted(answer: RootedAnswer) -> Dict[str, Any]:
-    out: Dict[str, Any] = {
-        "root": answer.root,
-        "weight": answer.weight(),
-        "matches": {
-            q: {"vertex": m.vertex, "distance": m.distance}
-            for q, m in answer.matches.items()
-        },
-    }
-    edges = getattr(answer, "edges", None)
-    if edges:
-        out["tree_edges"] = [sorted(e, key=repr) for e in edges]
-    return out
-
-
-def _serialize_knk(answer: KnkAnswer) -> Dict[str, Any]:
-    return {
-        "source": answer.source,
-        "keyword": answer.keyword,
-        "matches": [
-            {"vertex": m.vertex, "distance": m.distance}
-            for m in answer.matches
-        ],
-    }
 
 
 def _require(request: Dict[str, Any], *fields: str) -> None:
@@ -304,25 +282,59 @@ class OpSpec:
 _BUDGET_FIELDS: Tuple[str, ...] = ("deadline_ms", "max_expansions")
 
 
-def _rooted_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
-    return (
-        tuple(request["keywords"]),
-        float(request.get("tau", 5.0)),
-        int(request.get("k", 10)),
+def _query_op(spec: SemanticsSpec) -> OpSpec:
+    """Build the wire op for one registered semantics.
+
+    Everything — request schema, cache key, response payload, the
+    ``help`` entry — comes from the spec's ``wire_*`` fields, so
+    registering a semantics (see ``README.md`` "Semantics plugins") is
+    all it takes to put it on the wire.
+    """
+    def handler(
+        service: "PPKWSService", request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        return service._semantics_query(request, spec)
+
+    return OpSpec(
+        spec.name, handler,
+        required=spec.wire_required,
+        optional=tuple(spec.wire_optional) + _BUDGET_FIELDS,
+        cacheable=True,
+        cache_params=spec.wire_cache_params,
+        summary=spec.summary,
     )
 
 
-def _knk_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
-    return (request["source"], request["keyword"], int(request.get("k", 10)))
+_OPS_LOCK = threading.Lock()
+_OPS_CACHE: Tuple[Tuple[str, ...], Dict[str, "OpSpec"]] = ((), {})
 
 
-def _knk_multi_cache_params(request: Dict[str, Any]) -> Tuple[Any, ...]:
-    return (
-        request["source"],
-        tuple(request["keywords"]),
-        int(request.get("k", 10)),
-        str(request.get("mode", "and")),
-    )
+def _current_ops() -> Dict[str, "OpSpec"]:
+    """The live op registry: static ops plus one query op per semantics.
+
+    Rebuilt (and memoized on the tuple of registered names) whenever the
+    semantics registry grows, so a semantics registered *after* import
+    still shows up in dispatch and ``help`` automatically.
+    """
+    global _OPS_CACHE
+    names = registered_semantics()
+    cached_names, cached = _OPS_CACHE
+    if cached_names == names:
+        return cached
+    with _OPS_LOCK:
+        cached_names, cached = _OPS_CACHE
+        if cached_names == names:
+            return cached
+        ops: Dict[str, OpSpec] = {}
+        for name in names:
+            if name in PPKWSService._STATIC_OPS:
+                raise ValueError(
+                    f"semantics {name!r} collides with a built-in op"
+                )
+            ops[name] = _query_op(semantics_spec(name))
+        ops.update(PPKWSService._STATIC_OPS)
+        _OPS_CACHE = (names, ops)
+        return ops
 
 
 class PPKWSService:
@@ -641,10 +653,11 @@ class PPKWSService:
             faults.fire(SERVICE_EXECUTE)
             if not isinstance(request, dict):
                 raise ReproError("request must be a dict with an 'op' field")
-            spec = self._OPS.get(op)
+            ops = _current_ops()
+            spec = ops.get(op)
             if spec is None:
                 raise ReproError(
-                    f"unknown op {op!r}; valid ops: {sorted(self._OPS)} "
+                    f"unknown op {op!r}; valid ops: {sorted(ops)} "
                     "(send {'op': 'help'} for the catalogue)"
                 )
             version = request.get("v")
@@ -880,65 +893,21 @@ class PPKWSService:
         return self._traces.snapshot()
 
     # -- handlers -------------------------------------------------------
-    def _rooted_query(self, request: Dict[str, Any], method: str) -> Dict[str, Any]:
+    def _semantics_query(
+        self, request: Dict[str, Any], spec: SemanticsSpec
+    ) -> Dict[str, Any]:
+        """The one wire handler every registered semantics runs through."""
         engine = self._engine(request["network"])
-        run = getattr(engine, method)
         budget = engine.make_budget(**_budget_args(request))
-        result = run(
-            request["owner"],
-            list(request["keywords"]),
-            float(request.get("tau", 5.0)),
-            k=int(request.get("k", 10)),
+        result = spec.run(
+            engine,
+            engine.attachment(request["owner"]),
+            spec.wire_params(request),
             budget=budget,
         )
         self._stash(result, budget)
         out = _degradation_fields(result)
-        out["answers"] = [_serialize_rooted(a) for a in result.answers]
-        out["breakdown"] = {
-            "peval": result.breakdown.peval,
-            "arefine": result.breakdown.arefine,
-            "acomplete": result.breakdown.acomplete,
-        }
-        return out
-
-    def _op_blinks(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return self._rooted_query(request, "blinks")
-
-    def _op_rclique(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return self._rooted_query(request, "rclique")
-
-    def _op_banks(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return self._rooted_query(request, "banks")
-
-    def _op_knk(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        engine = self._engine(request["network"])
-        budget = engine.make_budget(**_budget_args(request))
-        result = engine.knk(
-            request["owner"],
-            request["source"],
-            request["keyword"],
-            int(request.get("k", 10)),
-            budget=budget,
-        )
-        self._stash(result, budget)
-        out = _degradation_fields(result)
-        out["answer"] = _serialize_knk(result.answer)
-        return out
-
-    def _op_knk_multi(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        engine = self._engine(request["network"])
-        budget = engine.make_budget(**_budget_args(request))
-        result = engine.knk_multi(
-            request["owner"],
-            request["source"],
-            list(request["keywords"]),
-            int(request.get("k", 10)),
-            mode=request.get("mode", "and"),
-            budget=budget,
-        )
-        self._stash(result, budget)
-        out = _degradation_fields(result)
-        out["answer"] = _serialize_knk(result.answer)
+        out.update(spec.wire_payload(result))
         return out
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -1015,7 +984,7 @@ class PPKWSService:
                 "mode": spec.mode,
                 "cacheable": spec.cacheable,
             }
-            for name, spec in sorted(self._OPS.items())
+            for name, spec in sorted(_current_ops().items())
         }
         return {
             "status": "ok",
@@ -1046,46 +1015,13 @@ class PPKWSService:
         self.drop_network(request["network"])
         return {"status": "ok", "network": request["network"]}
 
-    #: The op registry: dispatch, validation, locking mode and cache
-    #: policy for every wire op live here, next to their handlers.
-    _OPS: Dict[str, OpSpec] = {
+    #: The static (non-query) op registry.  Query ops are *generated* —
+    #: one per registered semantics, straight from its ``wire_*`` spec
+    #: fields — and merged with these by :func:`_current_ops`, which
+    #: dispatch and ``help`` consult.
+    _STATIC_OPS: Dict[str, OpSpec] = {
         spec.name: spec
         for spec in (
-            OpSpec(
-                "blinks", _op_blinks,
-                required=("network", "owner", "keywords"),
-                optional=("tau", "k") + _BUDGET_FIELDS,
-                cacheable=True, cache_params=_rooted_cache_params,
-                summary="Top-k rooted-tree answers (PP-Blinks, Sec. IV-B).",
-            ),
-            OpSpec(
-                "rclique", _op_rclique,
-                required=("network", "owner", "keywords"),
-                optional=("tau", "k") + _BUDGET_FIELDS,
-                cacheable=True, cache_params=_rooted_cache_params,
-                summary="Top-k star answers (PP-r-clique, Sec. IV-A).",
-            ),
-            OpSpec(
-                "banks", _op_banks,
-                required=("network", "owner", "keywords"),
-                optional=("tau", "k") + _BUDGET_FIELDS,
-                cacheable=True, cache_params=_rooted_cache_params,
-                summary="Blinks answers with materialized answer trees.",
-            ),
-            OpSpec(
-                "knk", _op_knk,
-                required=("network", "owner", "source", "keyword"),
-                optional=("k",) + _BUDGET_FIELDS,
-                cacheable=True, cache_params=_knk_cache_params,
-                summary="Top-k nearest keyword from a source vertex.",
-            ),
-            OpSpec(
-                "knk_multi", _op_knk_multi,
-                required=("network", "owner", "source", "keywords"),
-                optional=("k", "mode") + _BUDGET_FIELDS,
-                cacheable=True, cache_params=_knk_multi_cache_params,
-                summary="Multi-keyword k-nk (conjunctive or disjunctive).",
-            ),
             OpSpec(
                 "stats", _op_stats,
                 required=("network",), optional=("owner",),

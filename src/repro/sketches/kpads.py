@@ -154,7 +154,9 @@ def build_kpads(
         merged: Dict[Vertex, float] = {}
         wit: Dict[Vertex, Vertex] = {}
         lists: Dict[Vertex, List[Tuple[float, Vertex]]] = {}
-        for v in graph.vertices_with_label(t):
+        # repr order: equal-distance witness ties resolve the same way
+        # regardless of set iteration order (PYTHONHASHSEED).
+        for v in sorted(graph.vertices_with_label(t), key=repr):
             for center, d in pads.sketch(v).items():
                 if d < merged.get(center, INF):
                     merged[center] = d

@@ -1,0 +1,46 @@
+"""RA008 bad fixture: a pp_* module hand-rolling the engine's step loop."""
+
+
+class BudgetError(Exception):
+    pass
+
+
+class _Timer:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    elapsed = 0.0
+
+
+def observe_pipeline(name, result):
+    pass
+
+
+def make_degraded(answers, **kw):
+    return answers
+
+
+def hand_rolled_query(engine, attachment, keywords, breakdown, budget):
+    state = {}
+    try:
+        with _Timer() as t:
+            state = engine.peval(attachment, keywords, budget)
+        breakdown.peval = t.elapsed
+        with _Timer() as t:
+            engine.arefine(state, budget)
+        setattr(breakdown, "arefine", t.elapsed)
+    except BudgetError:
+        result = make_degraded(
+            list(state.values()),
+            interrupted_step="arefine",
+            completed_steps=["peval"],
+        )
+        observe_pipeline("blinks", result)
+        return result
+    result = make_degraded(list(state.values()))
+    result.breakdown.acomplete = 0.0
+    observe_pipeline("blinks", result)
+    return result

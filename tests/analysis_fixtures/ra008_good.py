@@ -1,0 +1,46 @@
+"""RA008 good fixture: a pp_* module that only declares steps + a spec."""
+
+
+class StepSpec:
+    def __init__(self, name, run):
+        self.name = name
+        self.run = run
+
+
+class SemanticsSpec:
+    def __init__(self, name, steps):
+        self.name = name
+        self.steps = steps
+
+
+def register_semantics(spec):
+    return spec
+
+
+def _validate(ctx):
+    if not ctx.params["keywords"]:
+        raise ValueError("need keywords")
+
+
+def _step_peval(ctx):
+    ctx.state = ctx.engine.peval(ctx.attachment, ctx.params["keywords"])
+    ctx.counters.partial_answers = len(ctx.state)
+
+
+def _step_acomplete(ctx):
+    ctx.answers = ctx.engine.acomplete(ctx.state, budget=ctx.budget)
+
+
+def _salvage(ctx, step):
+    return list(ctx.state.values())
+
+
+FIXTURE = register_semantics(
+    SemanticsSpec(
+        name="fixture",
+        steps=(
+            StepSpec("peval", _step_peval),
+            StepSpec("acomplete", _step_acomplete),
+        ),
+    )
+)

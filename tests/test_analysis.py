@@ -31,7 +31,9 @@ from repro.analysis.engine import module_name_for, parse_suppressions
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 
-RULE_IDS = ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007")
+RULE_IDS = (
+    "RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008",
+)
 
 
 def _run_rule(rule_id: str, fixture: str):
@@ -69,6 +71,17 @@ class TestFixturePairs:
     def test_ra006_flags_the_import_form_too(self):
         findings = _run_rule("RA006", "ra006_bad_import.py")
         assert any("from time import time" in f.message for f in findings)
+
+    def test_ra008_flags_each_hand_rolled_mechanism(self):
+        findings = _run_rule("RA008", "ra008_bad.py")
+        messages = " ".join(f.message for f in findings)
+        assert "_Timer" in messages
+        assert "breakdown.peval" in messages
+        assert "setattr(breakdown" in messages
+        assert "BudgetError" in messages
+        assert "observe_pipeline" in messages
+        assert "interrupted_step" in messages
+        assert "completed_steps" in messages
 
 
 # ----------------------------------------------------------------------

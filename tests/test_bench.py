@@ -17,6 +17,8 @@ from repro.bench import (
     run_knk_experiment,
     select_representative,
     speedups,
+    timings_payload,
+    write_json_report,
     write_report,
 )
 from repro.core import StepBreakdown
@@ -94,6 +96,51 @@ class TestRendering:
     def test_write_report(self, tmp_path):
         path = write_report("unit", "hello\n", directory=str(tmp_path))
         assert open(path).read() == "hello\n"
+
+
+class TestJsonReports:
+    def test_timings_payload_shape(self):
+        t = _timing("Q1", 0.5, 1.0)
+        payload = timings_payload([t])
+        [entry] = payload["queries"]
+        assert entry["query"] == "Q1"
+        assert entry["pp_ms"] == pytest.approx(500.0)
+        assert entry["baseline_ms"] == pytest.approx(1000.0)
+        assert entry["speedup"] == pytest.approx(2.0)
+        assert entry["pp_answers"] == 3 and entry["baseline_answers"] == 2
+        assert entry["breakdown_ms"] == {
+            "peval": pytest.approx(250.0),
+            "arefine": pytest.approx(125.0),
+            "acomplete": pytest.approx(125.0),
+        }
+        assert "m1_ms" not in entry
+        assert payload["speedups"]["mean"] == pytest.approx(2.0)
+
+    def test_timings_payload_includes_m1_when_measured(self):
+        t = _timing("Q1", 0.5, 1.0)
+        t.m1_seconds = 0.7
+        [entry] = timings_payload([t])["queries"]
+        assert entry["m1_ms"] == pytest.approx(700.0)
+
+    def test_write_json_report_round_trips(self, tmp_path):
+        import json
+
+        payload = timings_payload([_timing("Q1", 0.5, 1.0)])
+        path = write_json_report("fig6_unit", payload, directory=str(tmp_path))
+        assert path.endswith("fig6_unit.json")
+        loaded = json.load(open(path))
+        assert loaded["queries"][0]["query"] == "Q1"
+
+    def test_write_json_report_nulls_infinite_speedups(self, tmp_path):
+        import json
+
+        payload = timings_payload([_timing("Q1", 0.0, 1.0)])
+        path = write_json_report("fig6_inf", payload, directory=str(tmp_path))
+        text = open(path).read()
+        assert "Infinity" not in text
+        loaded = json.loads(text)
+        assert loaded["queries"][0]["speedup"] is None
+        assert loaded["speedups"]["total"] is None
 
 
 class TestExperimentRegistry:

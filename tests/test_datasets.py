@@ -11,6 +11,8 @@ from repro.datasets import (
     generate_knk_queries,
     ppdblp_like,
     yago_like,
+    zipfian_tenant_workload,
+    zipfian_weights,
 )
 from repro.exceptions import DatasetError, QueryError
 from repro.graph import portal_nodes
@@ -146,3 +148,47 @@ class TestKnkQueryGeneration:
 
         counts = Counter(q.keyword for q in queries)
         assert counts.get("t0", 0) > counts.get("t50", 0)
+
+
+class TestZipfianTenantWorkload:
+    def test_weights_decay_by_rank(self):
+        weights = zipfian_weights(4, exponent=1.0)
+        assert weights == [1.0, 0.5, pytest.approx(1 / 3), 0.25]
+        assert zipfian_weights(3, exponent=0.0) == [1.0, 1.0, 1.0]
+        assert zipfian_weights(0) == []
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(QueryError, match="non-negative rank count"):
+            zipfian_weights(-1)
+        with pytest.raises(QueryError, match="exponent must be >= 0"):
+            zipfian_weights(3, exponent=-0.5)
+        with pytest.raises(QueryError, match="at least one tenant"):
+            zipfian_tenant_workload([], 10)
+        with pytest.raises(QueryError, match="non-negative request count"):
+            zipfian_tenant_workload(["a"], -1)
+
+    def test_seed_makes_the_draw_deterministic(self):
+        tenants = [f"net{i}" for i in range(5)]
+        a = zipfian_tenant_workload(tenants, 100, exponent=1.2, seed=9)
+        b = zipfian_tenant_workload(tenants, 100, exponent=1.2, seed=9)
+        assert a == b
+        assert len(a) == 100
+        assert set(a) <= set(tenants)
+
+    def test_popularity_follows_tenant_rank(self):
+        from collections import Counter
+
+        tenants = [f"net{i}" for i in range(4)]
+        draw = zipfian_tenant_workload(tenants, 4000, exponent=1.3, seed=7)
+        counts = Counter(draw)
+        # Rank 1 beats the tail decisively on a sample this large.
+        assert counts["net0"] > counts["net2"]
+        assert counts["net0"] > counts["net3"]
+        assert counts["net0"] > len(draw) // 4  # strictly above uniform share
+
+    def test_zero_exponent_is_near_uniform(self):
+        from collections import Counter
+
+        tenants = ["a", "b"]
+        counts = Counter(zipfian_tenant_workload(tenants, 4000, 0.0, seed=3))
+        assert abs(counts["a"] - counts["b"]) < 400

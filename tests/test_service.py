@@ -421,7 +421,7 @@ class TestInternalErrorFormatting:
         engine = service._engine("net")
         def boom(*args, **kwargs):
             raise KeyError("collab")
-        monkeypatch.setattr(engine, "blinks", boom)
+        monkeypatch.setattr(engine, "attachment", boom)
         resp = service.execute({
             "op": "blinks", "network": "net", "owner": "bob",
             "keywords": ["db"], "tau": 1.0,
@@ -433,7 +433,7 @@ class TestInternalErrorFormatting:
         engine = service._engine("net")
         def boom(*args, **kwargs):
             raise ValueError("bad things")
-        monkeypatch.setattr(engine, "knk", boom)
+        monkeypatch.setattr(engine, "attachment", boom)
         resp = service.execute({
             "op": "knk", "network": "net", "owner": "bob",
             "source": "x1", "keyword": "db",
@@ -449,7 +449,7 @@ class TestInternalErrorFormatting:
         engine = service._engine("net")
         def boom(*args, **kwargs):
             raise KeyError("collab")
-        monkeypatch.setattr(engine, "blinks", boom)
+        monkeypatch.setattr(engine, "attachment", boom)
         service.execute({
             "op": "blinks", "network": "net", "owner": "bob",
             "keywords": ["db"], "tau": 1.0,

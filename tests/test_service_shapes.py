@@ -277,10 +277,24 @@ class TestHelpOpShape:
         assert resp["ops"]["attach"]["mode"] == "admin"
         assert resp["ops"]["metrics"]["mode"] == "control"
         assert set(resp["ops"]) == {
-            "blinks", "rclique", "banks", "knk", "knk_multi", "stats",
-            "metrics", "help", "health", "create_network", "attach",
-            "detach", "drop",
+            "blinks", "rclique", "banks", "knk", "knk_multi", "truss",
+            "stats", "metrics", "help", "health", "create_network",
+            "attach", "detach", "drop",
         }
+        # Query ops are generated from the semantics registry: every
+        # registered semantics appears, with its wire schema.
+        from repro.core.engine import registered_semantics, semantics_spec
+
+        for name in registered_semantics():
+            entry = resp["ops"][name]
+            spec = semantics_spec(name)
+            assert entry["summary"] == spec.summary
+            assert entry["required"] == list(spec.wire_required)
+            assert entry["optional"] == (
+                list(spec.wire_optional) + ["deadline_ms", "max_expansions"]
+            )
+            assert entry["mode"] == "read"
+            assert entry["cacheable"] is True
 
 
 class TestUnknownAndOverloadShapes:
