@@ -8,11 +8,22 @@ throughput, so the comparison is between the two *serving models*:
 
 * **serial / no cache** — the pre-redesign model: one thread calling
   ``execute`` in a loop, every query fully evaluated;
-* **4 workers / no cache** — pool overlap only (reported for
-  transparency; on one core this hovers around 1x);
+* **4 workers / no cache, thread mode** — pool overlap only (reported
+  for transparency; on one core this hovers around 1x);
+* **4 workers / no cache, process mode** — the shard pool
+  (:mod:`repro.serving.shards`): worker threads become I/O pumps and
+  queries evaluate in shard processes against shared-memory graph
+  replicas, so on a multi-core runner CPU-bound throughput finally
+  multiplies (on one core the IPC overhead makes it *slower* — the
+  strict ``> 2.5x`` gate only applies with four or more cores);
 * **4 workers / answer cache** — the new serving core: the pool plus
   the cross-request answer cache, so repeated queries are served
   without touching the engine.
+
+Both no-cache pool runs land in the JSON under ``modes.threaded`` and
+``modes.process`` with their own ``workers_only_speedup``; the
+top-level ``workers_only_speedup`` stays the threaded number for
+comparability with older runs.
 
 The workload is deliberately repetitive (each distinct query recurs
 ``REPEATS`` times across the batch on average), which is exactly the
@@ -122,8 +133,8 @@ def _run_serial(svc, requests) -> float:
     return elapsed
 
 
-def _run_pooled(svc, requests) -> float:
-    with ServiceExecutor(svc, workers=WORKERS) as pool:
+def _run_pooled(svc, requests, mode: str = "thread") -> float:
+    with ServiceExecutor(svc, workers=WORKERS, mode=mode) as pool:
         start = time.perf_counter()
         responses = pool.execute_many(requests)
         elapsed = time.perf_counter() - start
@@ -168,16 +179,22 @@ def test_serving_throughput(benchmark):
     pooled_nocache_svc.execute(requests[0])
     pooled_nocache_s = _run_pooled(pooled_nocache_svc, requests)
 
+    process_svc = _build_service(cached=False)
+    process_svc.execute(requests[0])
+    process_s = _run_pooled(process_svc, requests, mode="process")
+
     pooled_cached_svc = _build_service(cached=True)
     pooled_cached_s = _run_pooled(pooled_cached_svc, requests)
 
     cold_s, hit_s = _cache_latencies(pooled_cached_svc)
 
     n = len(requests)
+    cores = len(os.sched_getaffinity(0))
     results = {
         "scale": SCALE,
         "networks": NETWORKS,
         "workers": WORKERS,
+        "cores": cores,
         "requests": n,
         "distinct_requests": distinct,
         "zipf_exponent": ZIPF_EXPONENT,
@@ -188,6 +205,18 @@ def test_serving_throughput(benchmark):
         },
         "workers_cached": {
             "seconds": pooled_cached_s, "rps": n / pooled_cached_s,
+        },
+        "modes": {
+            "threaded": {
+                "seconds": pooled_nocache_s,
+                "rps": n / pooled_nocache_s,
+                "workers_only_speedup": serial_s / pooled_nocache_s,
+            },
+            "process": {
+                "seconds": process_s,
+                "rps": n / process_s,
+                "workers_only_speedup": serial_s / process_s,
+            },
         },
         "throughput_speedup": serial_s / pooled_cached_s,
         "workers_only_speedup": serial_s / pooled_nocache_s,
@@ -209,12 +238,17 @@ def test_serving_throughput(benchmark):
     )
     report = (
         f"Concurrent serving ({NETWORKS} networks, {n} requests, "
-        f"{distinct} distinct; Zipf s={ZIPF_EXPONENT}: {tenant_mix})\n"
+        f"{distinct} distinct; Zipf s={ZIPF_EXPONENT}: {tenant_mix}; "
+        f"{cores} cores)\n"
         f"  serial, no cache   : {serial_s:7.3f}s "
         f"({n / serial_s:7.1f} req/s)\n"
         f"  {WORKERS} workers, no cache: {pooled_nocache_s:7.3f}s "
         f"({n / pooled_nocache_s:7.1f} req/s, "
-        f"{results['workers_only_speedup']:.2f}x)\n"
+        f"{results['workers_only_speedup']:.2f}x, thread mode)\n"
+        f"  {WORKERS} shard processes : {process_s:7.3f}s "
+        f"({n / process_s:7.1f} req/s, "
+        f"{results['modes']['process']['workers_only_speedup']:.2f}x, "
+        f"process mode)\n"
         f"  {WORKERS} workers + cache : {pooled_cached_s:7.3f}s "
         f"({n / pooled_cached_s:7.1f} req/s, "
         f"{results['throughput_speedup']:.2f}x)\n"
@@ -234,3 +268,10 @@ def test_serving_throughput(benchmark):
     if STRICT:
         assert results["throughput_speedup"] >= 2.0, report
         assert results["cache_hit_speedup"] >= 10.0, report
+    # The process tier can only beat the GIL where there are cores to
+    # run on; on fewer the IPC tax dominates and the number is reported
+    # honestly instead of asserted.
+    if STRICT and cores >= 4:
+        assert results["modes"]["process"]["workers_only_speedup"] > 2.5, (
+            report
+        )

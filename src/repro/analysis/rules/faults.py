@@ -10,6 +10,12 @@ was written for.  This rule flags any string literal passed where a
 (positional or ``point=`` keyword) — anywhere in ``repro`` outside the
 :mod:`repro.faults` package itself (whose registry and parser *define*
 the names).
+
+Constructing a :class:`~repro.faults.points.FaultPoint` directly is
+flagged for the same reason: an ad-hoc point bypasses the catalogue
+registry, so it never appears in ``all_points()`` (seeded chaos
+schedules skip it) nor in the README's fault-point table.  New points
+belong in :mod:`repro.faults.points`, next to the rest.
 """
 
 from __future__ import annotations
@@ -54,6 +60,18 @@ class FaultPointLiteralRule(Rule):
             elif isinstance(func, ast.Name):
                 name = func.id
             else:
+                continue
+            if name == "FaultPoint":
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "FaultPoint constructed outside repro.faults: "
+                        "ad-hoc points bypass the catalogue (all_points(), "
+                        "the README table, seeded chaos schedules) — add "
+                        "the point to repro.faults.points instead",
+                    )
+                )
                 continue
             if name not in POINT_ARG_BY_CALL:
                 continue

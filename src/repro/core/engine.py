@@ -72,6 +72,9 @@ __all__ = [
     "register_semantics",
     "semantics_spec",
     "registered_semantics",
+    "registry_version",
+    "register_shard_task",
+    "shard_task",
     "ensure_builtin_semantics",
 ]
 
@@ -103,14 +106,25 @@ class PipelineContext:
     state: Any = None
     answers: Any = None
     scratch: Dict[str, Any] = field(default_factory=dict)
+    #: a shard plan (repro.serving.shards) when this run may fan its
+    #: completion work out to shard workers; None = single-process.
+    shards: Optional[Any] = None
 
 
 @dataclass(frozen=True)
 class StepSpec:
-    """One named pipeline step: a side-effecting callable on the context."""
+    """One named pipeline step: a side-effecting callable on the context.
+
+    ``sharded_run``, when present, is a drop-in alternative body used
+    *only* when the context carries a shard plan (``ctx.shards``): it
+    must leave the context in a bit-identical state to ``run`` — the
+    equivalence suite holds it to that — while fanning the heavy part of
+    the work out across shard workers.
+    """
 
     name: str
     run: Callable[[PipelineContext], None]
+    sharded_run: Optional[Callable[[PipelineContext], None]] = None
 
 
 @dataclass(frozen=True)
@@ -147,9 +161,12 @@ class SemanticsSpec:
         params: Dict[str, Any],
         budget: Optional[QueryBudget] = None,
         cache: Optional[Any] = None,
+        shards: Optional[Any] = None,
     ) -> AnyResult:
         """Run this semantics through the engine (see :func:`run_pipeline`)."""
-        return run_pipeline(self, engine, attachment, params, budget, cache)
+        return run_pipeline(
+            self, engine, attachment, params, budget, cache, shards
+        )
 
 
 def run_pipeline(
@@ -159,6 +176,7 @@ def run_pipeline(
     params: Dict[str, Any],
     budget: Optional[QueryBudget] = None,
     cache: Optional[Any] = None,
+    shards: Optional[Any] = None,
 ) -> AnyResult:
     """The one PEval → ARefine → AComplete loop all semantics share.
 
@@ -178,6 +196,7 @@ def run_pipeline(
         breakdown=breakdown,
         budget=budget,
         cache=cache,
+        shards=shards,
     )
     spec.validate(ctx)
     spec.init(ctx)
@@ -195,8 +214,11 @@ def run_pipeline(
             if i and ctx.budget is not None:
                 ctx.budget.recheck()
             faults.fire(ENGINE_STEP)
+            body = s.run
+            if ctx.shards is not None and s.sharded_run is not None:
+                body = s.sharded_run
             with _Timer() as t:
-                s.run(ctx)
+                body(ctx)
             breakdown.record(step, t.elapsed)
             completed.append(step)
     except BudgetError:
@@ -224,6 +246,10 @@ def run_pipeline(
 # ----------------------------------------------------------------------
 _REGISTRY: Dict[str, SemanticsSpec] = {}
 _REGISTRY_LOCK = threading.Lock()
+#: bumped on every successful register_semantics; lets callers cache
+#: registry-derived structures with one lock-free int comparison instead
+#: of re-sorting the name list per request (the serving hot path).
+_REGISTRY_VERSION = 0
 
 
 def register_semantics(spec: SemanticsSpec) -> SemanticsSpec:
@@ -249,10 +275,12 @@ def register_semantics(spec: SemanticsSpec) -> SemanticsSpec:
                 f"semantics {spec.name!r} declares step {s.name!r} twice"
             )
         seen.add(s.name)
+    global _REGISTRY_VERSION
     with _REGISTRY_LOCK:
         if spec.name in _REGISTRY:
             raise ValueError(f"duplicate semantics {spec.name!r}")
         _REGISTRY[spec.name] = spec
+        _REGISTRY_VERSION += 1
     return spec
 
 
@@ -278,6 +306,51 @@ def registered_semantics() -> Tuple[str, ...]:
     ensure_builtin_semantics()
     with _REGISTRY_LOCK:
         return tuple(sorted(_REGISTRY))
+
+
+def registry_version() -> int:
+    """A counter that changes whenever a semantics registers.
+
+    Reading it is lock-free (a single int load), so per-request caches
+    keyed on it cost one comparison instead of a lock + sort — see
+    ``repro.service._current_ops``.
+    """
+    ensure_builtin_semantics()
+    return _REGISTRY_VERSION
+
+
+# ----------------------------------------------------------------------
+# the shard-task registry
+# ----------------------------------------------------------------------
+# Shard workers receive (kind, payload) tasks over a pipe and look the
+# handler up here; a sharded_run step enqueues tasks by the same kind.
+# Handlers register at module import (alongside the semantics spec), so
+# ensure_builtin_semantics() populates this registry in workers too.
+_SHARD_TASKS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_shard_task(
+    kind: str, fn: Callable[..., Any]
+) -> Callable[..., Any]:
+    """Register the worker-side handler for shard task ``kind``."""
+    with _REGISTRY_LOCK:
+        if kind in _SHARD_TASKS:
+            raise ValueError(f"duplicate shard task {kind!r}")
+        _SHARD_TASKS[kind] = fn
+    return fn
+
+
+def shard_task(kind: str) -> Callable[..., Any]:
+    """The handler registered for shard task ``kind``."""
+    ensure_builtin_semantics()
+    with _REGISTRY_LOCK:
+        try:
+            return _SHARD_TASKS[kind]
+        except KeyError:
+            known = ", ".join(sorted(_SHARD_TASKS))
+            raise QueryError(
+                f"unknown shard task {kind!r} (registered: {known})"
+            ) from None
 
 
 _BUILTINS_LOADED = False

@@ -38,6 +38,7 @@ from repro.core.pp_blinks import (
     init_blinks_state,
     salvage_blinks,
     step_acomplete,
+    step_acomplete_sharded,
     step_arefine,
     step_peval,
     validate_blinks_params,
@@ -102,7 +103,7 @@ BANKS = register_semantics(SemanticsSpec(
     steps=(
         StepSpec("peval", step_peval),
         StepSpec("arefine", step_arefine),
-        StepSpec("acomplete", step_acomplete),
+        StepSpec("acomplete", step_acomplete, step_acomplete_sharded),
         StepSpec("materialize", _step_materialize),
     ),
     validate=validate_blinks_params,

@@ -82,6 +82,7 @@ __all__ = [
     "FaultPoint",
     "FaultSchedule",
     "FaultSpec",
+    "activate",
     "active",
     "all_points",
     "deactivate",
@@ -319,6 +320,18 @@ def injected(schedule: FaultSchedule) -> Iterator[FaultSchedule]:
     finally:
         with _ACTIVE_LOCK:
             _ACTIVE = previous
+
+
+def activate(schedule: Optional[FaultSchedule]) -> None:
+    """Install ``schedule`` process-wide (``None`` clears it).
+
+    The imperative counterpart of :func:`injected` for contexts with no
+    enclosing block to scope the activation — chiefly a shard worker
+    installing a schedule the parent shipped over its pipe.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = schedule
 
 
 def deactivate() -> None:

@@ -27,6 +27,7 @@ __all__ = [
     "GRAPH_SAVE_RENAME",
     "GRAPH_LOAD_READ",
     "EXECUTOR_WORKER",
+    "SHARD_WORKER",
     "CACHE_LOOKUP",
     "CACHE_STORE",
     "RWLOCK_ACQUIRE_READ",
@@ -109,6 +110,10 @@ GRAPH_LOAD_READ = _point(
 EXECUTOR_WORKER = _point(
     "serving.executor.worker", "serving",
     "executor worker body after dequeue, before execute (kill = worker death)",
+)
+SHARD_WORKER = _point(
+    "serving.shards.worker", "serving",
+    "shard worker body after a task is received (kill = shard process death)",
 )
 CACHE_LOOKUP = _point(
     "serving.cache.lookup", "serving",

@@ -33,11 +33,24 @@ consume the raw arrays via :meth:`FrozenGraph.csr` / :meth:`intern` /
 Mutating methods are deliberately absent: accidental writes fail loudly
 with ``AttributeError``.  To edit, :meth:`thaw` back to a
 :class:`LabeledGraph`.
+
+Shared-memory export
+--------------------
+Because the whole adjacency payload already lives in flat buffers, a
+frozen graph can be *exported* into ``multiprocessing.shared_memory``
+segments (:meth:`export_shared`) and re-attached zero-copy in another
+process (:meth:`from_shared`): the CSR arrays and the concatenated
+label buckets come back as ``memoryview`` casts over the shared pages —
+no bytes are copied, only the id↔vertex table and per-id label sets
+(arbitrary Python objects) travel through a pickle.  This is what the
+process-based shard tier (:mod:`repro.serving.shards`) is built on.
 """
 
 from __future__ import annotations
 
+import pickle
 from array import array
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -53,7 +66,28 @@ from typing import (
 from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 
-__all__ = ["FrozenGraph", "freeze"]
+__all__ = ["FrozenGraph", "SharedGraphHandle", "freeze"]
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """A picklable reference to an exported frozen graph.
+
+    Carries the shared-memory segment names plus the element counts
+    needed to cast the (page-rounded) buffers back to their exact
+    lengths.  Produced by :meth:`FrozenGraph.export_shared`, consumed by
+    :meth:`FrozenGraph.from_shared` in a worker process.
+    """
+
+    indptr: str
+    indices: str
+    weights: str
+    labels: str
+    meta: str
+    num_vertices: int
+    nnz: int
+    label_entries: int
+    meta_nbytes: int
 
 
 class FrozenGraph:
@@ -81,6 +115,7 @@ class FrozenGraph:
         "_labels_by_id",
         "_label_ids",
         "_num_edges",
+        "_shm",
     )
 
     def __init__(self, source, name: Optional[str] = None) -> None:
@@ -305,6 +340,150 @@ class FrozenGraph:
         enough.
         """
         return self.thaw().union(other, name)
+
+    # ------------------------------------------------------------------
+    # shared-memory export / attach
+    # ------------------------------------------------------------------
+    def export_shared(self) -> Tuple[SharedGraphHandle, list]:
+        """Export the flat buffers into shared-memory segments.
+
+        Returns ``(handle, segments)``: the picklable
+        :class:`SharedGraphHandle` to ship to workers, plus the live
+        ``SharedMemory`` objects.  The **caller owns the segments** and
+        must ``close()`` + ``unlink()`` them when every attached worker
+        is gone (the shard pool does this at shutdown).
+
+        Layout: three segments hold the raw CSR bytes verbatim; a fourth
+        holds every inverted-index bucket concatenated into one ``'q'``
+        run (bucket boundaries travel in the meta pickle, keyed by label
+        in ``repr``-sorted order); the fifth holds a pickle of the
+        Python-object remainder — name, id→vertex table, per-id label
+        sets, bucket offsets and the edge count.
+        """
+        from multiprocessing import shared_memory
+
+        concat = array("q")
+        label_offsets: Dict[Label, Tuple[int, int]] = {}
+        for label in sorted(self._label_ids, key=repr):
+            start = len(concat)
+            concat.extend(self._label_ids[label])
+            label_offsets[label] = (start, len(concat))
+        meta = pickle.dumps(
+            {
+                "name": self.name,
+                "vertex_of": self._vertex_of,
+                "labels_by_id": self._labels_by_id,
+                "label_offsets": label_offsets,
+                "num_edges": self._num_edges,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+        segments = []
+
+        def _segment(payload: bytes) -> "shared_memory.SharedMemory":
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+            shm.buf[: len(payload)] = payload
+            segments.append(shm)
+            return shm
+
+        try:
+            seg_indptr = _segment(bytes(self._indptr))
+            seg_indices = _segment(bytes(self._indices))
+            seg_weights = _segment(bytes(self._weights))
+            seg_labels = _segment(bytes(concat))
+            seg_meta = _segment(meta)
+        except Exception:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+            raise
+        handle = SharedGraphHandle(
+            indptr=seg_indptr.name,
+            indices=seg_indices.name,
+            weights=seg_weights.name,
+            labels=seg_labels.name,
+            meta=seg_meta.name,
+            num_vertices=len(self._vertex_of),
+            nnz=len(self._indices),
+            label_entries=len(concat),
+            meta_nbytes=len(meta),
+        )
+        return handle, segments
+
+    @classmethod
+    def from_shared(cls, handle: SharedGraphHandle) -> "FrozenGraph":
+        """Attach to an exported graph zero-copy (worker side).
+
+        The CSR arrays and label buckets come back as ``memoryview``
+        casts over the shared pages; only the meta pickle (id↔vertex
+        table + label sets) is materialized.  The segments stay alive on
+        the instance for the graph's lifetime.
+
+        No ``resource_tracker`` juggling on attach: spawn children share
+        the parent's tracker process and its cache is a *set*, so an
+        attach-side unregister would cancel the export-side register and
+        the owner's eventual ``unlink()`` would miss — attaching leaves
+        the registration exactly as the exporter made it (and the tracker
+        remains a leak backstop if every process dies uncleanly).
+        """
+        from multiprocessing import shared_memory
+
+        def _attach(name: str) -> "shared_memory.SharedMemory":
+            return shared_memory.SharedMemory(name=name)
+
+        seg_indptr = _attach(handle.indptr)
+        seg_indices = _attach(handle.indices)
+        seg_weights = _attach(handle.weights)
+        seg_labels = _attach(handle.labels)
+        seg_meta = _attach(handle.meta)
+        meta = pickle.loads(bytes(seg_meta.buf[: handle.meta_nbytes]))
+        seg_meta.close()
+
+        item = array("q").itemsize
+        n, nnz = handle.num_vertices, handle.nnz
+        g = cls.__new__(cls)
+        g.name = meta["name"]
+        g._indptr = memoryview(seg_indptr.buf)[: (n + 1) * item].cast("q")
+        g._indices = memoryview(seg_indices.buf)[: nnz * item].cast("q")
+        g._weights = memoryview(seg_weights.buf)[: nnz * item].cast("d")
+        labels_view = memoryview(seg_labels.buf)[
+            : handle.label_entries * item
+        ].cast("q")
+        g._label_ids = {
+            label: labels_view[s:e]
+            for label, (s, e) in meta["label_offsets"].items()
+        }
+        g._vertex_of = meta["vertex_of"]
+        g._id_of = {v: i for i, v in enumerate(g._vertex_of)}
+        g._labels_by_id = meta["labels_by_id"]
+        g._num_edges = meta["num_edges"]
+        g._shm = (seg_indptr, seg_indices, seg_weights, seg_labels)
+        return g
+
+    def release_shared(self) -> None:
+        """Detach from shared memory, copying the buffers back in-process.
+
+        Workers never need this (process exit releases everything); it
+        exists so same-process tests and the pool's local fallback can
+        attach, use and cleanly close a shared graph without leaving the
+        parent's segments pinned by live ``memoryview`` exports.
+        """
+        shm = getattr(self, "_shm", None)
+        if shm is None:
+            return
+        self._indptr = array("q", self._indptr)
+        self._indices = array("q", self._indices)
+        self._weights = array("d", self._weights)
+        self._label_ids = {
+            label: array("q", bucket)
+            for label, bucket in self._label_ids.items()
+        }
+        for seg in shm:
+            seg.close()
+        self._shm = None
 
     # ------------------------------------------------------------------
     # misc

@@ -52,7 +52,12 @@ def serialize_rooted(answer: Any) -> Dict[str, Any]:
     }
     edges = getattr(answer, "edges", None)
     if edges:
-        out["tree_edges"] = [sorted(e, key=repr) for e in edges]
+        # Canonical order: the in-memory edge list follows traversal
+        # order, which differs between the dict and CSR backends (and
+        # thus between a parent and its shard-worker replica).
+        out["tree_edges"] = sorted(
+            (sorted(e, key=repr) for e in edges), key=repr
+        )
     return out
 
 

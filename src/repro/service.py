@@ -111,6 +111,7 @@ from repro import faults
 from repro.core.engine import (
     SemanticsSpec,
     registered_semantics,
+    registry_version,
     semantics_spec,
 )
 from repro.core.framework import PIPELINE_STEPS, PPKWS, QueryOptions
@@ -136,6 +137,7 @@ from repro.obs import (
     render_prometheus,
 )
 from repro.serving import AnswerCache, RWLock
+from repro.serving.shards import LocalShardPlan, ShardServingPool
 
 __all__ = ["OpSpec", "PPKWSService", "PROTOCOL_VERSION", "ERROR_CODES"]
 
@@ -153,7 +155,10 @@ ERROR_CODES: Tuple[str, ...] = (
 )
 
 #: Request fields accepted on every op, next to the per-op spec fields.
-GLOBAL_REQUEST_FIELDS = frozenset({"op", "v", "trace", "no_cache"})
+#: ``fanout`` asks a query to scatter-gather its AComplete across the
+#: shard pool (or an inline :class:`LocalShardPlan` when none is
+#: enabled) instead of being routed whole to a single shard worker.
+GLOBAL_REQUEST_FIELDS = frozenset({"op", "v", "trace", "no_cache", "fanout"})
 
 #: The one central exception -> wire-code map (first match wins; order
 #: matters because the later entries are superclasses of earlier ones).
@@ -306,34 +311,38 @@ def _query_op(spec: SemanticsSpec) -> OpSpec:
 
 
 _OPS_LOCK = threading.Lock()
-_OPS_CACHE: Tuple[Tuple[str, ...], Dict[str, "OpSpec"]] = ((), {})
+_OPS_CACHE: Tuple[int, Dict[str, "OpSpec"]] = (-1, {})
 
 
 def _current_ops() -> Dict[str, "OpSpec"]:
     """The live op registry: static ops plus one query op per semantics.
 
-    Rebuilt (and memoized on the tuple of registered names) whenever the
-    semantics registry grows, so a semantics registered *after* import
-    still shows up in dispatch and ``help`` automatically.
+    Rebuilt (and memoized on :func:`~repro.core.engine.registry_version`)
+    whenever the semantics registry grows, so a semantics registered
+    *after* import still shows up in dispatch and ``help`` automatically.
+    The hot path is one lock-free int comparison — the previous memo key
+    (the sorted name tuple) took the registry lock and re-sorted the
+    names on *every* request, a measurable per-request tax under the
+    serving benchmark.
     """
     global _OPS_CACHE
-    names = registered_semantics()
-    cached_names, cached = _OPS_CACHE
-    if cached_names == names:
+    version = registry_version()
+    cached_version, cached = _OPS_CACHE
+    if cached_version == version:
         return cached
     with _OPS_LOCK:
-        cached_names, cached = _OPS_CACHE
-        if cached_names == names:
+        cached_version, cached = _OPS_CACHE
+        if cached_version == version:
             return cached
         ops: Dict[str, OpSpec] = {}
-        for name in names:
+        for name in registered_semantics():
             if name in PPKWSService._STATIC_OPS:
                 raise ValueError(
                     f"semantics {name!r} collides with a built-in op"
                 )
             ops[name] = _query_op(semantics_spec(name))
         ops.update(PPKWSService._STATIC_OPS)
-        _OPS_CACHE = (names, ops)
+        _OPS_CACHE = (version, ops)
         return ops
 
 
@@ -399,9 +408,16 @@ class PPKWSService:
         #: service alive, never the reverse); feeds the ``health`` op
         self._executors: "weakref.WeakSet[Any]" = weakref.WeakSet()
         self._executors_lock = threading.Lock()
-        #: EWMA of request latency (ms) feeding ``retry_after_ms`` hints
-        #: on overload rejections; seeded with a plausible prior
+        #: EWMA of *uncached query* latency (ms) feeding ``retry_after_ms``
+        #: hints on overload rejections; seeded with a plausible prior.
+        #: Guarded by :attr:`_avg_lock` — an unsynchronized float RMW can
+        #: lose whole updates, and the value steers client back-off.
         self._avg_request_ms = 5.0
+        self._avg_lock = threading.Lock()
+        #: the process-based shard pool (:meth:`enable_sharding`), plus
+        #: the lock serializing enable/disable against each other
+        self._shard_pool: Optional[ShardServingPool] = None
+        self._shard_lock = threading.Lock()
 
     def _metrics_registry(self) -> Optional[MetricsRegistry]:
         """The effective registry: constructor-injected, else installed."""
@@ -488,9 +504,28 @@ class PPKWSService:
         """
         with self._network_lock(name).write_locked():
             self._create_network_exclusive(name, public, index_path)
+            pool = self._shard_pool
+            if pool is not None:
+                pool.admin_create(name, self._engine(name))
         registry = self._metrics_registry()
         if registry is not None:
             registry.set_gauge("ppkws_networks", len(self.networks()))
+
+    def adopt_network(self, name: str, engine: PPKWS) -> None:
+        """Register an already-built engine under ``name``.
+
+        The shard-worker replication path: the worker re-attaches the
+        shared-memory graph and rebuilds the engine around the shipped
+        index (:mod:`repro.serving.shards`), then adopts it here —
+        ``create_network`` would re-freeze and re-index from scratch.
+        Same exclusion and epoch discipline as a regular create.
+        """
+        with self._network_lock(name).write_locked():
+            with self._engines_lock:
+                if name in self._engines:
+                    raise ReproError(f"network {name!r} already exists")
+                self._engines[name] = engine
+                self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def _create_network_exclusive(
         self,
@@ -585,6 +620,9 @@ class PPKWSService:
                     raise UnknownNetworkError(name)
                 del self._engines[name]
                 self._epochs[name] = self._epochs.get(name, 0) + 1
+            pool = self._shard_pool
+            if pool is not None:
+                pool.admin_drop(name)
         registry = self._metrics_registry()
         if registry is not None:
             registry.set_gauge("ppkws_networks", len(self.networks()))
@@ -599,6 +637,9 @@ class PPKWSService:
             engine = self._engine(network)
             attachment = engine.attach(owner, private)
             self._bump_epoch(network)
+            pool = self._shard_pool
+            if pool is not None:
+                pool.admin_attach(network, owner, private)
         return len(attachment.portals)
 
     def detach_user(self, network: str, owner: str) -> None:
@@ -606,6 +647,9 @@ class PPKWSService:
         with self._network_lock(network).write_locked():
             self._engine(network).detach(owner)
             self._bump_epoch(network)
+            pool = self._shard_pool
+            if pool is not None:
+                pool.admin_detach(network, owner)
 
     def networks(self) -> List[str]:
         """Registered network names (reservations excluded)."""
@@ -621,6 +665,61 @@ class PPKWSService:
         if engine is None:
             raise UnknownNetworkError(network, "is still being created")
         return engine
+
+    # ------------------------------------------------------------------
+    # process-based sharding
+    # ------------------------------------------------------------------
+    @property
+    def shard_pool(self) -> Optional[ShardServingPool]:
+        """The active shard pool (``None`` unless sharding is enabled)."""
+        return self._shard_pool
+
+    def enable_sharding(self, shards: int = 2) -> ShardServingPool:
+        """Start a :class:`ShardServingPool` and replicate into it.
+
+        The public graphs are exported to shared memory once and every
+        worker process re-attaches them zero-copy; from here on,
+        cache-miss query requests execute inside a worker (outside this
+        process's GIL) and admin ops are broadcast to keep the replicas
+        current.  Returns the pool (also at :attr:`shard_pool`).
+        """
+        with self._shard_lock:
+            if self._shard_pool is not None:
+                raise ReproError("sharding is already enabled")
+            pool = ShardServingPool(
+                shards, registry=self._metrics_registry()
+            )
+            self._shard_pool = pool
+        # Replicate the networks that predate the pool.  The pool is
+        # published *first* so concurrent admin ops broadcast on their
+        # own; each network's write lock serializes this loop against
+        # them, and replicated() skips names such a broadcast already
+        # shipped (worker-side attach replay is idempotent).
+        for name in self.networks():
+            with self._network_lock(name).write_locked():
+                try:
+                    engine = self._engine(name)
+                except UnknownNetworkError:
+                    continue  # dropped while we were replicating
+                if pool.replicated(name):
+                    continue
+                pool.admin_create(name, engine)
+                for owner in engine.owners():
+                    pool.admin_attach(
+                        name, owner, engine.attachment(owner).private
+                    )
+        return pool
+
+    def disable_sharding(self) -> None:
+        """Stop the shard pool (workers exit, segments are unlinked).
+
+        Safe to call when sharding was never enabled.  Requests fall
+        back to in-process execution immediately.
+        """
+        with self._shard_lock:
+            pool, self._shard_pool = self._shard_pool, None
+        if pool is not None:
+            pool.shutdown()
 
     # ------------------------------------------------------------------
     # request execution
@@ -647,6 +746,7 @@ class PPKWSService:
         self._tls.ctx = ctx = {}
         error_class: Optional[str] = None
         internal_error = False
+        query_class = False
         warnings: List[str] = []
         op = request.get("op") if isinstance(request, dict) else None
         try:
@@ -660,6 +760,9 @@ class PPKWSService:
                     f"unknown op {op!r}; valid ops: {sorted(ops)} "
                     "(send {'op': 'help'} for the catalogue)"
                 )
+            # Cacheable == the generated per-semantics query ops: the
+            # request class whose latency the overload hint models.
+            query_class = spec.cacheable
             version = request.get("v")
             if version is not None and version != PROTOCOL_VERSION:
                 raise ReproError(
@@ -709,7 +812,7 @@ class PPKWSService:
             response["warnings"] = warnings
         response["v"] = PROTOCOL_VERSION
         self._observe_request(request, op, response, ctx, started,
-                              error_class, internal_error)
+                              error_class, internal_error, query_class)
         return response
 
     def _execute_locked(
@@ -734,6 +837,13 @@ class PPKWSService:
         Runs under the network's read lock, so the epoch observed here
         cannot move before the store: admin ops need the write side.
         A stored entry is only ever reused while its epoch is current.
+
+        With sharding enabled, the miss path of a query op executes in
+        a shard worker *process* (``pool.route``) instead of here — the
+        read lock is still held in this process, so replicas cannot
+        drift mid-request — unless the request asks for ``fanout``
+        (scatter-gather runs the pipeline locally and only AComplete
+        fans out).
         """
         cache = self._answer_cache
         key = None
@@ -744,8 +854,16 @@ class PPKWSService:
             and not request.get("trace")  # a trace describes a real run
         ):
             key = self._cache_key(spec, request)
-        if key is None:
+        pool = self._shard_pool
+        if pool is None or not spec.cacheable or request.get("fanout"):
+            pool = None
+
+        def run() -> Dict[str, Any]:
+            if pool is not None:
+                return pool.route(request)
             return spec.handler(self, request)
+        if key is None:
+            return run()
         epoch = self.network_epoch(request["network"])
         try:
             hit = cache.lookup(key, epoch)
@@ -756,7 +874,7 @@ class PPKWSService:
         if hit is not None:
             hit["cached"] = True
             return hit
-        response = spec.handler(self, request)
+        response = run()
         if response.get("status") == "ok":
             try:
                 cache.store(key, epoch, response)
@@ -785,7 +903,9 @@ class PPKWSService:
 
     def _retry_after_hint_ms(self) -> float:
         """Suggested back-off before resubmitting an overloaded request."""
-        return round(min(max(self._avg_request_ms, 1.0), 5000.0), 3)
+        with self._avg_lock:
+            avg = self._avg_request_ms
+        return round(min(max(avg, 1.0), 5000.0), 3)
 
     # -- observability --------------------------------------------------
     def _observe_request(
@@ -797,6 +917,7 @@ class PPKWSService:
         started: float,
         error_class: Optional[str],
         internal_error: bool,
+        query_class: bool = False,
     ) -> None:
         """Record one finished request: metrics, trace ring, trace field.
 
@@ -806,43 +927,63 @@ class PPKWSService:
         """
         try:
             duration_ms = (time.perf_counter() - started) * 1000.0
-            # EWMA feeding retry_after_ms; the unsynchronized read-modify-
-            # write is a benign race (the value is a hint, not an invariant).
-            self._avg_request_ms += 0.2 * (duration_ms - self._avg_request_ms)
             status = response.get("status", "error")
+            # The EWMA feeds retry_after_ms — "how long until a slot
+            # drains".  Only *uncached, completed query* work models
+            # that: sub-millisecond cache hits and metrics/help chatter
+            # used to drag the average to the clamp floor, so an
+            # overloaded client was told to retry after ~1ms while cold
+            # queries took orders of magnitude longer.  Locked: a lost
+            # float RMW update is not benign when clients pace on it.
+            if (
+                query_class
+                and not response.get("cached")
+                and status in ("ok", "degraded")
+            ):
+                with self._avg_lock:
+                    self._avg_request_ms += 0.2 * (
+                        duration_ms - self._avg_request_ms
+                    )
             op_label = op if isinstance(op, str) else repr(op)
-            trace = QueryTrace(
-                op=op_label,
-                status=status,
-                duration_ms=duration_ms,
-                error=error_class,
-            )
-            if isinstance(request, dict):
-                network = request.get("network")
-                owner = request.get("owner")
-                trace.network = network if isinstance(network, str) else None
-                trace.owner = owner if isinstance(owner, str) else None
-            result = ctx.get("result")
-            if result is not None:
-                trace.step_ms = {
-                    step: getattr(result.breakdown, step) * 1000.0
-                    for step in PIPELINE_STEPS
-                }
-                trace.counters = asdict(result.counters)
-                trace.degraded = result.degraded
-                trace.completed_steps = tuple(result.completed_steps)
-                trace.interrupted_step = result.interrupted_step
-            budget = ctx.get("budget")
-            if budget is not None:
-                trace.expansions = budget.expansions
-
-            if isinstance(request, dict) and request.get("trace"):
+            # The QueryTrace (plus the counters asdict) is only built
+            # when someone will actually see it — the per-request cost
+            # of assembling one unconditionally showed up as a
+            # measurable slice of serving throughput.
+            want_trace = isinstance(request, dict) and bool(request.get("trace"))
+            record = status != "ok" or duration_ms >= self._slow_query_ms
+            if want_trace or record:
+                trace = QueryTrace(
+                    op=op_label,
+                    status=status,
+                    duration_ms=duration_ms,
+                    error=error_class,
+                )
+                if isinstance(request, dict):
+                    network = request.get("network")
+                    owner = request.get("owner")
+                    trace.network = network if isinstance(network, str) else None
+                    trace.owner = owner if isinstance(owner, str) else None
+                result = ctx.get("result")
                 if result is not None:
-                    response["counters"] = dict(trace.counters)
-                response["trace"] = trace.to_dict()
+                    trace.step_ms = {
+                        step: getattr(result.breakdown, step) * 1000.0
+                        for step in PIPELINE_STEPS
+                    }
+                    trace.counters = asdict(result.counters)
+                    trace.degraded = result.degraded
+                    trace.completed_steps = tuple(result.completed_steps)
+                    trace.interrupted_step = result.interrupted_step
+                budget = ctx.get("budget")
+                if budget is not None:
+                    trace.expansions = budget.expansions
 
-            if status != "ok" or duration_ms >= self._slow_query_ms:
-                self._traces.record(trace)
+                if want_trace:
+                    if result is not None:
+                        response["counters"] = dict(trace.counters)
+                    response["trace"] = trace.to_dict()
+
+                if record:
+                    self._traces.record(trace)
 
             registry = self._metrics_registry()
             if registry is not None:
@@ -899,11 +1040,23 @@ class PPKWSService:
         """The one wire handler every registered semantics runs through."""
         engine = self._engine(request["network"])
         budget = engine.make_budget(**_budget_args(request))
+        shards: Optional[Any] = None
+        if request.get("fanout"):
+            pool = self._shard_pool
+            if pool is not None and pool.replicated(request["network"]):
+                shards = pool.plan(request["network"], request["owner"])
+            else:
+                # No pool (or a not-yet-replicated network): run the
+                # sharded step bodies inline so ``fanout`` behaves the
+                # same everywhere — this is also the dict-backend path
+                # the equivalence suite pins bit-identical.
+                shards = LocalShardPlan(engine, owner=request["owner"])
         result = spec.run(
             engine,
             engine.attachment(request["owner"]),
             spec.wire_params(request),
             budget=budget,
+            shards=shards,
         )
         self._stash(result, budget)
         out = _degradation_fields(result)
@@ -965,12 +1118,14 @@ class PPKWSService:
             in_flight = self._in_flight
         with self._executors_lock:
             executors = [ex.health() for ex in self._executors]
+        pool = self._shard_pool
         return {
             "status": "ok",
             "networks": networks,
             "in_flight": in_flight,
             "max_in_flight": self._max_in_flight,
             "executors": executors,
+            "shards": pool.health() if pool is not None else None,
             "faults_active": faults.is_active(),
         }
 

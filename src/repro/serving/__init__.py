@@ -11,10 +11,21 @@ This package holds the serving-side machinery the facade composes:
 * :class:`~repro.serving.cache.AnswerCache` — the cross-request LRU+TTL
   answer cache with epoch-based invalidation (every admin op bumps the
   network's epoch, so a stale answer can never be served).
+* :mod:`~repro.serving.shards` — the process-based tier: the public
+  graph's CSR buffers exported to shared memory, one service replica
+  per shard *process*, scatter-gather with monotonic-bound merging.
+  ``ServiceExecutor(..., mode="process")`` turns it on.
 """
 
 from repro.serving.cache import AnswerCache
 from repro.serving.executor import ServiceExecutor
 from repro.serving.rwlock import RWLock
+from repro.serving.shards import LocalShardPlan, ShardServingPool
 
-__all__ = ["AnswerCache", "RWLock", "ServiceExecutor"]
+__all__ = [
+    "AnswerCache",
+    "LocalShardPlan",
+    "RWLock",
+    "ServiceExecutor",
+    "ShardServingPool",
+]

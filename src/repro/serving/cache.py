@@ -77,6 +77,11 @@ class AnswerCache:
         changed since it was stored) or whose TTL has lapsed is purged
         and counts as a miss.  Hits return a deep copy and refresh the
         entry's LRU position.
+
+        The deep copy happens *outside* the lock: stored values are
+        deep-copied on insert and never mutated in place, so copying a
+        reference after release is safe — and a large response no longer
+        serializes every concurrent hit behind one copy.
         """
         faults.fire(CACHE_LOOKUP)
         with self._lock:
@@ -97,7 +102,7 @@ class AnswerCache:
                 return None
             self._table.move_to_end(key)
             self.hits += 1
-            return copy.deepcopy(value)
+        return copy.deepcopy(value)
 
     def store(self, key: Hashable, epoch: int, value: Any) -> None:
         """Insert (a deep copy of) ``value`` computed under ``epoch``."""
@@ -124,8 +129,9 @@ class AnswerCache:
     @property
     def hit_rate(self) -> float:
         """Hits / lookups since construction (0.0 before any lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, Any]:
         """A JSON-friendly counter snapshot (for the ``metrics`` op)."""

@@ -101,6 +101,15 @@ class ServiceExecutor:
     service's effective registry (constructor-injected or process-wide
     installed) is used.
 
+    ``mode`` selects the execution tier.  ``"thread"`` (default) is the
+    classic pool: CPU-bound queries share one GIL, so it only overlaps
+    I/O and lock waits.  ``"process"`` additionally calls
+    ``service.enable_sharding(workers)``: the worker threads become I/O
+    pumps (a pipe ``recv`` releases the GIL) while the queries execute
+    in shard worker *processes* against shared-memory graph replicas —
+    see :mod:`repro.serving.shards`.  The executor owns the pool it
+    started and disables sharding again on :meth:`shutdown`.
+
     If the service exposes ``bind_executor``, the executor registers
     itself so the service's ``health`` op can report worker liveness.
     """
@@ -111,11 +120,25 @@ class ServiceExecutor:
         workers: int = 4,
         queue_size: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        mode: str = "thread",
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"bad executor mode {mode!r}")
         self._service = service
         self._registry = registry
+        self.mode = mode
+        self._owns_shard_pool = False
+        if mode == "process":
+            enable = getattr(service, "enable_sharding", None)
+            if not callable(enable):
+                raise ValueError(
+                    "mode='process' needs a service with enable_sharding()"
+                )
+            if getattr(service, "shard_pool", None) is None:
+                enable(workers)
+                self._owns_shard_pool = True
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
         self._shutdown = False
         self._shutdown_lock = threading.Lock()
@@ -287,6 +310,7 @@ class ServiceExecutor:
         with self._shutdown_lock:
             shutdown = self._shutdown
         return {
+            "mode": self.mode,
             "workers": len(self._workers),
             "alive": sum(1 for t in self._workers if t.is_alive()),
             "busy": busy,
@@ -311,6 +335,10 @@ class ServiceExecutor:
         if wait:
             for t in self._workers:
                 t.join()
+        if self._owns_shard_pool:
+            # Started by our mode="process" constructor, ours to stop.
+            self._service.disable_sharding()
+            self._owns_shard_pool = False
 
     def __enter__(self) -> "ServiceExecutor":
         return self

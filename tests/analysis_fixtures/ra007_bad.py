@@ -1,8 +1,8 @@
-"""RA007 bad fixture: string-literal fault points at call sites."""
+"""RA007 bad fixture: string-literal or ad-hoc fault points."""
 
 from repro import faults
 from repro.faults import FaultSpec
-from repro.faults.points import point_named
+from repro.faults.points import FaultPoint, point_named
 
 
 def hooks(fh):
@@ -17,3 +17,8 @@ def schedule():
         FaultSpec(point="service.execute", kind="raise"),
         point_named("serving.rwlock.acquire_read"),
     ]
+
+
+def adhoc_point():
+    # constructing a point outside repro.faults bypasses the catalogue
+    return FaultPoint("serving.shards.rogue", "serving", "not catalogued")

@@ -7,6 +7,7 @@ from repro.faults.points import (
     GRAPH_SAVE_WRITE,
     PERSIST_SAVE_WRITE,
     SERVICE_EXECUTE,
+    SHARD_WORKER,
 )
 
 
@@ -19,5 +20,6 @@ def hooks(fh):
 def schedule():
     return [
         FaultSpec(EXECUTOR_WORKER, "kill"),
+        FaultSpec(SHARD_WORKER, "kill"),
         FaultSpec(point=SERVICE_EXECUTE, kind="raise"),
     ]

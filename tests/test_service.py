@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.exceptions import ReproError
@@ -370,6 +372,39 @@ class TestAdmissionControl:
         assert svc.execute({"op": "stats"})["status"] == "error"
         assert svc._in_flight == 0
         assert svc.execute({"op": "stats", "network": "n"})["status"] == "ok"
+
+    def test_retry_hint_survives_cached_and_control_chatter(
+        self, service, monkeypatch
+    ):
+        """Regression: cache hits and metrics/help chatter used to feed
+        the retry_after_ms EWMA, dragging it to the 1ms clamp floor —
+        an overloaded client was told to hammer a service whose cold
+        queries took tens of milliseconds.  Only uncached query-class
+        work may move the average now."""
+        real = PPKWSService._semantics_query
+
+        def slow(self, request, spec):
+            time.sleep(0.025)
+            return real(self, request, spec)
+
+        monkeypatch.setattr(PPKWSService, "_semantics_query", slow)
+        base = {
+            "op": "blinks", "network": "net", "owner": "bob",
+            "keywords": ["db", "ai"], "k": 3,
+        }
+        for i in range(6):  # distinct params: all cold, all >= 25ms
+            resp = service.execute(dict(base, tau=3.0 + 0.5 * i))
+            assert resp["status"] == "ok"
+            assert "cached" not in resp
+        # Flood with the traffic classes that used to poison the hint:
+        # sub-ms answer-cache hits and control-plane chatter.
+        for _ in range(40):
+            assert service.execute(dict(base, tau=3.0))["cached"] is True
+            assert service.execute({"op": "help"})["status"] == "ok"
+        service._max_in_flight = 0
+        resp = service.execute(dict(base, tau=9.75))
+        assert resp["code"] == "overloaded"
+        assert resp["retry_after_ms"] >= 10.0
 
 
 class TestIndexPersistenceErrors:

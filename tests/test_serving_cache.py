@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -164,3 +165,86 @@ class TestThreadSafety:
             t.join(10)
         assert not errors
         assert len(cache) <= 64
+
+
+class _SlowToCopy:
+    """A cached payload whose deep copy takes a measurable sleep.
+
+    ``time.sleep`` releases the GIL, so copies of *different* hits can
+    genuinely overlap — unless they are serialized behind a lock.
+    """
+
+    COPY_S = 0.05
+
+    def __deepcopy__(self, memo):
+        time.sleep(self.COPY_S)
+        return _SlowToCopy()
+
+
+class TestHitContention:
+    def test_concurrent_hits_do_not_serialize_on_the_copy(self):
+        # Regression: lookup() used to deep-copy the value while still
+        # holding the table lock, so N concurrent hits on a large
+        # response took N * copy_time wall time.  The copy now happens
+        # after release; four overlapping hits should take roughly one
+        # copy, not four.
+        cache = AnswerCache(max_entries=8, ttl_s=None)
+        cache.store("big", 0, _SlowToCopy())
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hit():
+            try:
+                barrier.wait(5)
+                got = cache.lookup("big", 0)
+                assert isinstance(got, _SlowToCopy)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(n_threads)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        elapsed = time.perf_counter() - start
+        assert not errors
+        assert cache.hits == n_threads
+        # Serialized copies would need >= 4 * COPY_S (0.2s).  Allow
+        # 2.5x one copy for scheduler noise; the pre-fix behaviour
+        # fails this by a wide margin.
+        assert elapsed < 2.5 * _SlowToCopy.COPY_S, (
+            f"hits serialized: {elapsed:.3f}s for {n_threads} copies"
+        )
+
+    def test_hit_rate_is_consistent_under_races(self):
+        # hit_rate reads two counters; unlocked it could pair a fresh
+        # hits value with a stale misses value and report > 1.0.
+        cache = AnswerCache(max_entries=8, ttl_s=None)
+        cache.store("k", 0, 1)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                cache.lookup("k", 0)
+                cache.lookup("absent", 0)
+
+        def read():
+            try:
+                while not stop.is_set():
+                    rate = cache.hit_rate
+                    assert 0.0 <= rate <= 1.0
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(2)]
+        threads.append(threading.Thread(target=read))
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join(5)
+        assert not errors

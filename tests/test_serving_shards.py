@@ -1,0 +1,396 @@
+"""Tests for process-based shard serving (repro.serving.shards).
+
+The process-pool tests spawn real shard workers; they share one
+module-scoped pooled service to keep spawn cost bounded.  Response
+comparisons strip ``breakdown`` — per-step wall times are the one
+legitimately nondeterministic response field.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import faults
+from repro.core.engine import register_shard_task
+from repro.exceptions import ReproError
+from repro.faults import FaultSchedule, FaultSpec
+from repro.faults.points import SHARD_WORKER
+from repro.graph.frozen import FrozenGraph, freeze
+from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.registry import MetricsRegistry
+from repro.serving import LocalShardPlan, ShardServingPool
+from repro.serving.shards import ShardPartition
+from repro.service import PPKWSService
+
+
+def strip(response):
+    """A response minus its nondeterministic per-step timings."""
+    return {k: v for k, v in response.items() if k != "breakdown"}
+
+
+def build_graphs(seed: int = 7, n: int = 60, edges: int = 150):
+    """The deterministic public/private pair the shard tests share."""
+    rng = random.Random(seed)
+    pub = LabeledGraph()
+    for i in range(n):
+        labels = ["DB"] if i % 7 == 0 else (["AI"] if i % 5 == 0 else [])
+        pub.add_vertex(f"p{i}", labels)
+    for _ in range(edges):
+        u, v = rng.sample(range(n), 2)
+        pub.add_edge(f"p{u}", f"p{v}", rng.uniform(0.5, 3.0))
+    priv = LabeledGraph()
+    priv.add_vertex("u0", ["DB"])
+    priv.add_edge("u0", "u1", 1.0)
+    priv.add_edge("u1", "p3", 1.0)
+    return pub, priv
+
+
+KNK = {
+    "op": "knk", "network": "net", "owner": "bob",
+    "source": "u0", "keyword": "DB", "k": 5,
+}
+BLINKS = {
+    "op": "blinks", "network": "net", "owner": "bob",
+    "keywords": ["DB", "AI"], "tau": 14.0, "k": 4,
+}
+BANKS = {
+    "op": "banks", "network": "net", "owner": "bob",
+    "keywords": ["DB", "AI"], "tau": 14.0, "k": 3,
+}
+
+
+def make_service(**kwargs):
+    pub, priv = build_graphs()
+    svc = PPKWSService(answer_cache_size=0, **kwargs)
+    svc.create_network("net", pub)
+    svc.attach_user("net", "bob", priv)
+    return svc
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+class TestShardPartition:
+    def test_sizes_cover_every_vertex(self):
+        pub, _ = build_graphs()
+        part = ShardPartition(pub, 3)
+        assert part.num_shards == 3
+        assert sum(part.sizes()) == pub.num_vertices
+        assert all(s >= 0 for s in part.sizes())
+
+    def test_shard_of_matches_contiguous_ranges(self):
+        pub, _ = build_graphs()
+        frozen = freeze(pub)
+        part = ShardPartition(frozen, 4)
+        seen = [part.shard_of(v) for v in frozen.vertex_table]
+        # contiguous interned-id ranges: shard ids are non-decreasing
+        assert seen == sorted(seen)
+        assert set(seen) <= set(range(4))
+
+    def test_private_only_vertex_lands_on_shard_zero(self):
+        pub, _ = build_graphs()
+        part = ShardPartition(pub, 2)
+        assert part.shard_of("not-a-public-vertex") == 0
+
+    def test_single_shard_has_empty_frontier(self):
+        pub, _ = build_graphs()
+        part = ShardPartition(pub, 1)
+        assert part.frontier == 0
+        assert part.sizes() == [pub.num_vertices]
+
+    def test_frontier_bounded_by_edge_count(self):
+        pub, _ = build_graphs()
+        part = ShardPartition(pub, 3)
+        assert 0 < part.frontier <= pub.num_edges
+
+    def test_more_shards_than_vertices_pads_empty(self):
+        g = LabeledGraph()
+        g.add_vertex("a", ["x"])
+        g.add_vertex("b", [])
+        g.add_edge("a", "b", 1.0)
+        part = ShardPartition(g, 5)
+        assert sum(part.sizes()) == 2
+        assert len(part.sizes()) == 5
+
+    def test_zero_shards_rejected(self):
+        pub, _ = build_graphs()
+        with pytest.raises(ValueError):
+            ShardPartition(pub, 0)
+
+
+# ----------------------------------------------------------------------
+# shared-memory export / attach round trip (in-process)
+# ----------------------------------------------------------------------
+class TestSharedExportRoundTrip:
+    def test_attached_replica_is_equivalent(self):
+        pub, _ = build_graphs()
+        frozen = freeze(pub)
+        handle, segments = frozen.export_shared()
+        try:
+            replica = FrozenGraph.from_shared(handle)
+            try:
+                assert replica.num_vertices == frozen.num_vertices
+                assert replica.num_edges == frozen.num_edges
+                assert list(replica.vertex_table) == list(frozen.vertex_table)
+                for v in list(frozen.vertex_table)[:10]:
+                    assert sorted(map(repr, replica.neighbors(v))) == sorted(
+                        map(repr, frozen.neighbors(v))
+                    )
+                    assert replica.labels(v) == frozen.labels(v)
+            finally:
+                replica.release_shared()
+        finally:
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+
+
+# ----------------------------------------------------------------------
+# the in-process plan
+# ----------------------------------------------------------------------
+def _probe_handler(host, network, owner, payload, bound):
+    """Shard-task handler used by the LocalShardPlan unit tests."""
+    return {"value": payload["value"], "bound_seen": bound()}
+
+
+register_shard_task("test_probe", _probe_handler)
+
+
+class TestLocalShardPlan:
+    def _engine(self):
+        svc = make_service()
+        return svc._engine("net")
+
+    def test_scatter_runs_tasks_in_shard_order(self):
+        plan = LocalShardPlan(self._engine(), shards=2, owner="bob")
+        seen = []
+
+        def on_result(result):
+            seen.append(result["value"])
+            return float("inf")
+
+        tasks = [(1, {"value": "b"}, 0.0), (0, {"value": "a"}, 0.0)]
+        plan.scatter("test_probe", tasks, float("inf"), on_result)
+        assert seen == ["a", "b"]
+        assert plan.tasks_run == 2
+        assert plan.tasks_cancelled == 0
+
+    def test_scatter_cancels_tasks_above_the_bound(self):
+        plan = LocalShardPlan(self._engine(), shards=2, owner="bob")
+        ran = []
+
+        def on_result(result):
+            ran.append(result["value"])
+            return 5.0  # tighten the bound after the first merge
+
+        tasks = [
+            (0, {"value": "cheap"}, 0.0),
+            (1, {"value": "pruned"}, 10.0),  # floor above tightened bound
+        ]
+        plan.scatter("test_probe", tasks, 100.0, on_result)
+        assert ran == ["cheap"]
+        assert plan.tasks_cancelled == 1
+
+    def test_handlers_observe_the_initial_bound(self):
+        plan = LocalShardPlan(self._engine(), shards=1, owner="bob")
+        out = []
+        plan.scatter(
+            "test_probe",
+            [(0, {"value": 1}, 0.0)],
+            42.0,
+            lambda r: out.append(r["bound_seen"]) or float("inf"),
+        )
+        assert out == [42.0]
+
+    def test_unknown_kind_raises(self):
+        plan = LocalShardPlan(self._engine(), shards=1, owner="bob")
+        with pytest.raises(ReproError):
+            plan.scatter(
+                "no_such_kind", [(0, {}, 0.0)], float("inf"), lambda r: 0.0
+            )
+
+
+# ----------------------------------------------------------------------
+# serial vs fanout equivalence without any pool (dict/local path)
+# ----------------------------------------------------------------------
+class TestLocalFanoutEquivalence:
+    @pytest.mark.parametrize("request_base", [KNK, BLINKS, BANKS])
+    def test_fanout_matches_serial(self, request_base):
+        svc = make_service()
+        serial = strip(svc.execute(dict(request_base)))
+        assert serial["status"] == "ok"
+        fanned = strip(svc.execute(dict(request_base, fanout=True)))
+        assert fanned == serial
+
+
+# ----------------------------------------------------------------------
+# the process pool
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def pooled():
+    """One shared pooled service (spawning workers is expensive)."""
+    registry = MetricsRegistry()
+    svc = make_service(registry=registry)
+    svc.enable_sharding(2)
+    yield svc, registry
+    svc.disable_sharding()
+
+
+class TestShardServingPool:
+    def test_enable_twice_rejected(self, pooled):
+        svc, _ = pooled
+        with pytest.raises(ReproError):
+            svc.enable_sharding(2)
+
+    def test_routed_request_matches_serial(self, pooled):
+        svc, _ = pooled
+        baseline = make_service()
+        for base in (KNK, BLINKS, BANKS):
+            serial = strip(baseline.execute(dict(base)))
+            routed = strip(svc.execute(dict(base)))
+            assert routed == serial
+
+    def test_pool_fanout_matches_serial(self, pooled):
+        svc, _ = pooled
+        baseline = make_service()
+        for base in (KNK, BLINKS, BANKS):
+            serial = strip(baseline.execute(dict(base)))
+            fanned = strip(svc.execute(dict(base, fanout=True)))
+            assert fanned == serial
+
+    def test_shard_metrics_recorded(self, pooled):
+        svc, registry = pooled
+        svc.execute(dict(KNK))  # routed
+        svc.execute(dict(KNK, fanout=True))  # scattered
+        assert registry.value(
+            "ppkws_shard_requests_total", labels={"kind": "execute"}
+        ) >= 1
+        series = registry.snapshot()["counters"]["ppkws_shard_requests_total"]
+        assert "kind=execute" in series
+        assert any(k != "kind=execute" for k in series)  # a scatter kind
+        assert registry.histogram("ppkws_shard_merge_seconds") is not None
+
+    def test_health_reports_partitions(self, pooled):
+        svc, _ = pooled
+        resp = svc.execute({"op": "health"})
+        shards = resp["shards"]
+        assert shards["mode"] == "process"
+        assert shards["shards"] == 2
+        assert shards["alive"] == 2
+        assert shards["shutdown"] is False
+        net = shards["networks"]["net"]
+        assert sum(net["shard_sizes"]) == 60
+        assert net["frontier_edges"] > 0
+
+    def test_admin_churn_replicates(self, pooled):
+        svc, _ = pooled
+        _, priv = build_graphs()
+        svc.attach_user("net", "eve", priv)
+        try:
+            resp = svc.execute(dict(KNK, owner="eve"))
+            assert resp["status"] == "ok"
+        finally:
+            svc.detach_user("net", "eve")
+        resp = svc.execute(dict(KNK, owner="eve"))
+        assert resp["code"] == "unknown_owner"
+
+    def test_create_and_drop_replicate(self, pooled):
+        svc, _ = pooled
+        pub2, priv2 = build_graphs(seed=11, n=20, edges=40)
+        svc.create_network("net2", pub2)
+        svc.attach_user("net2", "bob", priv2)
+        try:
+            req = dict(KNK, network="net2")
+            assert svc.execute(req)["status"] == "ok"
+            health = svc.execute({"op": "health"})["shards"]
+            assert "net2" in health["networks"]
+        finally:
+            svc.drop_network("net2")
+        health = svc.execute({"op": "health"})["shards"]
+        assert "net2" not in health["networks"]
+        assert svc.execute(dict(KNK, network="net2"))["code"] == (
+            "unknown_network"
+        )
+
+    def test_no_cache_requests_still_route(self, pooled):
+        svc, _ = pooled
+        resp = svc.execute(dict(KNK, no_cache=True))
+        assert resp["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# chaos: kill a shard process mid-query
+# ----------------------------------------------------------------------
+class TestShardChaos:
+    def test_killed_worker_yields_internal_error_and_selfheals(self):
+        svc = make_service()
+        pool = svc.enable_sharding(2)
+        try:
+            assert svc.execute(dict(KNK))["status"] == "ok"
+            pool.inject_faults(FaultSchedule(
+                [FaultSpec(SHARD_WORKER, "kill")], seed=3
+            ))
+            # Each worker dies on its next received task; drive requests
+            # until both kills have fired.
+            saw_internal = 0
+            for _ in range(6):
+                resp = svc.execute(dict(KNK))
+                if resp["status"] == "error":
+                    assert resp["code"] == "internal"
+                    assert resp["retryable"] is True
+                    assert "error" in resp
+                    saw_internal += 1
+            assert saw_internal >= 1
+            pool.inject_faults(None)
+            # Self-healed: workers respawned, queries flow again.
+            health = svc.execute({"op": "health"})["shards"]
+            assert health["alive"] == 2
+            assert health["respawns"] >= 1
+            baseline = make_service()
+            assert strip(svc.execute(dict(KNK))) == strip(
+                baseline.execute(dict(KNK))
+            )
+            assert strip(svc.execute(dict(KNK, fanout=True))) == strip(
+                baseline.execute(dict(KNK))
+            )
+        finally:
+            svc.disable_sharding()
+
+    def test_injected_raise_is_a_wellformed_error(self):
+        svc = make_service()
+        pool = svc.enable_sharding(1)
+        try:
+            pool.inject_faults(FaultSchedule(
+                [FaultSpec(SHARD_WORKER, "raise")], seed=3
+            ))
+            resp = svc.execute(dict(KNK))
+            assert resp["status"] == "error"
+            assert resp["code"] == "internal"
+            pool.inject_faults(None)
+            assert svc.execute(dict(KNK))["status"] == "ok"
+        finally:
+            svc.disable_sharding()
+
+
+# ----------------------------------------------------------------------
+# executor integration: mode="process"
+# ----------------------------------------------------------------------
+class TestProcessModeExecutor:
+    def test_process_mode_owns_and_releases_the_pool(self):
+        from repro.serving import ServiceExecutor
+
+        svc = make_service()
+        with ServiceExecutor(svc, workers=2, mode="process") as pool:
+            assert pool.health()["mode"] == "process"
+            assert svc.shard_pool is not None
+            responses = pool.execute_many([dict(KNK) for _ in range(4)])
+            assert all(r["status"] == "ok" for r in responses)
+        assert svc.shard_pool is None
+
+    def test_bad_mode_rejected(self):
+        from repro.serving import ServiceExecutor
+
+        with pytest.raises(ValueError):
+            ServiceExecutor(make_service(), workers=1, mode="fiber")
