@@ -25,27 +25,31 @@ layer's epoch-based answer-cache invalidation — both layers key
 freshness off one monotonic counter rather than enumerating affected
 entries.
 
-Batches can carry a *whole-batch budget*: ``run_keyword_queries`` /
-``run_knk_queries`` accept ``deadline_ms`` (and ``max_expansions``) for
-the entire workload.  The remaining allowance is divided evenly across
-the remaining queries before each query starts, so an early query that
-overruns shrinks the slices of later ones, and a batch whose budget is
-already spent degrades every remaining query immediately instead of
-running unbounded.
+Batches can carry a *whole-batch budget*: ``run_queries`` (and the
+``run_knk_queries`` / deprecated ``run_keyword_queries`` sugar) accept
+``deadline_ms`` (and ``max_expansions``) for the entire workload.  The
+remaining allowance is divided evenly across the remaining queries
+before each query starts, so an early query that overruns shrinks the
+slices of later ones, and a batch whose budget is already spent degrades
+every remaining query immediately instead of running unbounded.
+
+Sessions also carry the vectorized execution machinery: an
+``execution_mode`` default and a :class:`~repro.core.vectorized.SweepMemo`
+shared by every vectorized query of the session, so queries whose
+keywords seed the same offset sweeps run them once (batch-level PKA).
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+import warnings
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.budget import QueryBudget
 from repro.core.framework import KnkQueryResult, PPKWS, QueryResult
-from repro.core.pp_blinks import pp_blinks_query
-from repro.core.pp_knk import pp_knk_query
-from repro.core.pp_rclique import CompletionCache, pp_rclique_query
+from repro.core.pp_rclique import CompletionCache
+from repro.core.vectorized import SweepMemo
 from repro.datasets.queries import KeywordQuery, KnkQuery
-from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, Vertex
 from repro.obs import observe_batch_cache
 
@@ -129,13 +133,26 @@ class BatchSession:
     True
     """
 
-    def __init__(self, engine: PPKWS, owner: str) -> None:
+    def __init__(
+        self,
+        engine: PPKWS,
+        owner: str,
+        execution_mode: Optional[str] = None,
+    ) -> None:
         self.engine = engine
         self.owner = owner
         self.attachment = engine.attachment(owner)
         self.cache = PersistentCompletionCache(
             enabled=engine.options.dp_completion
         )
+        #: session default for the step bodies ("pure" / "vectorized" /
+        #: "auto"); None defers to the engine's QueryOptions.  Per-call
+        #: arguments override both.
+        self.execution_mode = execution_mode
+        #: batch-level PKA: offset sweeps memoized across the session's
+        #: queries — queries sharing keywords (hence sweep seeds) reuse
+        #: each other's vectorized expansions.
+        self.sweep_memo = SweepMemo()
         self._engine_epoch = engine.attachment_epoch
 
     # ------------------------------------------------------------------
@@ -152,6 +169,7 @@ class BatchSession:
         if current != self._engine_epoch:
             self._engine_epoch = current
             self.cache.invalidate()
+            self.sweep_memo.invalidate()
             self.attachment = self.engine.attachment(self.owner)
 
     def _cache_marks(self) -> tuple:
@@ -167,78 +185,117 @@ class BatchSession:
         self, keywords: Sequence[Label], tau: float, k: int = 10,
         require_public_private: bool = True,
         budget: Optional[QueryBudget] = None,
+        execution_mode: Optional[str] = None,
     ) -> QueryResult:
-        """One Blinks query through the shared cache."""
-        self._refresh_if_stale()
-        marks = self._cache_marks()
-        try:
-            return pp_blinks_query(
-                self.engine, self.attachment, list(keywords), tau, k,
-                require_public_private, cache=self.cache, budget=budget,
-            )
-        finally:
-            self._observe_cache(marks)
+        """One Blinks query through the shared cache (sugar over
+        :meth:`query`)."""
+        result: QueryResult = self.query(
+            "blinks", budget=budget, execution_mode=execution_mode,
+            keywords=list(keywords), tau=tau, k=k,
+            require_public_private=require_public_private,
+        )
+        return result
 
     def rclique(
         self, keywords: Sequence[Label], tau: float, k: int = 10,
         require_public_private: bool = True,
         budget: Optional[QueryBudget] = None,
+        execution_mode: Optional[str] = None,
     ) -> QueryResult:
-        """One r-clique query through the shared cache."""
-        self._refresh_if_stale()
-        marks = self._cache_marks()
-        try:
-            return pp_rclique_query(
-                self.engine, self.attachment, list(keywords), tau, k,
-                require_public_private, cache=self.cache, budget=budget,
-            )
-        finally:
-            self._observe_cache(marks)
+        """One r-clique query through the shared cache (sugar over
+        :meth:`query`)."""
+        result: QueryResult = self.query(
+            "rclique", budget=budget, execution_mode=execution_mode,
+            keywords=list(keywords), tau=tau, k=k,
+            require_public_private=require_public_private,
+        )
+        return result
 
     def knk(
         self, source: Vertex, keyword: Label, k: int,
         budget: Optional[QueryBudget] = None,
+        execution_mode: Optional[str] = None,
     ) -> KnkQueryResult:
-        """One k-nk query through the shared cache."""
-        self._refresh_if_stale()
-        marks = self._cache_marks()
-        try:
-            return pp_knk_query(
-                self.engine, self.attachment, source, keyword, k,
-                cache=self.cache, budget=budget,
-            )
-        finally:
-            self._observe_cache(marks)
+        """One k-nk query through the shared cache (sugar over
+        :meth:`query`)."""
+        result: KnkQueryResult = self.query(
+            "knk", budget=budget, execution_mode=execution_mode,
+            source=source, keyword=keyword, k=k,
+        )
+        return result
 
     def query(
         self,
         semantics: str,
         budget: Optional[QueryBudget] = None,
+        execution_mode: Optional[str] = None,
         **params: object,
     ):
         """One query of any registered semantics through the shared cache.
 
-        The generic counterpart of the named methods above: ``semantics``
-        is looked up in the engine registry and run with ``params`` as
-        its pipeline parameters — so a newly registered semantics is
-        batchable without this class growing a method.  The session's
-        persistent cache is passed through; specs that do not use a
-        completion cache simply ignore it.
+        The generic entry point the named methods above are sugar over:
+        ``semantics`` is looked up in the engine registry and run with
+        ``params`` as its pipeline parameters — so a newly registered
+        semantics is batchable without this class growing a method.  The
+        session's persistent cache is passed through; specs that do not
+        use a completion cache simply ignore it.
+
+        ``execution_mode`` overrides the session default (which itself
+        defaults to the engine's
+        :attr:`~repro.core.framework.QueryOptions.execution_mode`); the
+        vectorized plan carries the session's :class:`SweepMemo`, so
+        vectorized queries sharing sweep seeds reuse expansions across
+        the batch.
         """
         from repro.core.engine import semantics_spec
+        from repro.core.vectorized import plan_for
 
         spec = semantics_spec(semantics)
         self._refresh_if_stale()
+        if execution_mode is None:
+            execution_mode = self.execution_mode
+        plan = plan_for(self.engine, execution_mode, memo=self.sweep_memo)
         marks = self._cache_marks()
         try:
             return spec.run(
                 self.engine, self.attachment, dict(params),
-                budget=budget, cache=self.cache,
+                budget=budget, cache=self.cache, vectorized=plan,
             )
         finally:
             self._observe_cache(marks)
 
     # ------------------------------------------------------------------
+    def run_queries(
+        self,
+        semantics: str,
+        queries: Sequence[Dict[str, Any]],
+        deadline_ms: Optional[float] = None,
+        max_expansions: Optional[int] = None,
+        execution_mode: Optional[str] = None,
+    ) -> List[Any]:
+        """Run a workload of parameter dicts through :meth:`query`.
+
+        Works for any registered semantics — each dict is that query's
+        pipeline parameters.  ``deadline_ms`` / ``max_expansions`` bound
+        the *whole batch*: the remaining allowance is split evenly across
+        the remaining queries, so an exhausted batch degrades its tail
+        instead of overrunning.  Unknown semantics raise
+        :class:`~repro.exceptions.QueryError` before any query runs.
+        """
+        from repro.core.engine import semantics_spec
+
+        semantics_spec(semantics)  # fail fast, even on an empty workload
+        batch = BatchBudget(deadline_ms, max_expansions)
+        results: List[Any] = []
+        for i, params in enumerate(queries):
+            slice_budget = batch.slice_for(len(queries) - i)
+            results.append(self.query(
+                semantics, budget=slice_budget,
+                execution_mode=execution_mode, **params,
+            ))
+            batch.charge(slice_budget)
+        return results
+
     def run_keyword_queries(
         self,
         semantic: str,
@@ -247,40 +304,47 @@ class BatchSession:
         deadline_ms: Optional[float] = None,
         max_expansions: Optional[int] = None,
     ) -> List[QueryResult]:
-        """Run a workload of Blinks or r-clique queries.
+        """Deprecated shim over :meth:`run_queries`.
 
-        ``deadline_ms`` / ``max_expansions`` bound the *whole batch*: the
-        remaining allowance is split evenly across the remaining queries,
-        so an exhausted batch degrades its tail instead of overrunning.
+        Historically hard-coded ``blinks`` / ``rclique``; now any
+        registered keyword semantics (``keywords`` / ``tau`` / ``k`` /
+        ``require_public_private`` params) dispatches through the
+        registry.  Use :meth:`run_queries` directly in new code.
         """
-        if semantic == "blinks":
-            runner = self.blinks
-        elif semantic == "rclique":
-            runner = self.rclique
-        else:
-            raise QueryError(f"unknown batch semantic {semantic!r}")
-        batch = BatchBudget(deadline_ms, max_expansions)
-        results: List[QueryResult] = []
-        for i, q in enumerate(queries):
-            slice_budget = batch.slice_for(len(queries) - i)
-            results.append(runner(list(q.keywords), q.tau, k, budget=slice_budget))
-            batch.charge(slice_budget)
-        return results
+        warnings.warn(
+            "BatchSession.run_keyword_queries is deprecated; use "
+            "BatchSession.run_queries with explicit parameter dicts",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run_queries(
+            semantic,
+            [
+                {
+                    "keywords": list(q.keywords), "tau": q.tau, "k": k,
+                    "require_public_private": True,
+                }
+                for q in queries
+            ],
+            deadline_ms=deadline_ms,
+            max_expansions=max_expansions,
+        )
 
     def run_knk_queries(
         self,
         queries: Sequence[KnkQuery],
         deadline_ms: Optional[float] = None,
         max_expansions: Optional[int] = None,
+        execution_mode: Optional[str] = None,
     ) -> List[KnkQueryResult]:
         """Run a workload of k-nk queries, optionally batch-budgeted."""
-        batch = BatchBudget(deadline_ms, max_expansions)
-        results: List[KnkQueryResult] = []
-        for i, q in enumerate(queries):
-            slice_budget = batch.slice_for(len(queries) - i)
-            results.append(self.knk(q.source, q.keyword, q.k, budget=slice_budget))
-            batch.charge(slice_budget)
-        return results
+        return self.run_queries(
+            "knk",
+            [{"source": q.source, "keyword": q.keyword, "k": q.k} for q in queries],
+            deadline_ms=deadline_ms,
+            max_expansions=max_expansions,
+            execution_mode=execution_mode,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -302,3 +366,4 @@ class BatchSession:
     def invalidate(self) -> None:
         """Drop cached lookups (call after mutating the private graph)."""
         self.cache.invalidate()
+        self.sweep_memo.invalidate()

@@ -109,6 +109,9 @@ class PipelineContext:
     #: a shard plan (repro.serving.shards) when this run may fan its
     #: completion work out to shard workers; None = single-process.
     shards: Optional[Any] = None
+    #: a repro.core.vectorized.VectorizedPlan when this run should use
+    #: the numpy kernels for steps that offer them; None = pure bodies.
+    vectorized: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -120,11 +123,18 @@ class StepSpec:
     must leave the context in a bit-identical state to ``run`` — the
     equivalence suite holds it to that — while fanning the heavy part of
     the work out across shard workers.
+
+    ``vectorized_run`` is the same contract for a context carrying a
+    :class:`~repro.core.vectorized.VectorizedPlan` (``ctx.vectorized``):
+    a drop-in body that routes the heavy array work through the numpy
+    kernels.  Precedence when both plans are present: sharded wins (the
+    shard fan-out already amortizes the sweep work across processes).
     """
 
     name: str
     run: Callable[[PipelineContext], None]
     sharded_run: Optional[Callable[[PipelineContext], None]] = None
+    vectorized_run: Optional[Callable[[PipelineContext], None]] = None
 
 
 @dataclass(frozen=True)
@@ -153,6 +163,13 @@ class SemanticsSpec:
     wire_params: Callable[[Dict[str, Any]], Dict[str, Any]]
     wire_payload: Callable[[AnyResult], Dict[str, Any]]
     wire_cache_params: Optional[Callable[[Dict[str, Any]], Tuple[Any, ...]]]
+    # -- baselines (Appx. D query models) ------------------------------
+    #: run this semantics directly on one plain graph — M1 evaluates it
+    #: on G and G' separately, M2 on the combined graph.  Signature:
+    #: ``(graph, keywords, tau, k) -> answers``.  None = the semantics
+    #: has no single-graph baseline (query_model_m1/m2 raise QueryError).
+    baseline_m1: Optional[Callable[..., Any]] = None
+    baseline_m2: Optional[Callable[..., Any]] = None
 
     def run(
         self,
@@ -162,10 +179,12 @@ class SemanticsSpec:
         budget: Optional[QueryBudget] = None,
         cache: Optional[Any] = None,
         shards: Optional[Any] = None,
+        vectorized: Optional[Any] = None,
     ) -> AnyResult:
         """Run this semantics through the engine (see :func:`run_pipeline`)."""
         return run_pipeline(
-            self, engine, attachment, params, budget, cache, shards
+            self, engine, attachment, params, budget, cache, shards,
+            vectorized,
         )
 
 
@@ -177,6 +196,7 @@ def run_pipeline(
     budget: Optional[QueryBudget] = None,
     cache: Optional[Any] = None,
     shards: Optional[Any] = None,
+    vectorized: Optional[Any] = None,
 ) -> AnyResult:
     """The one PEval → ARefine → AComplete loop all semantics share.
 
@@ -197,6 +217,7 @@ def run_pipeline(
         budget=budget,
         cache=cache,
         shards=shards,
+        vectorized=vectorized,
     )
     spec.validate(ctx)
     spec.init(ctx)
@@ -217,6 +238,8 @@ def run_pipeline(
             body = s.run
             if ctx.shards is not None and s.sharded_run is not None:
                 body = s.sharded_run
+            elif ctx.vectorized is not None and s.vectorized_run is not None:
+                body = s.vectorized_run
             with _Timer() as t:
                 body(ctx)
             breakdown.record(step, t.elapsed)

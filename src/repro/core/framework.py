@@ -45,8 +45,6 @@ from repro.portals.distance_map import (
 from repro.portals.keyword_map import build_private_maps
 from repro.portals.oracle import CombinedDistanceOracle, SketchPublicDistance
 from repro.semantics.answers import KnkAnswer, RootedAnswer
-from repro.semantics.blinks import blinks_search
-from repro.semantics.rclique import rclique_search
 from repro.sketches.base import DistanceSketch
 from repro.sketches.kpads import KeywordSketch, build_kpads
 from repro.sketches.pads import build_pads
@@ -253,6 +251,16 @@ class QueryOptions:
     budget object is created and the hot paths skip all budget checks,
     keeping results bit-identical to the unbudgeted code.  Per-call
     arguments on the :class:`PPKWS` entry points override these.
+
+    ``execution_mode`` selects the step bodies for the generic
+    :meth:`PPKWS.query` entry point (and everything built on it —
+    :class:`~repro.core.batch.BatchSession`, the wire protocol):
+    ``"pure"`` runs the reference dict/heap code, ``"vectorized"`` the
+    numpy kernels of :mod:`repro.core.vectorized` (bit-identical
+    answers, enforced by the equivalence suite), ``"auto"`` picks
+    vectorized when the engine supports it (frozen public graph, numpy
+    importable, strictly positive weights) and silently falls back to
+    pure otherwise.  Per-call arguments override this default.
     """
 
     reduced_refinement: bool = True
@@ -260,6 +268,7 @@ class QueryOptions:
     peval_answers: int = 32
     deadline_ms: Optional[float] = None
     max_expansions: Optional[int] = None
+    execution_mode: str = "pure"
 
 
 class _Timer:
@@ -582,6 +591,7 @@ class PPKWS:
         max_expansions: Optional[int] = None,
         budget: Optional[QueryBudget] = None,
         cache: Optional[object] = None,
+        execution_mode: Optional[str] = None,
         **params: object,
     ) -> object:
         """Run any registered semantics by name through the engine.
@@ -591,14 +601,21 @@ class PPKWS:
         :func:`repro.core.engine.register_semantics` are reachable only
         here (and on the wire).  Unknown names raise
         :class:`~repro.exceptions.QueryError`.
+
+        ``execution_mode`` (``"pure"`` / ``"vectorized"`` / ``"auto"``)
+        overrides :attr:`QueryOptions.execution_mode` for this call;
+        answers are bit-identical across modes (see
+        :mod:`repro.core.vectorized`).
         """
         from repro.core.engine import semantics_spec
+        from repro.core.vectorized import plan_for
 
         spec = semantics_spec(semantics)
         return spec.run(
             self, self.attachment(owner), dict(params),
             budget=self.make_budget(deadline_ms, max_expansions, budget),
             cache=cache,
+            vectorized=plan_for(self, execution_mode),
         )
 
 
@@ -617,18 +634,24 @@ def query_model_m1(
 
     Returns ``(public_answers, private_answers)`` — by construction none
     of them is a public-private answer.
+
+    Dispatch goes through the semantics registry: any registered
+    semantics that declares a ``baseline_m1`` (a plain single-graph
+    search, see :class:`~repro.core.engine.SemanticsSpec`) works here,
+    plugins included.  Unknown names and semantics without a baseline
+    raise :class:`~repro.exceptions.QueryError`.
     """
-    if semantic == "blinks":
-        return (
-            blinks_search(public, keywords, tau, k),
-            blinks_search(private, keywords, tau, k),
+    from repro.core.engine import semantics_spec
+
+    spec = semantics_spec(semantic)
+    if spec.baseline_m1 is None:
+        raise QueryError(
+            f"semantics {semantic!r} does not support query model M1"
         )
-    if semantic == "rclique":
-        return (
-            rclique_search(public, keywords, tau, k),
-            rclique_search(private, keywords, tau, k),
-        )
-    raise QueryError(f"unknown semantic {semantic!r} for M1")
+    return (
+        spec.baseline_m1(public, keywords, tau, k),
+        spec.baseline_m1(private, keywords, tau, k),
+    )
 
 
 def query_model_m2(
@@ -648,22 +671,19 @@ def query_model_m2(
     only public-private answers.  Pass a pre-materialized ``combined``
     graph to keep the ⊕ cost out of measured regions.
     """
-    gc = combined if combined is not None else combine(public, private)
-    if semantic == "blinks":
-        # The original algorithm discovers every answer root; the
-        # public-private qualification is a post-filter, so enumerate all
-        # roots (public-private answers need not rank in the global top-k).
-        answers = blinks_search(gc, keywords, tau, gc.num_vertices)
-    elif semantic == "rclique":
-        # r-clique enumeration cost grows with k; follow the paper's
-        # baseline and enumerate a generous prefix before qualifying.
-        # Neighbor lists stay sized for the caller's k (the original
-        # algorithm's index does not grow with the enumeration prefix).
-        answers = rclique_search(
-            gc, keywords, tau, k * 8, neighbor_list_size=k + 1
+    from repro.core.engine import semantics_spec
+
+    spec = semantics_spec(semantic)
+    if spec.baseline_m2 is None:
+        raise QueryError(
+            f"semantics {semantic!r} does not support query model M2"
         )
-    else:
-        raise QueryError(f"unknown semantic {semantic!r} for M2")
+    gc = combined if combined is not None else combine(public, private)
+    # The spec's baseline_m2 owns the enumeration-prefix policy (Blinks
+    # enumerates every root, r-clique a generous k*8 prefix — the
+    # public-private qualification below is a post-filter and answers
+    # need not rank in the global top-k).
+    answers = spec.baseline_m2(gc, keywords, tau, k)
     if require_public_private:
         answers = [
             a for a in answers if _is_public_private_answer(a, public, private)

@@ -39,6 +39,7 @@ from repro.core.pp_blinks import (
     salvage_blinks,
     step_acomplete,
     step_acomplete_sharded,
+    step_acomplete_vectorized,
     step_arefine,
     step_peval,
     validate_blinks_params,
@@ -103,7 +104,10 @@ BANKS = register_semantics(SemanticsSpec(
     steps=(
         StepSpec("peval", step_peval),
         StepSpec("arefine", step_arefine),
-        StepSpec("acomplete", step_acomplete, step_acomplete_sharded),
+        StepSpec(
+            "acomplete", step_acomplete,
+            step_acomplete_sharded, step_acomplete_vectorized,
+        ),
         StepSpec("materialize", _step_materialize),
     ),
     validate=validate_blinks_params,

@@ -25,7 +25,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.budget import QueryBudget
 from repro.core.engine import (
@@ -44,11 +54,12 @@ from repro.core.framework import (
 from repro.core.partial import KeywordIndicator, PartialAnswer, salvage_rooted_answers
 from repro.core.pp_rclique import CompletionCache
 from repro.core.repair import try_requalify
+from repro.core.vectorized import merge_rank
 from repro.exceptions import QueryError
 from repro.graph.labeled_graph import Label, LabeledGraph, Vertex
 from repro.graph.traversal import INF
 from repro.semantics.answers import Match, RootedAnswer
-from repro.semantics.blinks import keyword_expansion
+from repro.semantics.blinks import blinks_search, keyword_expansion
 from repro.semantics.wire import (
     rooted_cache_params,
     rooted_payload,
@@ -204,6 +215,111 @@ def _portal_sweep_seeds(
     }
 
 
+def _merge_swept_root(
+    answers: Dict[Vertex, PartialAnswer],
+    u: Vertex,
+    swept: Dict[Label, Dict[Vertex, Match]],
+    keywords: List[Label],
+) -> None:
+    """Part (a) for one swept vertex: flood-update or plant an answer."""
+    if u in answers:
+        existing = answers[u]
+        for q in keywords:
+            hit = swept[q].get(u)
+            dst = existing.answer.matches.get(q)
+            if hit is not None and (dst is None or hit.distance < dst.distance):
+                existing.set_match(q, hit.vertex, hit.distance)
+                existing.missing.discard(q)
+    else:
+        partial = PartialAnswer(answer=RootedAnswer(u, {}))
+        for q in keywords:
+            hit = swept[q].get(u)
+            if hit is None:
+                partial.set_match(q, None, INF)
+                partial.missing.add(q)
+            else:
+                partial.set_match(q, hit.vertex, hit.distance)
+        answers[u] = partial
+
+
+def _complete_root(
+    engine: PPKWS,
+    attachment: Attachment,
+    root: Vertex,
+    partial: PartialAnswer,
+    keywords: List[Label],
+    cache: CompletionCache,
+    provider: object,
+    public_probe: Optional[
+        Callable[[Vertex, Label], Tuple[float, Optional[Vertex]]]
+    ],
+) -> None:
+    """Part (b) for one root: retrieve/improve keywords via the public side."""
+    root_is_public = root in engine.public
+    root_is_private = root in attachment.private
+    for q in keywords:
+        match = partial.match(q)
+        current = match.distance if match is not None else INF
+        best, witness = INF, None
+        if root_is_public:
+            if public_probe is not None:
+                best, witness = public_probe(root, q)
+            else:
+                best, witness = provider.keyword_distance_with_witness(  # type: ignore[attr-defined]
+                    root, q
+                )
+        if root_is_private:
+            for portal, d1 in (
+                attachment.oracle.vertex_portal.portal_distances(root).items()
+            ):
+                pub_d, w = cache.lookup(engine, portal, q)
+                if w is not None and d1 + pub_d < best:
+                    best, witness = d1 + pub_d, w
+        if witness is not None and best < current:
+            partial.set_match(q, witness, best)
+            partial.missing.discard(q)
+            partial.public_matched.add(q)
+
+
+def _qualify(
+    engine: PPKWS,
+    attachment: Attachment,
+    candidates: Iterable[PartialAnswer],
+    keywords: List[Label],
+    tau: float,
+    k: int,
+    counters: QueryCounters,
+    cache: CompletionCache,
+    require_public_private: bool,
+    budget: Optional[QueryBudget] = None,
+) -> List[RootedAnswer]:
+    """Part (c): walk candidates in weight order, stop at k survivors.
+
+    ``candidates`` must arrive in ``sort_key()`` order; the walk stops
+    once the top-k survivors are in hand, so the (comparatively
+    expensive) witness repair only ever touches the cheap prefix.
+    """
+    final: List[RootedAnswer] = []
+    for partial in candidates:
+        if budget is not None:
+            budget.checkpoint()
+        if len(final) >= k:
+            break
+        if partial.missing or not partial.answer.within_bound(tau):
+            counters.answers_pruned += 1
+            continue
+        if any(not m.is_resolved() for m in partial.answer.matches.values()):
+            counters.answers_pruned += 1
+            continue
+        if require_public_private and not try_requalify(
+            engine, attachment, partial, keywords, cache
+        ):
+            counters.answers_pruned += 1
+            continue
+        final.append(partial.answer)
+    return final
+
+
 def _acomplete(
     engine: PPKWS,
     attachment: Attachment,
@@ -216,15 +332,20 @@ def _acomplete(
     require_public_private: bool,
     budget: Optional[QueryBudget] = None,
     swept: Optional[Dict[Label, Dict[Vertex, Match]]] = None,
+    public_probe: Optional[
+        Callable[[Vertex, Label], Tuple[float, Optional[Vertex]]]
+    ] = None,
 ) -> List[RootedAnswer]:
     """Step 3: Algo 5 — expand, retrieve missing keywords, qualify.
 
     ``swept`` lets a caller inject the part-(a) public sweeps computed
-    elsewhere (the shard workers); the merge below is insensitive to who
-    ran them, so the answers stay bit-identical.
+    elsewhere (the shard workers or the vectorized kernel); the merge
+    below is insensitive to who ran them, so the answers stay
+    bit-identical.  ``public_probe`` likewise replaces the per-root
+    part-(b) KPADS lookup with precomputed (batched) results — it must
+    return exactly what ``keyword_distance_with_witness`` would.
     """
     public = engine.public
-    private = attachment.private
     provider = engine.index.provider()
 
     # (a) Backward expansion from portal-rooted partial answers (lines 2-8).
@@ -248,74 +369,24 @@ def _acomplete(
     for u in sorted(touched, key=repr):
         if budget is not None:
             budget.checkpoint()
-        if u in answers:
-            existing = answers[u]
-            for q in keywords:
-                hit = swept[q].get(u)
-                dst = existing.answer.matches.get(q)
-                if hit is not None and (dst is None or hit.distance < dst.distance):
-                    existing.set_match(q, hit.vertex, hit.distance)
-                    existing.missing.discard(q)
-        else:
-            partial = PartialAnswer(answer=RootedAnswer(u, {}))
-            for q in keywords:
-                hit = swept[q].get(u)
-                if hit is None:
-                    partial.set_match(q, None, INF)
-                    partial.missing.add(q)
-                else:
-                    partial.set_match(q, hit.vertex, hit.distance)
-            answers[u] = partial
+        _merge_swept_root(answers, u, swept, keywords)
 
     # (b) Retrieve missing keywords / improve via the public graph
     # (CompleteAns, lines 20-23).
     for root, partial in answers.items():
         if budget is not None:
             budget.checkpoint()
-        root_is_public = root in public
-        root_is_private = root in private
-        for q in keywords:
-            match = partial.match(q)
-            current = match.distance if match is not None else INF
-            best, witness = INF, None
-            if root_is_public:
-                best, witness = provider.keyword_distance_with_witness(root, q)
-            if root_is_private:
-                for portal, d1 in (
-                    attachment.oracle.vertex_portal.portal_distances(root).items()
-                ):
-                    pub_d, w = cache.lookup(engine, portal, q)
-                    if w is not None and d1 + pub_d < best:
-                        best, witness = d1 + pub_d, w
-            if witness is not None and best < current:
-                partial.set_match(q, witness, best)
-                partial.missing.discard(q)
-                partial.public_matched.add(q)
+        _complete_root(
+            engine, attachment, root, partial, keywords, cache,
+            provider, public_probe,
+        )
 
-    # (c) Qualification.  Candidates are processed in weight order and
-    # the walk stops once the top-k survivors are in hand, so the
-    # (comparatively expensive) witness repair only ever touches the
-    # cheap prefix of the candidate list.
-    final: List[RootedAnswer] = []
+    # (c) Qualification.
     candidates = sorted(answers.values(), key=lambda p: p.answer.sort_key())
-    for partial in candidates:
-        if budget is not None:
-            budget.checkpoint()
-        if len(final) >= k:
-            break
-        if partial.missing or not partial.answer.within_bound(tau):
-            counters.answers_pruned += 1
-            continue
-        if any(not m.is_resolved() for m in partial.answer.matches.values()):
-            counters.answers_pruned += 1
-            continue
-        if require_public_private and not try_requalify(
-            engine, attachment, partial, keywords, cache
-        ):
-            counters.answers_pruned += 1
-            continue
-        final.append(partial.answer)
-    return final
+    return _qualify(
+        engine, attachment, candidates, keywords, tau, k,
+        counters, cache, require_public_private, budget,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -353,6 +424,153 @@ def step_acomplete(ctx: PipelineContext) -> None:
         p["k"], ctx.counters, ctx.cache, p["require_public_private"],
         ctx.budget,
     )
+    ctx.counters.completion_lookups = ctx.cache.misses + ctx.cache.hits
+    ctx.counters.completion_cache_hits = ctx.cache.hits
+    answers.sort(key=RootedAnswer.sort_key)
+    ctx.answers = answers[: p["k"]]
+
+
+# ----------------------------------------------------------------------
+# the vectorized AComplete (repro.core.vectorized numpy kernels)
+# ----------------------------------------------------------------------
+def _acomplete_fast(
+    ctx: PipelineContext,
+    swept: Dict[Label, Dict[Vertex, Match]],
+) -> Optional[List[RootedAnswer]]:
+    """Array-merged AComplete parts (a)-(c); None means fall back.
+
+    The bulk of a sweep's cover is *new public-only* roots — vertices
+    that are neither existing partials nor private-side vertices.  For
+    those the merged matches, weights and the ``(weight, repr)`` rank
+    are computed as arrays (:func:`repro.core.vectorized.merge_rank`),
+    and candidates are materialized lazily only as the qualification
+    walk reaches them.  Existing partials and private-side roots — a
+    handful per query — run through the same per-root helpers as the
+    pure step, and the two ordered streams merge lazily.  Answers are
+    bit-identical to the pure step; only budget checkpoint placement and
+    mid-AComplete counter timing differ (the merge charges its roots in
+    bulk).
+    """
+    engine, attachment = ctx.engine, ctx.attachment
+    plan = ctx.vectorized
+    runtime = plan.runtime
+    public, private = engine.public, attachment.private
+    p = ctx.params
+    keywords, tau, k = p["keywords"], p["tau"], p["k"]
+    partials: Dict[Vertex, PartialAnswer] = ctx.state
+    cache = ctx.cache
+
+    intern = runtime.public.intern
+    slow_ids: Set[int] = set()
+    for u in partials:
+        if u in public:
+            slow_ids.add(intern(u))
+    for v in private.vertices():
+        if v in public:
+            slow_ids.add(intern(v))
+    ranked = merge_rank(runtime, keywords, swept, slow_ids)
+    if ranked is None:
+        return None
+    if ctx.budget is not None:
+        # The pure step charges one checkpoint per touched root in part
+        # (a) and one per answer in part (b); charge the fast-path roots
+        # in bulk so expansion caps bind at an equivalent magnitude.
+        ctx.budget.checkpoint(cost=2 * len(ranked))
+
+    # Slow side — existing partials plus private-side swept roots — runs
+    # the exact per-root bodies of the pure step.
+    answers: Dict[Vertex, PartialAnswer] = dict(partials)
+    vertex_of = runtime.vertex_of
+    slow_touched = [vertex_of[int(i)] for i in ranked.slow_touched_ids]
+    for u in sorted(slow_touched, key=repr):
+        if ctx.budget is not None:
+            ctx.budget.checkpoint()
+        _merge_swept_root(answers, u, swept, keywords)
+    pub_slow = [r for r in answers if r in public]
+    probed = {q: runtime.probe_many(pub_slow, q) for q in keywords}
+
+    def probe(root: Vertex, q: Label) -> Tuple[float, Optional[Vertex]]:
+        return probed[q][root]
+
+    provider = engine.index.provider()
+    for root, partial in answers.items():
+        if ctx.budget is not None:
+            ctx.budget.checkpoint()
+        _complete_root(
+            engine, attachment, root, partial, keywords, cache,
+            provider, probe,
+        )
+
+    slow_sorted = sorted(
+        answers.values(), key=lambda pa: pa.answer.sort_key()
+    )
+    slow_keys = [pa.answer.sort_key() for pa in slow_sorted]
+
+    def merged() -> Iterator[PartialAnswer]:
+        si, fi, nfast = 0, 0, len(ranked)
+        while si < len(slow_sorted) or fi < nfast:
+            if fi >= nfast or (
+                si < len(slow_sorted) and slow_keys[si] <= ranked.key(fi)
+            ):
+                yield slow_sorted[si]
+                si += 1
+            else:
+                yield ranked.materialize(fi, swept)
+                fi += 1
+
+    return _qualify(
+        engine, attachment, merged(), keywords, tau, k,
+        ctx.counters, cache, p["require_public_private"], ctx.budget,
+    )
+
+
+def step_acomplete_vectorized(ctx: PipelineContext) -> None:
+    """AComplete routed through the numpy kernels.
+
+    Part (a)'s per-keyword offset sweeps run as columns of one shared
+    kernel invocation (consulting the batch sweep memo first — the
+    paper's PKA lifted to the batch level); parts (a)-(c) then merge and
+    rank through the array fast path (:func:`_acomplete_fast`), which
+    materializes only the candidate prefix the qualification walk
+    visits.  When the fast path cannot run (repr collision, foreign
+    covers) the pure merge takes over with batched part-(b) probes
+    injected.  All kernels reproduce the pure tie-breaking exactly (see
+    :mod:`repro.core.vectorized`), so answers are bit-identical either
+    way.
+    """
+    p = ctx.params
+    plan = ctx.vectorized
+    if ctx.cache is None:
+        ctx.cache = CompletionCache(ctx.options.dp_completion)
+    keywords, tau = p["keywords"], p["tau"]
+    seeds_by_kw = _portal_sweep_seeds(
+        ctx.engine.public, ctx.attachment, ctx.state, keywords
+    )
+    seeded = [q for q in keywords if seeds_by_kw[q]]
+    covers = plan.sweeps([(seeds_by_kw[q], tau) for q in seeded], ctx.budget)
+    swept: Dict[Label, Dict[Vertex, Match]] = {q: {} for q in keywords}
+    for q, cover in zip(seeded, covers):
+        swept[q] = cover
+    answers = _acomplete_fast(ctx, swept)
+    if answers is None:
+        # Part (b)'s answer roots are known up front (partials + every
+        # swept vertex), so the public-side probes still batch into one
+        # kernel call per keyword instead of one scan per (root, keyword).
+        roots: Set[Vertex] = set(ctx.state)
+        for cover in swept.values():
+            roots.update(cover)
+        public = ctx.engine.public
+        pub_roots = [r for r in roots if r in public]
+        probed = {q: plan.runtime.probe_many(pub_roots, q) for q in keywords}
+
+        def probe(root: Vertex, q: Label) -> Tuple[float, Optional[Vertex]]:
+            return probed[q][root]
+
+        answers = _acomplete(
+            ctx.engine, ctx.attachment, ctx.state, keywords, tau,
+            p["k"], ctx.counters, ctx.cache, p["require_public_private"],
+            ctx.budget, swept=swept, public_probe=probe,
+        )
     ctx.counters.completion_lookups = ctx.cache.misses + ctx.cache.hits
     ctx.counters.completion_cache_hits = ctx.cache.hits
     answers.sort(key=RootedAnswer.sort_key)
@@ -448,7 +666,10 @@ BLINKS = register_semantics(SemanticsSpec(
     steps=(
         StepSpec("peval", step_peval),
         StepSpec("arefine", step_arefine),
-        StepSpec("acomplete", step_acomplete, step_acomplete_sharded),
+        StepSpec(
+            "acomplete", step_acomplete,
+            step_acomplete_sharded, step_acomplete_vectorized,
+        ),
     ),
     validate=validate_blinks_params,
     init=init_blinks_state,
@@ -460,6 +681,12 @@ BLINKS = register_semantics(SemanticsSpec(
     wire_params=rooted_wire_params,
     wire_payload=rooted_payload,
     wire_cache_params=rooted_cache_params,
+    baseline_m1=lambda g, keywords, tau, k: blinks_search(g, keywords, tau, k),
+    # M2 historically asks Blinks for every root and lets the caller
+    # truncate after the public-private filter (pinned by the M2 tests).
+    baseline_m2=lambda g, keywords, tau, k: blinks_search(
+        g, keywords, tau, g.num_vertices
+    ),
 ))
 
 

@@ -213,6 +213,52 @@ def _salvage(ctx: PipelineContext, step: str) -> KnkAnswer:
 
 
 # ----------------------------------------------------------------------
+# the vectorized AComplete (repro.core.vectorized numpy kernels)
+# ----------------------------------------------------------------------
+def _step_acomplete_vectorized(ctx: PipelineContext) -> None:
+    """AComplete with the portal probes batched through the numpy kernel.
+
+    One :meth:`CompletionCache.lookup_candidates_many` resolves every
+    portal's public top-k in a single kernel invocation with the serial
+    hit/miss accounting replicated, then the merge replays the serial
+    loop over the precomputed lists — ranking and counters are
+    bit-identical.  The kernel declines graphs whose vertex reprs
+    collide or whose candidate lists include private vertices; the step
+    then falls back to the serial body.
+    """
+    p = ctx.params
+    if ctx.cache is None:
+        ctx.cache = CompletionCache(ctx.options.dp_completion)
+    partial = ctx.state
+    keyword, k = p["keyword"], p["k"]
+    runtime = ctx.vectorized.runtime
+    lists = ctx.cache.lookup_candidates_many(
+        ctx.engine, [portal for portal, _ in partial.portal_entries],
+        keyword, k, runtime,
+    )
+    if lists is None:
+        _step_acomplete(ctx)
+        return
+    best: Dict[Vertex, float] = {}
+    for m in partial.answer.matches:
+        if m.vertex is not None and m.distance < best.get(m.vertex, INF):
+            best[m.vertex] = m.distance
+    for (portal, d), candidates in zip(partial.portal_entries, lists):
+        if ctx.budget is not None:
+            ctx.budget.checkpoint()
+        for witness, pub_d in candidates:
+            total = d + pub_d
+            if total < best.get(witness, INF):
+                best[witness] = total
+    ranked = sorted(best.items(), key=lambda item: (item[1], repr(item[0])))
+    final = KnkAnswer(partial.answer.source, keyword, [])
+    final.matches = [Match(v, d) for v, d in ranked[:k]]
+    ctx.answers = final
+    ctx.counters.completion_lookups = ctx.cache.misses + ctx.cache.hits
+    ctx.counters.completion_cache_hits = ctx.cache.hits
+
+
+# ----------------------------------------------------------------------
 # the sharded AComplete (repro.serving.shards fan-out)
 # ----------------------------------------------------------------------
 def _shard_task_knk_complete(
@@ -298,7 +344,10 @@ KNK = register_semantics(SemanticsSpec(
     steps=(
         StepSpec("peval", _step_peval),
         StepSpec("arefine", _step_arefine),
-        StepSpec("acomplete", _step_acomplete, _step_acomplete_sharded),
+        StepSpec(
+            "acomplete", _step_acomplete,
+            _step_acomplete_sharded, _step_acomplete_vectorized,
+        ),
     ),
     validate=_validate,
     init=_init,

@@ -30,9 +30,13 @@ catalogue.
 from repro.obs.hooks import (
     observe_answer_cache,
     observe_batch_cache,
+    observe_batch_request,
     observe_executor_queue,
     observe_executor_request,
     observe_pipeline,
+    observe_sweep_reuse,
+    observe_vectorized_fallback,
+    observe_vectorized_kernel,
 )
 from repro.obs.prometheus import render_prometheus
 from repro.obs.registry import (
@@ -55,9 +59,13 @@ __all__ = [
     "installed",
     "observe_answer_cache",
     "observe_batch_cache",
+    "observe_batch_request",
     "observe_executor_queue",
     "observe_executor_request",
     "observe_pipeline",
+    "observe_sweep_reuse",
+    "observe_vectorized_fallback",
+    "observe_vectorized_kernel",
     "render_prometheus",
     "uninstall",
 ]

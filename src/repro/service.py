@@ -128,12 +128,14 @@ from repro.exceptions import (
 from repro.faults.points import SERVICE_EXECUTE
 from repro.graph.frozen import freeze
 from repro.graph.labeled_graph import LabeledGraph
+from repro.core.vectorized import plan_for
 from repro.obs import (
     MetricsRegistry,
     QueryTrace,
     TraceRing,
     installed,
     observe_answer_cache,
+    observe_batch_request,
     render_prometheus,
 )
 from repro.serving import AnswerCache, RWLock
@@ -286,6 +288,12 @@ class OpSpec:
 #: budget knobs shared by every query op
 _BUDGET_FIELDS: Tuple[str, ...] = ("deadline_ms", "max_expansions")
 
+#: the step-body selector shared by every query op ("pure" /
+#: "vectorized" / "auto"); deliberately *not* part of the answer-cache
+#: key — answers are bit-identical across modes, so a cached entry is
+#: valid for any of them.
+_EXECUTION_FIELDS: Tuple[str, ...] = ("execution_mode",)
+
 
 def _query_op(spec: SemanticsSpec) -> OpSpec:
     """Build the wire op for one registered semantics.
@@ -303,7 +311,7 @@ def _query_op(spec: SemanticsSpec) -> OpSpec:
     return OpSpec(
         spec.name, handler,
         required=spec.wire_required,
-        optional=tuple(spec.wire_optional) + _BUDGET_FIELDS,
+        optional=tuple(spec.wire_optional) + _BUDGET_FIELDS + _EXECUTION_FIELDS,
         cacheable=True,
         cache_params=spec.wire_cache_params,
         summary=spec.summary,
@@ -1057,11 +1065,149 @@ class PPKWSService:
             spec.wire_params(request),
             budget=budget,
             shards=shards,
+            vectorized=plan_for(engine, request.get("execution_mode")),
         )
         self._stash(result, budget)
         out = _degradation_fields(result)
         out.update(spec.wire_payload(result))
         return out
+
+    def _op_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``{"op": "batch"}``: many query items, one admission slot.
+
+        ``queries`` is a list of per-item dicts shaped like the
+        individual query requests minus ``network`` / ``owner`` (the
+        batch supplies both; item-level values are overridden).  The
+        whole batch occupies one admission slot and runs under one
+        read lock; ``deadline_ms`` / ``max_expansions`` bound the *whole
+        batch* via :class:`~repro.core.batch.BatchBudget` even splitting.
+
+        Every item participates in the answer cache individually — a hit
+        skips execution (and does not consume batch budget) and carries
+        ``"cached": true``; stored entries are shared with the individual
+        query ops.  Items fail individually: a bad item yields an
+        ``{"status": "error", ...}`` entry and the rest of the batch
+        still runs.  All items execute through one
+        :class:`~repro.core.batch.BatchSession`, so they share a
+        completion cache and (vectorized) sweep memo.
+        """
+        from repro.core.batch import BatchBudget, BatchSession
+        from repro.core.vectorized import validate_execution_mode
+
+        network = request["network"]
+        queries = request["queries"]
+        if not isinstance(queries, list):
+            raise ReproError("field 'queries' must be a list of query dicts")
+        execution_mode = request.get("execution_mode")
+        if execution_mode is not None:
+            validate_execution_mode(execution_mode)
+        engine = self._engine(network)
+        session = BatchSession(
+            engine, request["owner"], execution_mode=execution_mode
+        )
+        budget_args = _budget_args(request)
+        batch = BatchBudget(
+            budget_args.get("deadline_ms"), budget_args.get("max_expansions")
+        )
+        ops = _current_ops()
+        cache = self._answer_cache
+        epoch = self.network_epoch(network)
+        results: List[Dict[str, Any]] = []
+        counts: Dict[str, int] = {}
+        for i, item in enumerate(queries):
+            entry = self._batch_item(
+                session, ops, i, item, batch, len(queries) - i, cache, epoch,
+                request,
+            )
+            results.append(entry)
+            status = str(entry.get("status", "error"))
+            counts[status] = counts.get(status, 0) + 1
+        observe_batch_request(counts)
+        return {"status": "ok", "results": results}
+
+    def _batch_item(
+        self,
+        session: Any,
+        ops: Dict[str, "OpSpec"],
+        index: int,
+        item: Any,
+        batch: Any,
+        items_left: int,
+        cache: Optional[AnswerCache],
+        epoch: int,
+        request: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """One batch item: cache lookup, execution, error isolation."""
+        try:
+            if not isinstance(item, dict):
+                raise ReproError(
+                    f"queries[{index}] must be a dict with an 'op' field"
+                )
+            item_op = item.get("op")
+            op_spec = ops.get(item_op)
+            if op_spec is None or not op_spec.cacheable:
+                # Only the generated query ops are batchable — admin /
+                # control ops inside a batch would dodge their locking.
+                valid = sorted(n for n, s in ops.items() if s.cacheable)
+                raise ReproError(
+                    f"queries[{index}]: op {item_op!r} is not a query op; "
+                    f"valid ops: {valid}"
+                )
+            item_request = dict(item)
+            item_request["network"] = request["network"]
+            item_request["owner"] = request["owner"]
+            for f in op_spec.required:
+                if f not in item_request:
+                    raise ReproError(f"queries[{index}]: missing field {f!r}")
+            for f in sorted((str(f) for f in item_request), key=str):
+                if f not in op_spec.known_fields | {"execution_mode"}:
+                    self._warn(f"queries[{index}]: unknown field {f!r}")
+            key = None
+            if cache is not None and not item_request.get("no_cache"):
+                key = self._cache_key(op_spec, item_request)
+            if key is not None:
+                try:
+                    hit = cache.lookup(key, epoch)
+                except FaultInjectedError:
+                    hit = None
+                observe_answer_cache(self._metrics_registry(), hit is not None)
+                if hit is not None:
+                    hit["cached"] = True
+                    return hit
+            sem_spec = semantics_spec(item_op)
+            slice_budget = batch.slice_for(items_left)
+            result = session.query(
+                item_op,
+                budget=slice_budget,
+                execution_mode=item_request.get("execution_mode"),
+                **sem_spec.wire_params(item_request),
+            )
+            batch.charge(slice_budget)
+            entry: Dict[str, Any] = _degradation_fields(result)
+            entry.update(sem_spec.wire_payload(result))
+            if key is not None and entry.get("status") == "ok":
+                try:
+                    cache.store(key, epoch, entry)
+                except FaultInjectedError:
+                    self._warn(
+                        f"queries[{index}]: answer cache store failed; "
+                        "response not cached"
+                    )
+            entry["cached"] = False
+            return entry
+        except (ReproError, KeyError, TypeError, ValueError,
+                AttributeError) as exc:
+            code = _error_code(exc)
+            if isinstance(exc, ReproError) and code != "internal":
+                message = str(exc) or repr(exc)
+            else:
+                message = f"{type(exc).__name__}: {exc}"
+            return {
+                "status": "error",
+                "error": message,
+                "code": code,
+                "retryable": getattr(exc, "retryable", False),
+            }
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         engine = self._engine(request["network"])
@@ -1181,6 +1327,15 @@ class PPKWSService:
                 "stats", _op_stats,
                 required=("network",), optional=("owner",),
                 summary="Network statistics, owners and cache epoch.",
+            ),
+            OpSpec(
+                "batch", _op_batch,
+                required=("network", "owner", "queries"),
+                optional=("deadline_ms", "max_expansions", "execution_mode"),
+                summary=(
+                    "Run many query items under one admission slot, with "
+                    "a whole-batch budget and per-item caching."
+                ),
             ),
             OpSpec(
                 "metrics", _op_metrics, mode="control",

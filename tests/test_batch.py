@@ -1,6 +1,13 @@
-"""Tests for batch sessions with persistent completion caches."""
+"""Tests for batch sessions with persistent completion caches.
+
+CI's ``batch-matrix`` job re-runs this whole file across graph backends
+(``REPRO_ENGINE_BACKEND``) and execution modes (``REPRO_EXECUTION_MODE``)
+— the answers-identical assertions below double as cross-mode gates.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -8,13 +15,16 @@ from repro.core import BatchSession, PPKWS
 from repro.datasets.queries import KeywordQuery, KnkQuery
 from repro.exceptions import QueryError
 
+_FREEZE = os.environ.get("REPRO_ENGINE_BACKEND", "frozen") != "dict"
+_MODE = os.environ.get("REPRO_EXECUTION_MODE")
+
 
 @pytest.fixture
 def session(small_public_private):
     pub, priv = small_public_private
-    engine = PPKWS(pub, sketch_k=4)
+    engine = PPKWS(pub, sketch_k=4, freeze=_FREEZE)
     engine.attach("bob", priv)
-    return BatchSession(engine, "bob"), engine
+    return BatchSession(engine, "bob", execution_mode=_MODE), engine
 
 
 class TestBatchSession:
@@ -59,6 +69,24 @@ class TestBatchSession:
         batch, _ = session
         with pytest.raises(QueryError):
             batch.run_keyword_queries("nope", [])
+
+    def test_run_keyword_queries_is_deprecated(self, session):
+        batch, _ = session
+        with pytest.warns(DeprecationWarning, match="run_queries"):
+            batch.run_keyword_queries(
+                "blinks", [KeywordQuery(("db", "ai"), 4.0)]
+            )
+
+    def test_run_queries_generic_parameter_dicts(self, session):
+        """The replacement API: any semantics, explicit parameter dicts."""
+        batch, engine = session
+        results = batch.run_queries(
+            "knk", [{"source": "x1", "keyword": "cv", "k": 3}]
+        )
+        direct = engine.knk("bob", "x1", "cv", 3)
+        assert results[0].answer.distances() == direct.answer.distances()
+        with pytest.raises(QueryError):
+            batch.run_queries("nope", [])
 
     def test_invalidate_clears_tables(self, session):
         batch, _ = session

@@ -278,8 +278,8 @@ class TestHelpOpShape:
         assert resp["ops"]["metrics"]["mode"] == "control"
         assert set(resp["ops"]) == {
             "blinks", "rclique", "banks", "knk", "knk_multi", "truss",
-            "stats", "metrics", "help", "health", "create_network",
-            "attach", "detach", "drop",
+            "batch", "stats", "metrics", "help", "health",
+            "create_network", "attach", "detach", "drop",
         }
         # Query ops are generated from the semantics registry: every
         # registered semantics appears, with its wire schema.
@@ -291,7 +291,8 @@ class TestHelpOpShape:
             assert entry["summary"] == spec.summary
             assert entry["required"] == list(spec.wire_required)
             assert entry["optional"] == (
-                list(spec.wire_optional) + ["deadline_ms", "max_expansions"]
+                list(spec.wire_optional)
+                + ["deadline_ms", "max_expansions", "execution_mode"]
             )
             assert entry["mode"] == "read"
             assert entry["cacheable"] is True
