@@ -11,10 +11,18 @@ motion does not show up as churn.
 Usage::
 
     python scripts/analysis_report.py OLD_REV NEW_REV [--format text|json]
+    python scripts/analysis_report.py --check-baseline analysis_baseline.json
+    python scripts/analysis_report.py --update-baseline analysis_baseline.json
 
 ``NEW_REV`` may be ``WORKTREE`` to compare against the working tree
 (including uncommitted changes).  Exit code 0 when nothing was
 introduced, 1 when the new revision has findings the old one did not.
+
+``--check-baseline`` is the CI ratchet: run the analyzer over the
+working tree and fail (exit 1) only on findings missing from the
+committed baseline; stale baseline entries (fixed findings still
+listed) are reported as a shrink reminder but do not fail the build.
+``--update-baseline`` rewrites the file from the current findings.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.analysis import analyze_paths  # noqa: E402
+from repro.analysis.baseline import BaselineError, load_baseline  # noqa: E402
 
 SCAN_ROOTS = ("src", "tests", "benchmarks")
 
@@ -78,12 +87,82 @@ def _render_section(title: str, keys: List[Key], lines: Dict[Key, int]) -> List[
     return out
 
 
+def _check_baseline(baseline_path: str) -> int:
+    """The CI ratchet: fail only on findings absent from the baseline."""
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = _findings_for_tree(REPO_ROOT)
+    introduced = [k for k in findings if k not in baseline]
+    stale = sorted(k for k in baseline if k not in findings)
+    tolerated = len(findings) - len(introduced)
+
+    for line in _render_section("new (not in baseline)", introduced, findings):
+        print(line)
+    print(f"baselined ({tolerated}) tolerated")
+    if stale:
+        print(f"stale baseline entries ({len(stale)}) — the ratchet should")
+        print(f"shrink: re-run with --update-baseline {baseline_path}")
+        for rule, path, message in stale:
+            print(f"  {path}: {rule} {message}")
+    return 1 if introduced else 0
+
+
+def _update_baseline(baseline_path: str) -> int:
+    """Rewrite the baseline file from the working tree's findings."""
+    findings = _findings_for_tree(REPO_ROOT)
+    doc = {
+        "version": 1,
+        "comment": (
+            "Known findings CI tolerates; key is (rule, path, message). "
+            "This file may only shrink — see README 'Static analysis & "
+            "typing'."
+        ),
+        "findings": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in sorted(findings)
+        ],
+    }
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("old_rev", help="baseline revision (e.g. origin/main)")
-    parser.add_argument("new_rev", help="candidate revision, or WORKTREE")
+    parser.add_argument(
+        "old_rev", nargs="?", help="baseline revision (e.g. origin/main)"
+    )
+    parser.add_argument("new_rev", nargs="?", help="candidate revision, or WORKTREE")
     parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--check-baseline",
+        metavar="FILE",
+        default=None,
+        help="ratchet mode: fail only on worktree findings absent from FILE",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="FILE",
+        default=None,
+        help="rewrite FILE from the worktree's current findings",
+    )
     opts = parser.parse_args(argv)
+
+    if opts.update_baseline is not None:
+        return _update_baseline(opts.update_baseline)
+    if opts.check_baseline is not None:
+        return _check_baseline(opts.check_baseline)
+    if opts.old_rev is None or opts.new_rev is None:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: OLD_REV and NEW_REV are required outside baseline modes",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         old = _findings_for_rev(opts.old_rev)

@@ -11,9 +11,16 @@ Each contract is a :class:`~repro.analysis.engine.Rule` with a stable
 ``RAxxx`` id; the engine parses every file once and dispatches the
 selected rules over the tree.
 
+On top of the per-file rules sits an interprocedural layer
+(:mod:`repro.analysis.summaries` + :mod:`repro.analysis.flow`): cheap
+per-function summaries feed a call-graph fixpoint powering lock-order
+cycle detection (RA009), blocking-under-lock (RA010), budget-taint
+(RA011) and vectorized-kernel purity (RA012).
+
 Run it as a module::
 
-    python -m repro.analysis [--format json] [--select RA001,RA005] paths...
+    python -m repro.analysis [--format json|sarif] [--select RA001,RA005] \
+        [--baseline analysis_baseline.json] paths...
 
 Findings can be suppressed per line with ``# ra: ignore[RA001]`` (or
 ``# ra: ignore`` for every rule) and per file with a
@@ -32,20 +39,26 @@ from repro.analysis.engine import (
     analyze_source,
     iter_python_files,
 )
+from repro.analysis.flow import ProjectFlow, build_flow
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.rules import ALL_RULES, rules_by_id
+from repro.analysis.summaries import FunctionSummary, summarize_module
 
 __all__ = [
     "ALL_RULES",
     "AnalysisResult",
     "FileContext",
     "Finding",
+    "FunctionSummary",
+    "ProjectFlow",
     "Rule",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "build_flow",
     "iter_python_files",
     "render_json",
     "render_text",
     "rules_by_id",
+    "summarize_module",
 ]

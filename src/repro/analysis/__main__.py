@@ -2,8 +2,14 @@
 
 Usage::
 
-    python -m repro.analysis [--format text|json] [--select RA001,RA004]
+    python -m repro.analysis [--format text|json|sarif]
+                             [--select RA001,RA004]
+                             [--baseline analysis_baseline.json]
                              [--list-rules] [--check-catalogue] paths...
+
+``--baseline`` tolerates the findings recorded in the given baseline
+file (keyed rule/path/message) and fails only on new ones; the summary
+reports how many were baselined.
 
 Exit status: 0 clean, 1 findings (or catalogue drift), 2 usage/IO error.
 """
@@ -16,8 +22,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis.baseline import BaselineError, load_baseline, new_findings
 from repro.analysis.engine import analyze_paths, iter_python_files
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules import ALL_RULES, rules_by_id
 
 _METRIC_LITERAL = re.compile(r'"(ppkws_[a-z0-9_]+)"')
@@ -76,12 +83,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="*", help="files or directories to analyze")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
     )
     parser.add_argument(
         "--select",
         default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="tolerate findings recorded in this baseline file; fail only "
+        "on new ones",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
@@ -116,8 +130,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     select = None
-    if args.select:
+    if args.select is not None:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
+        if not select:
+            # `--select ""` / `--select ,` used to silently run nothing
+            # and exit 0 — a typo that green-lights every violation.
+            print(
+                "error: --select given but no rule ids parsed "
+                "(expected e.g. --select RA001,RA004)",
+                file=sys.stderr,
+            )
+            return 2
         unknown = set(s.upper() for s in select) - set(rules_by_id())
         if unknown:
             print(
@@ -126,8 +149,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
 
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     result = analyze_paths(args.paths, select=select)
-    output = render_json(result) if args.fmt == "json" else render_text(result)
+    baselined = 0
+    if baseline is not None:
+        result.findings, baselined = new_findings(result, baseline)
+
+    if args.fmt == "json":
+        output = render_json(result)
+    elif args.fmt == "sarif":
+        output = render_sarif(result)
+    else:
+        output = render_text(result)
+        if baseline is not None:
+            output += f"\n{baselined} baselined finding(s) tolerated"
     print(output)
     if result.errors:
         return 2

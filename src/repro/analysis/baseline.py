@@ -1,0 +1,93 @@
+"""The findings baseline: ratchet noisy rules in without blocking CI.
+
+A baseline file records the findings that existed when a rule landed;
+CI then fails only on *new* findings (``--baseline`` on the CLI,
+``--check-baseline`` in ``scripts/analysis_report.py``).  Entries are
+keyed ``(rule, path, message)`` — deliberately not by line, matching
+the report script's diff key, so unrelated edits that shift a known
+finding do not break the build while any new instance of it does.
+
+The committed ``analysis_baseline.json`` may only shrink: fixing a
+baselined finding should delete its entry (``--update-baseline``
+rewrites the file from a clean run), never grow the list.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.engine import AnalysisResult, Finding
+
+__all__ = [
+    "BaselineError",
+    "finding_key",
+    "load_baseline",
+    "new_findings",
+    "render_baseline",
+]
+
+Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally wrong."""
+
+
+def finding_key(finding: Finding) -> Key:
+    """The line-insensitive identity used by the ratchet and the report."""
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: str) -> Set[Key]:
+    """Parse a baseline file into its key set."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    entries = doc.get("findings") if isinstance(doc, dict) else None
+    if not isinstance(entries, list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    keys: Set[Key] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or not {
+            "rule", "path", "message"
+        } <= set(entry):
+            raise BaselineError(
+                f"baseline {path}: each finding needs rule/path/message"
+            )
+        keys.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+    return keys
+
+
+def new_findings(
+    result: AnalysisResult, baseline: Set[Key]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (not-in-baseline, baselined-count)."""
+    fresh = [f for f in result.findings if finding_key(f) not in baseline]
+    return fresh, len(result.findings) - len(fresh)
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """Serialize findings into baseline-file form (stable ordering)."""
+    entries = sorted(
+        {finding_key(f) for f in findings}
+    )
+    doc = {
+        "version": 1,
+        "comment": (
+            "Known findings CI tolerates; key is (rule, path, message). "
+            "This file may only shrink — see README 'Static analysis & "
+            "typing'."
+        ),
+        "findings": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in entries
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -19,6 +19,26 @@ the marker text do not suppress anything).
 Fixture testing uses ``force=True``: scope predicates are bypassed so a
 rule can be exercised against ``tests/analysis_fixtures/*`` files that
 live outside its production scope.
+
+Flow rules
+----------
+A rule may set ``needs_flow = True`` to request the interprocedural
+context (:class:`repro.analysis.flow.ProjectFlow`).  ``analyze_paths``
+then runs in two phases — parse every file first, build one shared flow
+over all of them, then dispatch rules per file with ``ctx.flow`` set —
+so cross-file findings (lock-order cycles, transitive blocking) see the
+whole project while per-file suppression machinery keeps working.  In
+single-source mode (fixtures, ``analyze_source``) a one-file flow is
+built on demand.
+
+Suppression anchoring
+---------------------
+Directives and findings are both normalised through *line anchors*
+before matching: decorator lines map to their ``def`` line, and the
+continuation lines of a multi-line statement map to its first line.  A
+``# ra: ignore[...]`` above a decorated function therefore reaches the
+``def``-anchored finding, and an inline directive on the closing line of
+a multi-line call suppresses the finding anchored at its first line.
 """
 
 from __future__ import annotations
@@ -30,6 +50,7 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -39,6 +60,9 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.analysis.flow import ProjectFlow
 
 __all__ = [
     "AnalysisResult",
@@ -50,7 +74,9 @@ __all__ = [
     "analyze_paths",
     "analyze_source",
     "iter_python_files",
+    "line_anchors",
     "module_name_for",
+    "parse_context",
 ]
 
 #: Directory names never descended into when walking path arguments.
@@ -192,6 +218,8 @@ class FileContext:
     module: str
     lines: List[str]
     force: bool = False
+    #: interprocedural context, set when any active rule ``needs_flow``
+    flow: Optional["ProjectFlow"] = None
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -210,6 +238,8 @@ class Rule:
     id: str = "RA000"
     title: str = "unnamed rule"
     rationale: str = ""
+    #: request the interprocedural :class:`ProjectFlow` on ``ctx.flow``
+    needs_flow: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         return True
@@ -245,6 +275,108 @@ class AnalysisResult:
         return out
 
 
+#: simple statements whose continuation lines anchor to their first line
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+def line_anchors(tree: ast.Module) -> Dict[int, int]:
+    """Physical line -> the line findings and directives anchor to.
+
+    Three normalisations: continuation lines of a multi-line simple
+    statement map to its first line; decorator lines map to the ``def``
+    / ``class`` line they decorate; the (possibly multi-line) header of
+    a ``with`` statement maps to its first line.
+    """
+    anchors: Dict[int, int] = {}
+
+    def span(first: int, last: Optional[int], target: int) -> None:
+        if last is None or last < first:
+            last = first
+        for line in range(first, last + 1):
+            # First mapping wins: inner nodes are visited after their
+            # enclosing statement and must not re-anchor its lines.
+            anchors.setdefault(line, target)
+
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            for deco in node.decorator_list:
+                span(
+                    deco.lineno - 1,  # the ``@`` sits on the deco's line
+                    getattr(deco, "end_lineno", deco.lineno),
+                    node.lineno,
+                )
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            last = node.lineno
+            for item in node.items:
+                end = getattr(item.context_expr, "end_lineno", None)
+                if end is not None:
+                    last = max(last, end)
+            span(node.lineno, last, node.lineno)
+        elif isinstance(node, _SIMPLE_STMTS):
+            span(node.lineno, getattr(node, "end_lineno", None), node.lineno)
+    return anchors
+
+
+def _needs_flow(rules: Sequence[Rule], ctx: FileContext) -> bool:
+    return any(
+        rule.needs_flow and (ctx.force or rule.applies_to(ctx))
+        for rule in rules
+    )
+
+
+def _check_context(
+    ctx: FileContext, rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    """Dispatch rules over one parsed file and apply suppressions."""
+    raw: List[Finding] = []
+    for rule in rules:
+        if ctx.force or rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    if not raw:
+        return [], 0
+    suppressions = parse_suppressions(ctx.source)
+    anchors = line_anchors(ctx.tree)
+    if suppressions.line_rules:
+        merged: Dict[int, FrozenSet[str]] = {}
+        for target, rule_ids in suppressions.line_rules.items():
+            key = anchors.get(target, target)
+            merged[key] = merged.get(key, frozenset()) | rule_ids
+        suppressions.line_rules = merged
+    kept = [
+        f
+        for f in raw
+        if not suppressions.is_suppressed(f.rule, anchors.get(f.line, f.line))
+    ]
+    return sorted(kept), len(raw) - len(kept)
+
+
+def parse_context(source: str, path: str, force: bool = False) -> FileContext:
+    """Parse one source blob into a rule-ready :class:`FileContext`."""
+    return FileContext(
+        path=path,
+        source=source,
+        tree=ast.parse(source, filename=path),
+        module=module_name_for(path),
+        lines=source.splitlines(),
+        force=force,
+    )
+
+
 def analyze_source(
     source: str,
     path: str,
@@ -252,24 +384,12 @@ def analyze_source(
     force: bool = False,
 ) -> Tuple[List[Finding], int]:
     """Run ``rules`` over one source blob; returns (findings, suppressed)."""
-    tree = ast.parse(source, filename=path)
-    ctx = FileContext(
-        path=path,
-        source=source,
-        tree=tree,
-        module=module_name_for(path),
-        lines=source.splitlines(),
-        force=force,
-    )
-    raw: List[Finding] = []
-    for rule in rules:
-        if force or rule.applies_to(ctx):
-            raw.extend(rule.check(ctx))
-    if not raw:
-        return [], 0
-    suppressions = parse_suppressions(source)
-    kept = [f for f in raw if not suppressions.is_suppressed(f.rule, f.line)]
-    return sorted(kept), len(raw) - len(kept)
+    ctx = parse_context(source, path, force=force)
+    if _needs_flow(rules, ctx):
+        from repro.analysis.flow import build_flow
+
+        ctx.flow = build_flow([ctx])
+    return _check_context(ctx, rules)
 
 
 def analyze_file(
@@ -327,13 +447,27 @@ def analyze_paths(
             raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
         active = [r for r in active if r.id in wanted]
 
+    # Phase 1: parse everything.  Flow rules need the whole project in
+    # hand before the first per-file check runs.
     result = AnalysisResult()
+    contexts: List[FileContext] = []
     for file_path in iter_python_files(paths):
         try:
-            findings, suppressed = analyze_file(file_path, active, force=force)
+            source = Path(file_path).read_text(encoding="utf-8")
+            contexts.append(parse_context(source, file_path, force=force))
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             result.errors.append(f"{file_path}: {exc}")
-            continue
+
+    # Phase 2: one shared interprocedural context, if any rule wants it.
+    if any(_needs_flow(active, ctx) for ctx in contexts):
+        from repro.analysis.flow import build_flow
+
+        flow = build_flow(contexts)
+        for ctx in contexts:
+            ctx.flow = flow
+
+    for ctx in contexts:
+        findings, suppressed = _check_context(ctx, active)
         result.files_checked += 1
         result.findings.extend(findings)
         result.suppressed += suppressed

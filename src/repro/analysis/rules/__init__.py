@@ -16,6 +16,12 @@ from repro.analysis.rules.budget import BudgetDisciplineRule
 from repro.analysis.rules.clock import MonotonicClockRule
 from repro.analysis.rules.engine_steps import EngineStepDisciplineRule
 from repro.analysis.rules.faults import FaultPointLiteralRule
+from repro.analysis.rules.flow_budget import BudgetTaintRule
+from repro.analysis.rules.flow_locks import (
+    BlockingUnderLockRule,
+    LockOrderCycleRule,
+)
+from repro.analysis.rules.flow_purity import VectorizedPurityRule
 from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.metrics import MetricCatalogueRule
 from repro.analysis.rules.taxonomy import ExceptionTaxonomyRule
@@ -31,6 +37,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     MonotonicClockRule(),
     FaultPointLiteralRule(),
     EngineStepDisciplineRule(),
+    LockOrderCycleRule(),
+    BlockingUnderLockRule(),
+    BudgetTaintRule(),
+    VectorizedPurityRule(),
 )
 
 

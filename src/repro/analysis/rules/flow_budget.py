@@ -1,0 +1,86 @@
+"""RA011: budget-taint — the deadline must follow the traversal.
+
+The syntactic RA004 rule checks that a function *containing* an
+expanding loop consults its budget; it cannot see a caller that holds a
+:class:`QueryBudget` and hands work to an expanding helper *without
+threading the budget through* — the helper then runs unbounded while
+the caller believes the deadline is enforced.
+
+RA011 closes that hole interprocedurally: if a function takes a
+``budget`` parameter and calls a project function that (a) also accepts
+``budget`` and (b) transitively performs a vertex-expanding traversal
+(the shared RA004 heuristic: ``heappop`` / ``neighbor_items`` /
+``neighbors`` inside a loop), the call must forward a budget-carrying
+argument — positionally (any name/attribute containing ``budget``), by
+keyword, or via ``**kwargs``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.flow import ProjectFlow
+
+__all__ = ["BudgetTaintRule"]
+
+
+class BudgetTaintRule(Rule):
+    id = "RA011"
+    title = "budget-carrying callers must thread the budget to expanding callees"
+    rationale = (
+        "An expanding traversal reached from a budget-carrying entry "
+        "point without the budget is an unbounded query hiding behind a "
+        "bounded signature."
+    )
+    needs_flow = True
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro.")
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        flow = ctx.flow
+        if flow is None:
+            return []
+        findings = flow.rule_cache.get(self.id)
+        if findings is None:
+            findings = self._compute(flow)
+            flow.rule_cache[self.id] = findings
+        return [f for f in findings if f.path == ctx.path]
+
+    def _compute(self, flow: ProjectFlow) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, int, str]] = set()
+        for key in sorted(flow.functions):
+            fn = flow.functions[key]
+            if not fn.has_budget_param:
+                continue
+            for call in fn.calls:
+                if call.passes_budget:
+                    continue
+                for callee in flow.resolve(fn, call):
+                    if callee.key == fn.key:
+                        continue
+                    if not callee.has_budget_param:
+                        continue
+                    if not flow.expands(callee.key):
+                        continue
+                    dedup = (call.site.path, call.site.line, callee.qualname)
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    findings.append(
+                        Finding(
+                            path=call.site.path,
+                            line=call.site.line,
+                            col=call.site.col,
+                            rule=self.id,
+                            message=(
+                                f"{fn.qualname} holds a budget but calls "
+                                f"expanding {callee.qualname} without "
+                                "threading it (pass budget=...)"
+                            ),
+                        )
+                    )
+                    break
+        return findings

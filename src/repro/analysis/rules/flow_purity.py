@@ -1,0 +1,73 @@
+"""RA012: purity drift — vectorized kernels stay bit-identical.
+
+The batch/vectorized execution mode is contractually bit-identical to
+the pure per-query path (the ``batch-matrix`` CI job pins this at
+runtime).  That contract dies quietly if a kernel in
+``repro.core.vectorized`` starts consulting an RNG, reading a clock, or
+mutating shared engine state — the equivalence suite only catches the
+drift for the inputs it happens to run.
+
+RA012 enforces the contract statically and *transitively*: no function
+defined in ``repro.core.vectorized`` may reach — directly or through
+any resolvable call chain — an RNG draw, a wall/monotonic clock read, a
+``global`` statement, or an attribute write through an ``engine`` /
+``service`` reference.  Findings anchor at the offending site (or the
+call site whose callee reaches one), so the witness is always in the
+kernel file itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["VectorizedPurityRule"]
+
+_SCOPE = "repro.core.vectorized"
+
+
+class VectorizedPurityRule(Rule):
+    id = "RA012"
+    title = "vectorized kernels must not reach RNG/clock/shared-state mutation"
+    rationale = (
+        "The vectorized==pure bit-identity contract (batch-matrix CI) "
+        "only survives if kernels are deterministic pure functions of "
+        "their inputs."
+    )
+    needs_flow = True
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith(_SCOPE)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        flow = ctx.flow
+        if flow is None:
+            return []
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, int, str]] = set()
+        for key in sorted(flow.functions):
+            fn = flow.functions[key]
+            if fn.site.path != ctx.path:
+                continue
+            witness = flow.impure_witness(fn.key)
+            if witness is None:
+                continue
+            site, description = witness
+            dedup = (site.path, site.line, description)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            findings.append(
+                Finding(
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.id,
+                    message=(
+                        f"vectorized kernel {fn.qualname} is impure: "
+                        f"{description}"
+                    ),
+                )
+            )
+        return findings

@@ -877,6 +877,10 @@ def runtime_for(engine: Any) -> Optional[VectorizedRuntime]:
     if isinstance(cached, VectorizedRuntime):
         return cached
     if not _NUMPY or not isinstance(engine.public, FrozenGraph):
+        # Deliberate engine mutation: `_vectorized_runtime` is a
+        # write-once memo slot derived purely from the frozen public
+        # graph, so caching it on the engine cannot perturb answers.
+        # ra: ignore[RA012]
         engine._vectorized_runtime = _UNSUPPORTED
         return None
     runtime = VectorizedRuntime(engine)
@@ -906,6 +910,8 @@ def plan_for(
     validate_execution_mode(mode)
     if mode == "pure":
         return None
+    # runtime_for's only "impurity" is the write-once memo slot
+    # justified at its definition site.  # ra: ignore[RA012]
     runtime = runtime_for(engine)
     if runtime is None:
         if mode == "vectorized":

@@ -426,6 +426,10 @@ class PPKWSService:
         #: the lock serializing enable/disable against each other
         self._shard_pool: Optional[ShardServingPool] = None
         self._shard_lock = threading.Lock()
+        #: True while an enable_sharding is constructing its pool
+        #: outside the lock — the reservation that keeps a concurrent
+        #: enable exact without holding _shard_lock across process spawn
+        self._shard_reserved = False
 
     def _metrics_registry(self) -> Optional[MetricsRegistry]:
         """The effective registry: constructor-injected, else installed."""
@@ -691,13 +695,26 @@ class PPKWSService:
         process's GIL) and admin ops are broadcast to keep the replicas
         current.  Returns the pool (also at :attr:`shard_pool`).
         """
+        # Reserve under the lock, construct outside it: the pool spawns
+        # worker processes and waits for their handshakes (up to 60s),
+        # and holding _shard_lock across that would convoy every
+        # concurrent enable/disable/health probe behind process startup
+        # (found by RA010).  The reservation keeps double-enable exact.
         with self._shard_lock:
-            if self._shard_pool is not None:
+            if self._shard_pool is not None or self._shard_reserved:
                 raise ReproError("sharding is already enabled")
+            self._shard_reserved = True
+        try:
             pool = ShardServingPool(
                 shards, registry=self._metrics_registry()
             )
+        except BaseException:
+            with self._shard_lock:
+                self._shard_reserved = False
+            raise
+        with self._shard_lock:
             self._shard_pool = pool
+            self._shard_reserved = False
         # Replicate the networks that predate the pool.  The pool is
         # published *first* so concurrent admin ops broadcast on their
         # own; each network's write lock serializes this loop against

@@ -1,0 +1,28 @@
+"""RA009 bad fixture: two locks acquired in conflicting orders.
+
+``forward`` nests a->b lexically; ``backward`` holds b and reaches a
+through a call hop, so the reverse edge only exists interprocedurally —
+exactly the shape the syntactic RA001 rule cannot see.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+        self.value = 0
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                return self.value
+
+    def backward(self):
+        with self._b_lock:
+            return self._grab_a()
+
+    def _grab_a(self):
+        with self._a_lock:
+            return self.value

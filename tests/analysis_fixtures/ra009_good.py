@@ -1,0 +1,41 @@
+"""RA009 good fixture: every path agrees on the a-before-b order.
+
+Also exercises the same-token exemption: nesting two members of one
+per-object lock family (``x._node_lock`` inside ``y._node_lock``) is
+not a cycle — token identity cannot distinguish instances, so the
+analysis must not self-report re-entrant families.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+        self.value = 0
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                return self.value
+
+    def also_forward(self):
+        with self._a_lock:
+            return self._grab_b()
+
+    def _grab_b(self):
+        with self._b_lock:
+            return self.value
+
+
+class Node:
+    def __init__(self):
+        self._node_lock = threading.Lock()
+        self.weight = 1
+
+
+def link(x, y):
+    with x._node_lock:
+        with y._node_lock:
+            return x.weight + y.weight

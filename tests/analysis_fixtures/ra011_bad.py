@@ -1,0 +1,30 @@
+"""RA011 bad fixture: a budget-carrying caller drops the budget.
+
+``expand`` checkpoints its budget (RA004-clean) — but ``answer`` calls
+it without threading its own budget through, so the traversal runs
+unbounded while the caller's signature promises a deadline.
+"""
+
+import heapq
+
+
+def expand(graph, frontier, budget=None):
+    seen = set()
+    while frontier:
+        if budget is not None:
+            budget.checkpoint()
+        _, v = heapq.heappop(frontier)
+        if v in seen:
+            continue
+        seen.add(v)
+        for nbr, w in graph.neighbor_items(v):
+            if nbr not in seen:
+                heapq.heappush(frontier, (w, nbr))
+    return seen
+
+
+def answer(graph, sources, budget=None):
+    out = []
+    for source in sources:
+        out.append(expand(graph, [(0.0, source)]))
+    return out

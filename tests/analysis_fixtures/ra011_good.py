@@ -1,0 +1,43 @@
+"""RA011 good fixture: the budget follows the traversal.
+
+Threading by keyword, positionally (any budget-named argument counts)
+and from an attribute all satisfy the rule.
+"""
+
+import heapq
+
+
+def expand(graph, frontier, budget=None):
+    seen = set()
+    while frontier:
+        if budget is not None:
+            budget.checkpoint()
+        _, v = heapq.heappop(frontier)
+        if v in seen:
+            continue
+        seen.add(v)
+        for nbr, w in graph.neighbor_items(v):
+            if nbr not in seen:
+                heapq.heappush(frontier, (w, nbr))
+    return seen
+
+
+def answer(graph, sources, budget=None):
+    out = []
+    for source in sources:
+        out.append(expand(graph, [(0.0, source)], budget=budget))
+    return out
+
+
+def answer_positional(graph, sources, budget=None):
+    return [expand(graph, [(0.0, s)], budget) for s in sources]
+
+
+class Session:
+    def __init__(self, budget=None):
+        self._budget = budget
+
+    def answer(self, graph, sources, budget=None):
+        return [
+            expand(graph, [(0.0, s)], budget=self._budget) for s in sources
+        ]

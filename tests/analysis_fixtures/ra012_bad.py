@@ -1,0 +1,26 @@
+"""RA012 bad fixture: impure vectorized kernels.
+
+RNG, wall clock, shared-engine mutation — directly and one call hop
+away (``top_k`` is impure only because ``jitter_scores`` is).
+"""
+
+import random
+import time
+
+
+def jitter_scores(scores):
+    return [s + random.random() for s in scores]
+
+
+def stamp_rows(rows):
+    now = time.time()
+    return [(now, row) for row in rows]
+
+
+def memoize_plan(engine, plan):
+    engine._plan_cache = plan
+    return plan
+
+
+def top_k(scores, k):
+    return sorted(jitter_scores(scores), reverse=True)[:k]

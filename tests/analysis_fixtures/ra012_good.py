@@ -1,0 +1,26 @@
+"""RA012 good fixture: kernels are pure functions of their inputs.
+
+Local mutation, own-object state and deterministic arithmetic are all
+fine; only RNG/clock/shared-engine state is banned.
+"""
+
+
+def scale_scores(scores, factor):
+    out = []
+    for s in scores:
+        out.append(s * factor)
+    return out
+
+
+def top_k(scores, k):
+    return sorted(scale_scores(scores, 2.0), reverse=True)[:k]
+
+
+class SweepState:
+    def __init__(self, width):
+        self.width = width
+        self.rows = []
+
+    def push(self, row):
+        self.rows.append(row)
+        return len(self.rows)

@@ -33,6 +33,7 @@ FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
 
 RULE_IDS = (
     "RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008",
+    "RA009", "RA010", "RA011", "RA012",
 )
 
 

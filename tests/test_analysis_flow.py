@@ -1,0 +1,503 @@
+"""Tests for the interprocedural layer (summaries, flow, RA009-RA012).
+
+Complements ``tests/test_analysis.py`` (which runs the good/bad fixture
+pairs for every rule): this module unit-tests the summary extractor and
+the fixpoints directly, pins the suppression anchor edge cases the flow
+rules rely on, and covers the new CLI surface (SARIF, ``--baseline``,
+empty ``--select``) plus the baseline ratchet script modes.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source, build_flow
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import (
+    BaselineError,
+    finding_key,
+    load_baseline,
+    new_findings,
+    render_baseline,
+)
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    line_anchors,
+    parse_context,
+)
+from repro.analysis.rules import rules_by_id
+from repro.analysis.rules.flow_locks import BLOCKING_ALLOWLIST
+from repro.analysis.summaries import summarize_module
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+def _summaries(source: str, path: str = "src/repro/fake.py"):
+    module = summarize_module(parse_context(source, path))
+    return {fn.qualname: fn for fn in module.functions}
+
+
+def _flow(source: str, path: str = "src/repro/fake.py"):
+    return build_flow([parse_context(source, path)])
+
+
+# ----------------------------------------------------------------------
+# per-function summaries
+# ----------------------------------------------------------------------
+class TestSummaries:
+    def test_lock_tokens_are_class_qualified(self):
+        fns = _summaries(
+            "import threading\n\n\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def get(self):\n"
+            "        with self._lock:\n"
+            "            return 1\n"
+        )
+        locks = fns["Cache.get"].locks
+        assert [lu.token for lu in locks] == ["Cache._lock"]
+        assert locks[0].exclusive
+
+    def test_rwlock_sides_get_mode_suffixes(self):
+        fns = _summaries(
+            "class Svc:\n"
+            "    def read(self):\n"
+            "        with self._net_lock.read_locked():\n"
+            "            return 1\n\n"
+            "    def write(self):\n"
+            "        with self._net_lock.write_locked():\n"
+            "            return 2\n"
+        )
+        read = fns["Svc.read"].locks[0]
+        write = fns["Svc.write"].locks[0]
+        assert read.token == "Svc._net_lock:read" and not read.exclusive
+        assert write.token == "Svc._net_lock:write" and write.exclusive
+
+    def test_rwlock_factory_call_chain_resolves(self):
+        # The shape service.py uses: a per-network lock factory.
+        fns = _summaries(
+            "class Svc:\n"
+            "    def write(self, name):\n"
+            "        with self._network_lock(name).write_locked():\n"
+            "            return 1\n"
+        )
+        assert fns["Svc.write"].locks[0].token == "Svc._network_lock:write"
+
+    def test_held_set_tracks_nesting(self):
+        fns = _summaries(
+            "class S:\n"
+            "    def f(self):\n"
+            "        with self._a_lock:\n"
+            "            with self._b_lock:\n"
+            "                pass\n"
+        )
+        by_token = {lu.token: lu for lu in fns["S.f"].locks}
+        assert by_token["S._a_lock"].held == frozenset()
+        assert by_token["S._b_lock"].held == frozenset({"S._a_lock"})
+
+    def test_blocking_catalogue_records_held_locks(self):
+        fns = _summaries(
+            "import copy\nimport threading\n\n\n"
+            "class C:\n"
+            "    def f(self, x):\n"
+            "        with self._lock:\n"
+            "            return copy.deepcopy(x)\n"
+        )
+        op = fns["C.f"].blocking[0]
+        assert op.kind == "deepcopy"
+        assert op.held == frozenset({"C._lock"})
+
+    def test_condvar_wait_under_its_own_lock_is_not_blocking(self):
+        fns = _summaries(
+            "class RW:\n"
+            "    def acquire(self):\n"
+            "        with self._cond:\n"
+            "            self._cond.wait()\n"
+        )
+        assert fns["RW.acquire"].blocking == []
+
+    def test_wait_on_foreign_object_is_blocking(self):
+        fns = _summaries(
+            "class P:\n"
+            "    def join(self, worker):\n"
+            "        worker.done.wait()\n"
+        )
+        assert [op.kind for op in fns["P.join"].blocking] == ["wait"]
+
+    def test_budget_param_and_forwarding_detected(self):
+        fns = _summaries(
+            "def outer(graph, budget=None):\n"
+            "    inner(graph, budget=budget)\n"
+            "    inner(graph, budget)\n"
+            "    inner(graph)\n\n\n"
+            "def inner(graph, budget=None):\n"
+            "    return graph\n"
+        )
+        outer = fns["outer"]
+        assert outer.has_budget_param
+        assert [c.passes_budget for c in outer.calls] == [True, True, False]
+
+    def test_nested_def_does_not_inherit_held_locks(self):
+        fns = _summaries(
+            "import copy\n\n\n"
+            "class C:\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            def callback(x):\n"
+            "                return copy.deepcopy(x)\n"
+            "            return callback\n"
+        )
+        nested = fns["C.f.<locals>.callback"]
+        assert nested.blocking[0].held == frozenset()
+
+    def test_expansion_heuristic_matches_ra004(self):
+        fns = _summaries(
+            "import heapq\n\n\n"
+            "def sweep(frontier):\n"
+            "    while frontier:\n"
+            "        heapq.heappop(frontier)\n\n\n"
+            "def flat(items):\n"
+            "    return [i for i in items]\n"
+        )
+        assert fns["sweep"].expands
+        assert not fns["flat"].expands
+
+
+# ----------------------------------------------------------------------
+# the fixpoints
+# ----------------------------------------------------------------------
+class TestProjectFlow:
+    def test_acquired_tokens_are_transitive(self):
+        flow = _flow(
+            "class S:\n"
+            "    def a(self):\n"
+            "        with self._a_lock:\n"
+            "            return self.b()\n\n"
+            "    def b(self):\n"
+            "        with self._b_lock:\n"
+            "            return 1\n"
+        )
+        (key_a,) = [k for k in flow.functions if k[1] == "S.a"]
+        assert set(flow.acquired_tokens(key_a)) == {"S._a_lock", "S._b_lock"}
+
+    def test_block_reason_reports_the_chain(self):
+        flow = _flow(
+            "class J:\n"
+            "    def outer(self):\n"
+            "        return self.middle()\n\n"
+            "    def middle(self):\n"
+            "        return self.leaf()\n\n"
+            "    def leaf(self):\n"
+            "        with open('x') as fh:\n"
+            "            return fh.read()\n"
+        )
+        (key,) = [k for k in flow.functions if k[1] == "J.outer"]
+        chain = flow.block_reason(key)
+        assert chain is not None
+        assert chain[:2] == ("J.middle", "J.leaf")
+        assert "file-io" in chain[-1]
+
+    def test_recursion_terminates(self):
+        flow = _flow(
+            "def ping(n):\n"
+            "    return pong(n - 1)\n\n\n"
+            "def pong(n):\n"
+            "    return ping(n - 1)\n"
+        )
+        for key in flow.functions:
+            assert flow.block_reason(key) is None
+            assert flow.acquired_tokens(key) == {}
+
+    def test_cross_file_cycle_detected(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "alpha.py").write_text(
+            "class A:\n"
+            "    def fwd(self, other):\n"
+            "        with self._a_lock:\n"
+            "            other.take_b_then_a(self)\n\n"
+            "    def grab_a(self):\n"
+            "        with self._a_lock:\n"
+            "            return 1\n",
+            encoding="utf-8",
+        )
+        (pkg / "beta.py").write_text(
+            "class B:\n"
+            "    def take_b_then_a(self, a):\n"
+            "        with self._b_lock:\n"
+            "            a.grab_a()\n",
+            encoding="utf-8",
+        )
+        result = analyze_paths([str(pkg)], select=["RA009"])
+        assert any(f.rule == "RA009" for f in result.findings)
+
+    def test_allowlisted_lock_is_not_flagged(self):
+        token = "ShardServingPool._log_lock"
+        assert token in BLOCKING_ALLOWLIST  # the catalogue entry under test
+        findings, _ = analyze_source(
+            "import threading\n\n\n"
+            "class ShardServingPool:\n"
+            "    def _broadcast(self, conn, msg):\n"
+            "        with self._log_lock:\n"
+            "            conn.send(msg)\n"
+            "            return conn.recv()\n",
+            "src/repro/fake_pool.py",
+            [rules_by_id()["RA010"]],
+            force=True,
+        )
+        assert findings == []
+
+    def test_read_lock_is_exempt_write_lock_is_not(self):
+        src = (
+            "import copy\n\n\n"
+            "class S:\n"
+            "    def read(self, x):\n"
+            "        with self._my_lock.read_locked():\n"
+            "            return copy.deepcopy(x)\n\n"
+            "    def write(self, x):\n"
+            "        with self._my_lock.write_locked():\n"
+            "            return copy.deepcopy(x)\n"
+        )
+        findings, _ = analyze_source(
+            src, "src/repro/fake_rw.py", [rules_by_id()["RA010"]], force=True
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 11  # the write-side deepcopy only
+        assert "S._my_lock" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# suppression anchor edge cases
+# ----------------------------------------------------------------------
+class _DefAnchoredRule(Rule):
+    """Flags every function at its ``def`` line (anchor-mapping probe)."""
+
+    id = "RA998"
+    title = "test rule"
+    rationale = "test"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "flagged":
+                yield self.finding(ctx, node, f"def {node.name}")
+
+
+class _AssignAnchoredRule(Rule):
+    """Flags every assignment at its first line."""
+
+    id = "RA997"
+    title = "test rule"
+    rationale = "test"
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                yield self.finding(ctx, node, "assign")
+
+
+class TestSuppressionAnchors:
+    def test_ignore_above_decorated_def_reaches_the_def(self):
+        src = (
+            "def deco(f):\n"
+            "    return f\n\n\n"
+            "# justified: exercised by the anchor test\n"
+            "# ra: ignore[RA998]\n"
+            "@deco\n"
+            "def flagged():\n"
+            "    return 1\n"
+        )
+        findings, suppressed = analyze_source(
+            src, "src/repro/fake.py", [_DefAnchoredRule()], force=True
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_inline_ignore_on_decorator_line_reaches_the_def(self):
+        src = (
+            "def deco(f):\n"
+            "    return f\n\n\n"
+            "@deco  # ra: ignore[RA998]\n"
+            "def flagged():\n"
+            "    return 1\n"
+        )
+        findings, _ = analyze_source(
+            src, "src/repro/fake.py", [_DefAnchoredRule()], force=True
+        )
+        assert findings == []
+
+    def test_inline_ignore_on_last_line_of_multiline_statement(self):
+        src = (
+            "def call(*a):\n"
+            "    return a\n\n\n"
+            "x = call(\n"
+            "    1,\n"
+            "    2,\n"
+            ")  # ra: ignore[RA997]\n"
+        )
+        findings, suppressed = analyze_source(
+            src, "src/repro/fake.py", [_AssignAnchoredRule()], force=True
+        )
+        assert findings == []
+        assert suppressed == 1
+
+    def test_wrong_rule_on_decorated_def_still_fires(self):
+        src = (
+            "def deco(f):\n"
+            "    return f\n\n\n"
+            "# ra: ignore[RA997]\n"
+            "@deco\n"
+            "def flagged():\n"
+            "    return 1\n"
+        )
+        findings, _ = analyze_source(
+            src, "src/repro/fake.py", [_DefAnchoredRule()], force=True
+        )
+        assert len(findings) == 1
+
+    def test_ignore_file_interacts_with_select(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        target = pkg / "clocky.py"
+        target.write_text(
+            "# ra: ignore-file[RA006]\n"
+            "import time\n\n\n"
+            "def now():\n"
+            "    return time.time()\n",
+            encoding="utf-8",
+        )
+        # Selecting the suppressed rule: nothing escapes, one suppressed.
+        result = analyze_paths([str(target)], select=["RA006"])
+        assert result.findings == []
+        assert result.suppressed == 1
+        # Selecting an unrelated rule: the file-level directive for
+        # RA006 must not swallow other rules' findings.
+        result = analyze_paths([str(target)], select=["RA001"])
+        assert result.suppressed == 0
+
+    def test_line_anchor_table_shapes(self):
+        tree = ast.parse(
+            "@deco\n"
+            "def f():\n"
+            "    x = (1 +\n"
+            "         2)\n"
+            "    with (\n"
+            "        lock\n"
+            "    ):\n"
+            "        pass\n"
+        )
+        anchors = line_anchors(tree)
+        assert anchors[1] == 2  # decorator -> def
+        assert anchors[4] == 3  # continuation -> statement start
+        assert anchors[6] == 5  # with header -> with line
+
+
+# ----------------------------------------------------------------------
+# baseline machinery
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def _finding(self, message="m"):
+        return Finding(
+            path="src/repro/x.py", line=3, col=1, rule="RA010", message=message
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline([self._finding()]), encoding="utf-8")
+        keys = load_baseline(str(path))
+        assert keys == {finding_key(self._finding())}
+
+    def test_new_findings_split(self, tmp_path):
+        from repro.analysis.engine import AnalysisResult
+
+        known = self._finding("known")
+        fresh = self._finding("fresh")
+        result = AnalysisResult(findings=[known, fresh])
+        out, baselined = new_findings(result, {finding_key(known)})
+        assert out == [fresh]
+        assert baselined == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(str(path))
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(str(path))
+
+    def test_committed_baseline_is_empty_and_loadable(self):
+        keys = load_baseline(str(REPO_ROOT / "analysis_baseline.json"))
+        assert keys == set()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def bad_clock_module(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    target = pkg / "bad_clock.py"
+    target.write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+class TestCliFlow:
+    def test_empty_select_is_usage_error(self, capsys):
+        assert main(["--select", ",", "src"]) == 2
+        assert "no rule ids parsed" in capsys.readouterr().err
+
+    def test_sarif_format(self, capsys, bad_clock_module):
+        rc = main(["--format", "sarif", str(bad_clock_module)])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert any(r["id"] == "RA009" for r in run["tool"]["driver"]["rules"])
+        (result,) = run["results"]
+        assert result["ruleId"] == "RA006"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 5
+
+    def test_baseline_tolerates_known_findings(
+        self, capsys, tmp_path, bad_clock_module
+    ):
+        rc = main([str(bad_clock_module)])
+        assert rc == 1
+        capsys.readouterr()
+        # Baseline the finding, then the same run exits clean.
+        result = analyze_paths([str(bad_clock_module)])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            render_baseline(result.findings), encoding="utf-8"
+        )
+        rc = main(["--baseline", str(baseline), str(bad_clock_module)])
+        assert rc == 0
+        assert "1 baselined finding(s) tolerated" in capsys.readouterr().out
+
+    def test_unreadable_baseline_is_usage_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["--baseline", str(missing), "src"]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_select_flow_rules_over_tree_is_clean(self):
+        rc = main(
+            [
+                "--select",
+                "RA009,RA010,RA011,RA012",
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        assert rc == 0

@@ -394,3 +394,99 @@ class TestProcessModeExecutor:
 
         with pytest.raises(ValueError):
             ServiceExecutor(make_service(), workers=1, mode="fiber")
+
+
+# ----------------------------------------------------------------------
+# regression: enable_sharding must not spawn workers under _shard_lock
+# ----------------------------------------------------------------------
+class _RecordingPool:
+    """Stands in for ShardServingPool; records lock state at construction."""
+
+    calls: list = []
+    service = None
+
+    def __init__(self, shards, registry=None):
+        svc = type(self).service
+        acquired = svc._shard_lock.acquire(blocking=False)
+        if acquired:
+            svc._shard_lock.release()
+        type(self).calls.append(acquired)
+
+    def replicated(self, name):
+        return True
+
+    def admin_create(self, *args, **kwargs):
+        pass
+
+    def admin_attach(self, *args, **kwargs):
+        pass
+
+    def shutdown(self):
+        pass
+
+
+class TestEnableShardingLockDiscipline:
+    """RA010 regression: pool construction spawns worker processes and
+    waits for their handshakes (up to 60s); doing that while holding
+    ``_shard_lock`` convoyed every concurrent enable/disable/health
+    probe behind process startup.  The fix reserves under the lock and
+    constructs outside it."""
+
+    def test_pool_constructed_outside_shard_lock(self, monkeypatch):
+        svc = PPKWSService(answer_cache_size=0)
+        _RecordingPool.calls = []
+        _RecordingPool.service = svc
+        monkeypatch.setattr("repro.service.ShardServingPool", _RecordingPool)
+        pool = svc.enable_sharding(1)
+        assert isinstance(pool, _RecordingPool)
+        assert _RecordingPool.calls == [True], (
+            "ShardServingPool was constructed while _shard_lock was held"
+        )
+        with pytest.raises(ReproError):
+            svc.enable_sharding(1)
+        svc.disable_sharding()
+        assert svc.shard_pool is None
+
+    def test_reservation_rejects_concurrent_enable(self, monkeypatch):
+        import threading
+
+        svc = PPKWSService(answer_cache_size=0)
+        started = threading.Event()
+        release = threading.Event()
+
+        class SlowPool(_RecordingPool):
+            def __init__(self, shards, registry=None):
+                started.set()
+                assert release.wait(5)
+
+        monkeypatch.setattr("repro.service.ShardServingPool", SlowPool)
+        worker = threading.Thread(target=svc.enable_sharding, args=(1,))
+        worker.start()
+        try:
+            assert started.wait(5)
+            # Mid-construction: the reservation must make a second
+            # enable fail fast instead of double-spawning a pool.
+            with pytest.raises(ReproError):
+                svc.enable_sharding(1)
+        finally:
+            release.set()
+            worker.join(5)
+        assert svc.shard_pool is not None
+        svc.disable_sharding()
+
+    def test_failed_construction_clears_reservation(self, monkeypatch):
+        svc = PPKWSService(answer_cache_size=0)
+
+        class BoomPool(_RecordingPool):
+            def __init__(self, shards, registry=None):
+                raise RuntimeError("spawn failed")
+
+        monkeypatch.setattr("repro.service.ShardServingPool", BoomPool)
+        with pytest.raises(RuntimeError):
+            svc.enable_sharding(1)
+        # The reservation must not leak: a retry proceeds normally.
+        _RecordingPool.calls = []
+        _RecordingPool.service = svc
+        monkeypatch.setattr("repro.service.ShardServingPool", _RecordingPool)
+        assert isinstance(svc.enable_sharding(1), _RecordingPool)
+        svc.disable_sharding()
